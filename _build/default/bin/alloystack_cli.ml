@@ -1,0 +1,181 @@
+(* The alloystack CLI: run the built-in benchmark workflows on any of
+   the simulated platforms, inspect cold starts, or validate a JSON
+   workflow configuration.
+
+     dune exec bin/alloystack_cli.exe -- run --app sorting --size 8M
+     dune exec bin/alloystack_cli.exe -- coldstart
+     dune exec bin/alloystack_cli.exe -- check examples/greeter.json *)
+
+open Cmdliner
+open Baselines
+
+let platforms =
+  [
+    ("alloystack", As_platform.alloystack);
+    ("alloystack-ifi", As_platform.alloystack_ifi);
+    ("alloystack-c", As_platform.alloystack_c);
+    ("alloystack-py", As_platform.alloystack_py);
+    ("alloystack-ramfs", As_platform.alloystack_ramfs);
+    ("faastlane", Faastlane.default_);
+    ("faastlane-refer", Faastlane.refer);
+    ("faastlane-ipc", Faastlane.ipc);
+    ("faastlane-kata", Faastlane.refer_kata);
+    ("openfaas", Openfaas.openfaas);
+    ("openfaas-gvisor", Openfaas.openfaas_gvisor);
+    ("faasm-c", Faasm.c);
+    ("faasm-py", Faasm.python);
+  ]
+
+let parse_size s =
+  let n = String.length s in
+  if n = 0 then Error "empty size"
+  else begin
+    let unit_of c = match c with 'K' | 'k' -> 1024 | 'M' | 'm' -> 1024 * 1024 | _ -> 0 in
+    let mult = unit_of s.[n - 1] in
+    let digits = if mult = 0 then s else String.sub s 0 (n - 1) in
+    match int_of_string_opt digits with
+    | Some v -> Ok (v * if mult = 0 then 1 else mult)
+    | None -> Error (Printf.sprintf "bad size %S" s)
+  end
+
+let make_app ~app ~seed ~size ~instances ~length =
+  match app with
+  | "wordcount" -> Ok (Workloads.Wordcount.app ~seed ~size ~instances)
+  | "sorting" -> Ok (Workloads.Parallel_sorting.app ~seed ~size ~instances)
+  | "chain" -> Ok (Workloads.Function_chain.app ~seed ~payload:size ~length)
+  | "pipe" -> Ok (Workloads.Pipe_app.app ~seed ~size)
+  | "image" -> Ok (Workloads.Image_meta.image_pipeline ~seed)
+  | "noops" -> Ok Workloads.Pipe_app.noops
+  | other -> Error (Printf.sprintf "unknown app %S" other)
+
+let run_cmd app platform size instances length seed trace =
+  if trace then Sim.Trace.set_enabled Sim.Trace.global true;
+  match (parse_size size, List.assoc_opt platform platforms) with
+  | Error e, _ ->
+      prerr_endline e;
+      1
+  | _, None ->
+      Printf.eprintf "unknown platform %s; available: %s\n" platform
+        (String.concat " " (List.map fst platforms));
+      1
+  | Ok size, Some p -> begin
+      match make_app ~app ~seed ~size ~instances ~length with
+      | Error e ->
+          prerr_endline e;
+          1
+      | Ok workload ->
+          let m = p.Platform.run workload in
+          Format.printf "platform:    %s@." m.Platform.platform;
+          Format.printf "end-to-end:  %a@." Sim.Units.pp m.Platform.e2e;
+          Format.printf "cold start:  %a@." Sim.Units.pp m.Platform.cold_start;
+          Format.printf "cpu time:    %a@." Sim.Units.pp m.Platform.cpu_time;
+          Format.printf "peak rss:    %a@." Sim.Units.pp_bytes m.Platform.peak_rss;
+          List.iter
+            (fun (name, t) -> Format.printf "  %-12s %a@." name Sim.Units.pp t)
+            m.Platform.phase_totals;
+          if trace then begin
+            Format.printf "--- trace (%d events, %d dropped) ---@."
+              (Sim.Trace.count Sim.Trace.global)
+              (Sim.Trace.dropped Sim.Trace.global);
+            print_endline (Sim.Trace.dump Sim.Trace.global)
+          end;
+          (match m.Platform.validated with
+          | Ok () ->
+              Format.printf "output:      validated@.";
+              0
+          | Error e ->
+              Format.printf "output:      WRONG (%s)@." e;
+              1)
+    end
+
+let coldstart_cmd () =
+  Format.printf "%-14s %s@." "system" "cold start";
+  List.iter
+    (fun (e : Singlefn.entry) ->
+      Format.printf "%-14s %s@." e.Singlefn.label (Sim.Units.to_string e.Singlefn.cold_start))
+    (Singlefn.figure10 ());
+  0
+
+let check_cmd dot file =
+  match In_channel.with_open_text file In_channel.input_all with
+  | exception Sys_error e ->
+      prerr_endline e;
+      1
+  | contents -> begin
+      match Alloystack_core.Workflow.of_string contents with
+      | Error e ->
+          Printf.eprintf "invalid workflow: %s\n" e;
+          1
+      | Ok wf ->
+          let open Alloystack_core in
+          Format.printf "workflow %s: %d function(s), %d edge(s), %d stage(s)@."
+            wf.Workflow.wf_name
+            (List.length wf.Workflow.nodes)
+            (List.length wf.Workflow.edges)
+            (List.length (Workflow.stages wf));
+          List.iteri
+            (fun i stage ->
+              Format.printf "  stage %d: %s@." i
+                (String.concat ", "
+                   (List.map
+                      (fun (n : Workflow.node) ->
+                        Printf.sprintf "%s x%d (%a)" n.Workflow.node_id
+                          n.Workflow.instances
+                          (fun () l -> Format.asprintf "%a" Workflow.pp_language l)
+                          n.Workflow.language)
+                      stage)))
+            (Workflow.stages wf);
+          Format.printf "required as-libos modules: %s@."
+            (String.concat ", " (Workflow.required_modules wf));
+          if dot then print_string (Workflow.to_dot wf);
+          0
+    end
+
+let app_arg =
+  Arg.(value & opt string "pipe"
+       & info [ "app"; "a" ] ~doc:"Workload: wordcount, sorting, chain, pipe, image, noops.")
+
+let platform_arg =
+  Arg.(value & opt string "alloystack"
+       & info [ "platform"; "p" ] ~doc:"Platform to run on (see --help for the list).")
+
+let size_arg =
+  Arg.(value & opt string "4M" & info [ "size"; "s" ] ~doc:"Input/payload size (e.g. 64K, 25M).")
+
+let instances_arg =
+  Arg.(value & opt int 3 & info [ "instances"; "i" ] ~doc:"Parallel instances per stage.")
+
+let length_arg =
+  Arg.(value & opt int 5 & info [ "length"; "l" ] ~doc:"FunctionChain length.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Data-generation seed.")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Dump the visor/loader event trace after the run.")
+
+let run_term =
+  Term.(
+    const run_cmd $ app_arg $ platform_arg $ size_arg $ instances_arg $ length_arg
+    $ seed_arg $ trace_arg)
+
+let run_info =
+  Cmd.info "run" ~doc:"Run a benchmark workflow on a simulated platform."
+
+let coldstart_info = Cmd.info "coldstart" ~doc:"Print the Fig. 10 cold-start table."
+
+let check_info = Cmd.info "check" ~doc:"Validate a JSON workflow configuration."
+
+let file_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+
+let dot_arg =
+  Arg.(value & flag & info [ "dot" ] ~doc:"Also print the DAG in Graphviz format.")
+
+let main =
+  Cmd.group (Cmd.info "alloystack" ~doc:"AlloyStack reproduction CLI")
+    [
+      Cmd.v run_info run_term;
+      Cmd.v coldstart_info Term.(const coldstart_cmd $ const ());
+      Cmd.v check_info Term.(const check_cmd $ dot_arg $ file_arg);
+    ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/http_gateway.ml: Alloystack_core Asbuffer Asstd Bytes Format Gateway Netsim Option Printf String Visor

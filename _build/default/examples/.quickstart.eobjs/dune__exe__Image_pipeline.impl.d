@@ -1,0 +1,1 @@
+examples/image_pipeline.ml: Baselines Fctx Format Fsim Image_meta List Sim String Workloads

@@ -1,0 +1,1 @@
+examples/multilang_wasm.ml: Buffer Builder Bytes Format Hashtbl Instr Int64 Isa Runtime Sim String Wasi Wasm Wmodule

@@ -1,0 +1,1 @@
+examples/multilang_wasm.mli:

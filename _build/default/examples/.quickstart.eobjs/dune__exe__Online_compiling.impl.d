@@ -1,0 +1,1 @@
+examples/online_compiling.ml: Baselines Bytes Compile_app Format List Sim Wasm Workloads

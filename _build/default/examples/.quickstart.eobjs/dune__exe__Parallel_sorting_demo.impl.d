@@ -1,0 +1,1 @@
+examples/parallel_sorting_demo.ml: As_platform Baselines Faastlane Format List Openfaas Platform Sim Workloads

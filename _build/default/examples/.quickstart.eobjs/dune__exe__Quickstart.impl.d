@@ -1,0 +1,1 @@
+examples/quickstart.ml: Alloystack_core Asbuffer Asstd Fndata Format Printf Sim String Visor Workflow

@@ -1,0 +1,1 @@
+lib/baselines/as_adaptive.ml: As_multinode Netsim Printf Sim Units

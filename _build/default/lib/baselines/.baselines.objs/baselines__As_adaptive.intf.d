@@ -1,0 +1,1 @@
+lib/baselines/as_adaptive.mli: Platform Sim

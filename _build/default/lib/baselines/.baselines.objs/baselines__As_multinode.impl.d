@@ -1,0 +1,1 @@
+lib/baselines/as_multinode.ml: Alloystack_core Array As_platform Asbuffer Asstd Bytes Clock Errno Fctx Fsim Hashtbl List Netsim Platform Printf Sim Stdlib Units Visor Wfd Workflow Workloads

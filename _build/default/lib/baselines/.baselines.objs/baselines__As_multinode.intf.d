@@ -1,0 +1,1 @@
+lib/baselines/as_multinode.mli: Platform Sim

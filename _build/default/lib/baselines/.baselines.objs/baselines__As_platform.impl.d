@@ -1,0 +1,1 @@
+lib/baselines/as_platform.ml: Alloystack_core Asbuffer Asstd Errno Fctx Fsim List Platform Sim Units Visor Wasm Wfd Workflow Workloads

@@ -1,0 +1,1 @@
+lib/baselines/as_platform.mli: Alloystack_core Platform Wasm

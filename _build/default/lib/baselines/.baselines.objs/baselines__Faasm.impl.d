@@ -1,0 +1,1 @@
+lib/baselines/faasm.ml: Alloystack_core Bytes Clock Fctx Fsim Hashtbl Hostos List Platform Runner Sim Units Wasm Workloads

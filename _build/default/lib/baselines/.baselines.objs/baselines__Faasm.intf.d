@@ -1,0 +1,1 @@
+lib/baselines/faasm.mli: Platform Sim

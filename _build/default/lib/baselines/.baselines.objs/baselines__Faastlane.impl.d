@@ -1,0 +1,1 @@
+lib/baselines/faastlane.ml: Alloystack_core Array Bytes Clock Fctx Fsim Hashtbl Hostos List Platform Runner Sim Units Vmm Workloads

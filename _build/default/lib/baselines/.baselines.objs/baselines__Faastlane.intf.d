@@ -1,0 +1,1 @@
+lib/baselines/faastlane.mli: Platform Sim

@@ -1,0 +1,1 @@
+lib/baselines/loadgen.ml: Array List Rng Sim Stats Stdlib Units

@@ -1,0 +1,1 @@
+lib/baselines/openfaas.ml: Clock Fctx Fsim Hostos Lazy List Netsim Platform Runner Sim Units Vmm Workloads

@@ -1,0 +1,1 @@
+lib/baselines/openfaas.mli: Platform Sim

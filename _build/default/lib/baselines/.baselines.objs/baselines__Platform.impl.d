@@ -1,0 +1,1 @@
+lib/baselines/platform.ml: Fctx Int64 List Printf Sim Workloads

@@ -1,0 +1,1 @@
+lib/baselines/runner.ml: Clock Fctx Hashtbl Hostos List Sim Stdlib Units Workloads

@@ -1,0 +1,1 @@
+lib/baselines/runner.mli: Fctx Sim Workloads

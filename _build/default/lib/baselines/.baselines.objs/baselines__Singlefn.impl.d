@@ -1,0 +1,1 @@
+lib/baselines/singlefn.ml: Alloystack_core Clock Faasm Faastlane Sim Units Visor Vmm Wasm Wfd

@@ -1,0 +1,1 @@
+lib/baselines/singlefn.mli: Sim

@@ -1,0 +1,25 @@
+open Sim
+
+(* Direct ship: serialisation both ends + the wire. *)
+let network_cost len = As_multinode.bridge_cost len
+
+(* Staging through shared storage (an S3/Redis-class service): two
+   crossings of the datacenter link plus per-object request latency.
+   Fixed request overhead dominates small payloads; double wire time
+   dominates large ones. *)
+let storage_cost len =
+  Units.add (Units.ms 2)
+    (Units.add
+       (Units.scale (Netsim.Link.wire_time Netsim.Link.datacenter len) 2.0)
+       (Units.scale (Netsim.Redis.serialization_cost len) 2.0))
+
+let pick len =
+  if Units.( <= ) (network_cost len) (storage_cost len) then `Network else `Storage
+
+let adaptive_bridge len =
+  match pick len with `Network -> network_cost len | `Storage -> storage_cost len
+
+let make ~nodes =
+  As_multinode.make ~bridge:adaptive_bridge
+    ~label:(Printf.sprintf "AlloyStack-%dnode-adaptive" nodes)
+    ~nodes ()

@@ -1,0 +1,22 @@
+(** SONIC-style adaptive data passing (related work [47]) grafted onto
+    AlloyStack's multi-node deployment.
+
+    SONIC transparently selects the best data-passing method per DAG
+    edge.  Here the choice per hop is: {e reference passing} when
+    producer and consumer share a WFD (free beyond the traversal),
+    otherwise {e network ship} vs {e shared-storage staging}, picked by
+    the modelled cost of each for the payload size.  AlloyStack itself
+    does not need this machinery on one node — reference passing always
+    wins there, which the paper argues in §10 — so the selector only
+    earns its keep across WFDs. *)
+
+val make : nodes:int -> Platform.t
+(** Like {!As_multinode.make}, but cross-WFD hops use the cheaper of
+    direct network transfer and shared-storage staging per payload. *)
+
+val network_cost : int -> Sim.Units.time
+val storage_cost : int -> Sim.Units.time
+(** Modelled one-hop costs (exposed for tests and the selector). *)
+
+val pick : int -> [ `Network | `Storage ]
+(** Selector decision for a payload size. *)

@@ -1,0 +1,141 @@
+open Workloads
+open Sim
+open Alloystack_core
+
+type fs_backend = Fat_image | Ram_fs
+
+type options = {
+  language : Workflow.language;
+  features : Wfd.features;
+  fs : fs_backend;
+  wasm_runtime : Wasm.Runtime.profile option;
+}
+
+let default_options =
+  {
+    language = Workflow.Rust;
+    features = Wfd.default_features;
+    fs = Fat_image;
+    wasm_runtime = None;
+  }
+
+let to_workflow ~language ~modules stages =
+  let nodes =
+    List.map
+      (fun (name, instances, _) ->
+        { Workflow.node_id = name; language; instances; required_modules = modules })
+      stages
+  in
+  let rec edges = function
+    | (a, _, _) :: ((b, _, _) :: _ as rest) -> (a, b) :: edges rest
+    | [ _ ] | [] -> []
+  in
+  Workflow.create_exn ~name:"app" ~nodes ~edges:(edges stages)
+
+let stage_inputs vfs inputs =
+  List.iter (fun (path, data) -> vfs.Fsim.Vfs.write_file path data) inputs
+
+let make ?(options = default_options) () =
+  let name =
+    let base =
+      match options.language with
+      | Workflow.Rust -> "AlloyStack"
+      | Workflow.C -> "AlloyStack-C"
+      | Workflow.Python -> "AlloyStack-Py"
+    in
+    let base = if options.features.Wfd.ifi then base ^ "-IFI" else base in
+    match (options.features.Wfd.on_demand, options.features.Wfd.ref_passing) with
+    | true, true -> if options.fs = Ram_fs then base ^ "-ramfs" else base
+    | false, false -> base ^ "-base"
+    | true, false -> base ^ "+ondemand"
+    | false, true -> base ^ "+refpass"
+  in
+  let run ?(cores = 64) (app : Fctx.app) =
+    let vfs =
+      match options.fs with
+      | Fat_image -> Fsim.Vfs.fresh_fat ()
+      | Ram_fs -> Fsim.Vfs.fresh_ramfs ()
+    in
+    stage_inputs vfs app.Fctx.inputs;
+    let workflow = to_workflow ~language:options.language ~modules:app.Fctx.modules app.Fctx.stages in
+    let make_binding (_, _, kernel) =
+      Visor.bind (fun (actx : Asstd.ctx) ~instance ~total ->
+          let fctx =
+            {
+              Fctx.instance;
+              total;
+              read_input = (fun path -> Asstd.read_whole_file actx path);
+              write_output = (fun path data -> Asstd.write_whole_file actx path data);
+              send = (fun ~slot data -> ignore (Asbuffer.with_slot_raw actx ~slot data));
+              recv =
+                (fun ~slot ->
+                  match Asbuffer.from_slot_raw actx ~slot with
+                  | data -> data
+                  | exception Errno.Error (Errno.Enoent, _) -> raise Not_found);
+              println = (fun line -> Asstd.println actx line);
+              compute = (fun t -> Asstd.compute actx t);
+              phase = (fun name f -> Asstd.in_phase actx name f);
+            }
+          in
+          kernel fctx)
+    in
+    let bindings =
+      List.map (fun ((n, _, _) as stage) -> (n, make_binding stage)) app.Fctx.stages
+    in
+    let config =
+      {
+        Visor.cores;
+        features = options.features;
+        vfs = Some vfs;
+        wasm_runtime = options.wasm_runtime;
+        dispatch_latency = Visor.default_config.Visor.dispatch_latency;
+        retry = Visor.default_config.Visor.retry;
+        cpu_quota = None;
+      }
+    in
+    let report = Visor.run ~config ~workflow ~bindings () in
+    let read_output path =
+      match vfs.Fsim.Vfs.read_file path with
+      | data -> Some data
+      | exception Not_found -> None
+    in
+    let cpu_time =
+      List.fold_left
+        (fun acc (s : Visor.stage_report) ->
+          List.fold_left Units.add acc s.Visor.instance_durations)
+        Units.zero report.Visor.stage_reports
+    in
+    {
+      Platform.platform = name;
+      e2e = report.Visor.e2e;
+      cold_start = report.Visor.cold_start;
+      phase_totals = report.Visor.phase_totals;
+      cpu_time;
+      peak_rss = report.Visor.peak_rss;
+      validated = app.Fctx.validate ~read_output;
+    }
+  in
+  { Platform.name; run }
+
+let alloystack = make ()
+
+let alloystack_ifi =
+  make
+    ~options:
+      { default_options with features = { Wfd.default_features with Wfd.ifi = true } }
+    ()
+
+let alloystack_c = make ~options:{ default_options with language = Workflow.C } ()
+
+let alloystack_py = make ~options:{ default_options with language = Workflow.Python } ()
+
+let alloystack_ramfs = make ~options:{ default_options with fs = Ram_fs } ()
+
+let ablation ~on_demand ~ref_passing =
+  make
+    ~options:
+      {
+        default_options with
+        features = { Wfd.on_demand; ref_passing; ifi = false };
+      }
+    ()

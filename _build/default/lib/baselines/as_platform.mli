@@ -1,0 +1,41 @@
+(** AlloyStack as a {!Platform.t}: the shared workload kernels run as
+    real WFD function threads, with the {!Fctx.t} transport wired to
+    as-std / AsBuffer. *)
+
+type fs_backend = Fat_image | Ram_fs
+
+type options = {
+  language : Alloystack_core.Workflow.language;
+  features : Alloystack_core.Wfd.features;
+  fs : fs_backend;
+  wasm_runtime : Wasm.Runtime.profile option;
+      (** Runtime hosting C/Python functions; default Wasmtime. *)
+}
+
+val default_options : options
+
+val make : ?options:options -> unit -> Platform.t
+(** "AlloyStack" with the paper's defaults. *)
+
+val alloystack : Platform.t  (** Rust, on-demand + ref-passing, FAT. *)
+
+val alloystack_ifi : Platform.t  (** "AS-IFI": inter-function isolation. *)
+
+val alloystack_c : Platform.t  (** "AS-C": C via Wasmtime. *)
+
+val alloystack_py : Platform.t  (** "AS-Py": Python via Wasmtime+CPython. *)
+
+val alloystack_ramfs : Platform.t  (** Fig. 16: ramfs-backed disk. *)
+
+val ablation :
+  on_demand:bool -> ref_passing:bool -> Platform.t
+(** The Fig. 14 feature grid ("base", "+on-demand", "+ref-passing",
+    "+both"). *)
+
+val to_workflow :
+  language:Alloystack_core.Workflow.language ->
+  modules:string list ->
+  (string * int * 'a) list ->
+  Alloystack_core.Workflow.t
+(** Build the linear stage DAG from an app's stage list (consecutive
+    stages fully connected).  Exposed for tests and the gateway CLI. *)

@@ -1,0 +1,52 @@
+open Sim
+
+type spec = {
+  cores : int;
+  width : int;
+  service : Units.time;
+  contention : float;
+}
+
+type result = {
+  p50 : Units.time;
+  p99 : Units.time;
+  max_inflight : int;
+  mean_sojourn : Units.time;
+}
+
+let saturation_qps spec =
+  float_of_int spec.cores
+  /. (float_of_int spec.width *. Units.to_sec spec.service)
+
+let run ?(seed = 17) spec ~qps ~requests =
+  if spec.width > spec.cores then invalid_arg "Loadgen.run: width exceeds cores";
+  let rng = Rng.create seed in
+  let free = Array.make spec.cores Units.zero in
+  let finishes = ref [] in
+  let sojourns = Stats.create () in
+  let max_inflight = ref 0 in
+  let now = ref 0.0 in
+  for _ = 1 to requests do
+    now := !now +. Rng.exponential rng ~mean:(1.0 /. qps);
+    let arrival = Units.ns_f (!now *. 1e9) in
+    (* The request starts when [width] cores are simultaneously free. *)
+    Array.sort Units.compare free;
+    let start = Units.max arrival free.(spec.width - 1) in
+    let inflight = List.length (List.filter (fun f -> Units.( > ) f start) !finishes) in
+    max_inflight := Stdlib.max !max_inflight (inflight + 1);
+    let duration =
+      Units.scale spec.service (1.0 +. (spec.contention *. float_of_int inflight))
+    in
+    let finish = Units.add start duration in
+    for i = 0 to spec.width - 1 do
+      free.(i) <- finish
+    done;
+    finishes := finish :: List.filter (fun f -> Units.( > ) f start) !finishes;
+    Stats.add_time sojourns (Units.sub finish arrival)
+  done;
+  {
+    p50 = Stats.percentile_time sojourns 50.0;
+    p99 = Stats.percentile_time sojourns 99.0;
+    max_inflight = !max_inflight;
+    mean_sojourn = Stats.mean_time sojourns;
+  }

@@ -1,0 +1,30 @@
+(** Open-loop load generator for tail-latency experiments (Fig. 17a).
+
+    Poisson arrivals into a [cores]-core cluster; each request is a gang
+    needing [width] cores for its service time.  A contention factor
+    models per-request sandbox state (Kata's rootfs/cgroup churn)
+    degrading service as the number of in-flight requests grows — the
+    mechanism the paper blames for Kata's P99 blow-up under QPS. *)
+
+type spec = {
+  cores : int;
+  width : int;  (** Cores a request occupies simultaneously. *)
+  service : Sim.Units.time;  (** Base service time of one request. *)
+  contention : float;
+      (** Fractional service-time growth per concurrent in-flight
+          request. *)
+}
+
+type result = {
+  p50 : Sim.Units.time;
+  p99 : Sim.Units.time;
+  max_inflight : int;
+  mean_sojourn : Sim.Units.time;
+}
+
+val run : ?seed:int -> spec -> qps:float -> requests:int -> result
+
+val saturation_qps : spec -> float
+(** The arrival rate at which offered load equals capacity
+    ([cores / (width * service)]); past it the queue grows without
+    bound. *)

@@ -1,0 +1,50 @@
+open Sim
+open Alloystack_core
+
+(* Cold-start measurement of every single-function runtime of Fig. 10:
+   the time from the trigger event to the first user instruction of the
+   no-ops function. *)
+
+type entry = { label : string; cold_start : Units.time }
+
+let boot_time profile =
+  let clock = Clock.create () in
+  ignore (Vmm.Sandbox.boot profile clock);
+  Clock.now clock
+
+(* Wasmer deployed as a fresh process: process spawn, runtime engine
+   init, module load/verify through the bytecode layer (the paper
+   attributes the 342ms to the intermediate-bytecode machinery). *)
+let wasmer_process = Units.ms 342
+let wasmer_thread = Units.ms_f 7.6
+
+let alloystack_cold () = Visor.cold_start_only ()
+
+let alloystack_load_all () =
+  let features = { Wfd.default_features with Wfd.on_demand = false } in
+  Visor.cold_start_only
+    ~config:{ Visor.default_config with Visor.features } ()
+
+let alloystack_python () =
+  let base = alloystack_cold () in
+  Units.add base (Units.add Wasm.Runtime.wasmtime.Wasm.Runtime.startup Wasm.Runtime.cpython_init)
+
+let faasm_cold = Units.add Faasm.faaslet_start (Units.us 160)
+
+let faasm_python_cold = Units.add faasm_cold (Units.ms 2_350)
+
+let figure10 () =
+  [
+    { label = "AS"; cold_start = alloystack_cold () };
+    { label = "AS-load-all"; cold_start = alloystack_load_all () };
+    { label = "Faastlane-T"; cold_start = Faastlane.thread_start };
+    { label = "Wasmer-T"; cold_start = wasmer_thread };
+    { label = "Wasmer"; cold_start = wasmer_process };
+    { label = "Virtines"; cold_start = boot_time Vmm.Virtines.profile };
+    { label = "Unikraft"; cold_start = boot_time Vmm.Unikraft.profile };
+    { label = "gVisor"; cold_start = boot_time Vmm.Gvisor.profile };
+    { label = "Kata"; cold_start = boot_time Vmm.Container.kata_firecracker };
+    { label = "Faasm"; cold_start = faasm_cold };
+    { label = "AS-Py"; cold_start = alloystack_python () };
+    { label = "Faasm-Py"; cold_start = faasm_python_cold };
+  ]

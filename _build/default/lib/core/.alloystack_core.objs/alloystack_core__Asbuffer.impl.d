@@ -1,0 +1,1 @@
+lib/core/asbuffer.ml: Address_space Asstd Bytes Clock Cost Errno Fndata Libos_mm Mem Sim Units Wfd

@@ -1,0 +1,1 @@
+lib/core/asbuffer.mli: Asstd Fndata Libos_mm

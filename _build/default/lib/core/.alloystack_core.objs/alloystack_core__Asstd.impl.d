@@ -1,0 +1,1 @@
+lib/core/asstd.ml: Bytes Clock Cost Errno Hashtbl Libos Libos_fatfs Libos_fdtab Libos_socket Libos_stdio Libos_time Sim Trampoline Units Wasm Wfd Workflow

@@ -1,0 +1,1 @@
+lib/core/asstd.mli: Hashtbl Libos_socket Netsim Sim Wasm Wfd Workflow

@@ -1,0 +1,1 @@
+lib/core/fndata.ml: Buffer Bytes Char Format Hashtbl Int64 List String

@@ -1,0 +1,1 @@
+lib/core/fndata.mli: Format

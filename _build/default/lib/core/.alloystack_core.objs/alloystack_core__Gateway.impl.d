@@ -1,0 +1,1 @@
+lib/core/gateway.ml: Array Cost Hashtbl Jsonlite List Netsim Printf Sim Stdlib String Units Visor Workflow

@@ -1,0 +1,1 @@
+lib/core/gateway.mli: Netsim Sim Visor Workflow

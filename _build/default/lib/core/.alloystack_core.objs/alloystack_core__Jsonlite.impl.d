@@ -1,0 +1,1 @@
+lib/core/jsonlite.ml: Buffer Format List Printf String

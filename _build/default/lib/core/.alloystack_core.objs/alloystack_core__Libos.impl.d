@@ -1,0 +1,1 @@
+lib/core/libos.ml: Clock Cost Hashtbl Libos_fatfs Libos_fdtab Libos_mm Libos_mmap_backend Libos_socket Libos_stdio Libos_time List Printf Sim String Trace Units Wfd

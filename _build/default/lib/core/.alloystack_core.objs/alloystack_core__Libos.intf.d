@@ -1,0 +1,1 @@
+lib/core/libos.mli: Sim Wfd

@@ -1,0 +1,1 @@
+lib/core/libos_fatfs.ml: Bytes Clock Errno Fsim Hostos Sim Units Wfd

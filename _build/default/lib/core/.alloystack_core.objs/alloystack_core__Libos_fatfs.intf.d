@@ -1,0 +1,1 @@
+lib/core/libos_fatfs.mli: Errno Sim Wfd

@@ -1,0 +1,1 @@
+lib/core/libos_fdtab.ml: Bytes Clock Errno Ext Hashtbl Hostos Libos_fatfs Libos_stdio Netsim Sim Stdlib String Wfd

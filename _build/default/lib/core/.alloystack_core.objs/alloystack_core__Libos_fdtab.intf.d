@@ -1,0 +1,1 @@
+lib/core/libos_fdtab.mli: Errno Netsim Sim Wfd

@@ -1,0 +1,1 @@
+lib/core/libos_mm.ml: Address_space Alloc Clock Cost Errno Ext Hashtbl Hostos Int64 Layout Libos_fdtab Libos_mmap_backend List Mem Page Sim Stdlib Wfd

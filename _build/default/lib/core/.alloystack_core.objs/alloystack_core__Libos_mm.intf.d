@@ -1,0 +1,1 @@
+lib/core/libos_mm.mli: Errno Sim Wfd

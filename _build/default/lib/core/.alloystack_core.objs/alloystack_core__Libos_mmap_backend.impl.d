@@ -1,0 +1,1 @@
+lib/core/libos_mmap_backend.ml: Address_space Bytes Clock Errno Ext Hostos Libos_fatfs List Mem Page Sim Stdlib Wfd

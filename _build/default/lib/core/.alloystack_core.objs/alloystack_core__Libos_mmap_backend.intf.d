@@ -1,0 +1,1 @@
+lib/core/libos_mmap_backend.mli: Errno Sim Wfd

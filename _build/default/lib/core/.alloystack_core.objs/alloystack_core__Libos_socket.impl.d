@@ -1,0 +1,1 @@
+lib/core/libos_socket.ml: Bytes Clock Errno Ext Hashtbl Hostos Netsim Sim Units Wfd

@@ -1,0 +1,1 @@
+lib/core/libos_socket.mli: Errno Hostos Netsim Sim Wfd

@@ -1,0 +1,1 @@
+lib/core/libos_stdio.ml: Buffer Bytes Clock Hostos Sim Wfd

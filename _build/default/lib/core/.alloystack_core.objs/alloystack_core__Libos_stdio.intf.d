@@ -1,0 +1,1 @@
+lib/core/libos_stdio.mli: Sim Wfd

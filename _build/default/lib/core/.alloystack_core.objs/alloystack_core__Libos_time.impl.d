@@ -1,0 +1,1 @@
+lib/core/libos_time.ml: Clock Hostos Int64 Sim Units Wfd

@@ -1,0 +1,1 @@
+lib/core/libos_time.mli: Sim Wfd

@@ -1,0 +1,1 @@
+lib/core/trampoline.ml: Address_space Clock Cost Layout Mem Prot Sim Wfd

@@ -1,0 +1,1 @@
+lib/core/trampoline.mli: Wfd

@@ -1,0 +1,1 @@
+lib/core/visor.ml: Asstd Clock Cost Fsim Hashtbl Hostos Isa Libos Libos_stdio List Printf Sim Stdlib Trace Units Wasm Wfd Workflow

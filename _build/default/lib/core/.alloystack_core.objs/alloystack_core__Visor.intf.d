@@ -1,0 +1,1 @@
+lib/core/visor.mli: Asstd Fsim Isa Sim Wasm Wfd Workflow

@@ -1,0 +1,1 @@
+lib/core/wfd.ml: Address_space Alloc Buffer Clock Cost Ext Fsim Hashtbl Hostos Layout Mem Page Prot Sim

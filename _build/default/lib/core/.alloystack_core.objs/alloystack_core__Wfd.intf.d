@@ -1,0 +1,1 @@
+lib/core/wfd.mli: Buffer Ext Fsim Hashtbl Hostos Mem Sim

@@ -1,0 +1,1 @@
+lib/core/workflow.ml: Buffer Format Hashtbl Jsonlite List Printf Queue Stdlib String

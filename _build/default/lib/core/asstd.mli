@@ -1,0 +1,71 @@
+(** as-std: the standard library layer user functions link against
+    (§3.5).
+
+    Every API below (1) checks the WFD entry table and triggers the
+    on-demand loader on a miss, (2) crosses the MPK trampoline into the
+    system partition, (3) runs the as-libos implementation, and (4)
+    returns through the trampoline.  User code never issues a syscall
+    itself — its image must not even contain the opcode (§6). *)
+
+type ctx = {
+  wfd : Wfd.t;
+  thread : Wfd.thread;
+  language : Workflow.language;
+  buffer_bw : float;  (** Buffer copy bandwidth of this language path. *)
+  compute_factor : float;  (** Slowdown vs native Rust for pure compute. *)
+  phases : (string, Sim.Units.time) Hashtbl.t;  (** Fig. 15 accounting. *)
+}
+
+val make_ctx : Wfd.t -> Wfd.thread -> Workflow.language -> ctx
+(** Context for a Rust-native function (factor 1.0); WASM-hosted
+    languages get their factors from the platform layer via
+    {!with_runtime}. *)
+
+val with_runtime : ctx -> Wasm.Runtime.profile -> ctx
+(** Adjust bandwidth/compute factors for a WASM-hosted language. *)
+
+val sys : ctx -> string -> (clock:Sim.Clock.t -> 'a) -> 'a
+(** [sys ctx entry f]: the full as-std call path for entry [entry] —
+    entry-table check (slow path loads the module), trampoline in, run
+    [f] with the thread's clock, trampoline out. *)
+
+(** {1 File API (Fig. 5 style)} *)
+
+val open_file : ctx -> ?create:bool -> string -> int
+(** Raises {!Errno.Error}. *)
+
+val read_fd : ctx -> fd:int -> len:int -> bytes
+val write_fd : ctx -> fd:int -> bytes -> int
+val close_fd : ctx -> fd:int -> unit
+val read_whole_file : ctx -> string -> bytes
+val write_whole_file : ctx -> string -> bytes -> unit
+val file_exists : ctx -> string -> bool
+
+(** {1 Console / time} *)
+
+val println : ctx -> string -> unit
+val now_ns : ctx -> int64
+
+(** {1 Network} *)
+
+val tcp_connect : ctx -> ip:string -> port:int -> Netsim.Tcp.t
+val tcp_bind : ctx -> port:int -> Libos_socket.listener
+
+val tcp_connect_fd : ctx -> ip:string -> port:int -> int
+(** Like {!tcp_connect} but installs the connection in the WFD's fd
+    table, so it is usable through plain {!read_fd}/{!write_fd} (the
+    Fig. 5 HTTP-client style). *)
+
+(** {1 Compute accounting} *)
+
+val compute : ctx -> Sim.Units.time -> unit
+(** Charge pure computation measured in native-Rust time; the context's
+    language factor is applied. *)
+
+val compute_bytes : ctx -> per_byte_ns:float -> int -> unit
+
+val in_phase : ctx -> string -> (unit -> 'a) -> 'a
+(** Attribute the virtual time spent in the thunk to a named phase
+    (read / compute / transfer — Fig. 15). *)
+
+val phase_time : ctx -> string -> Sim.Units.time

@@ -1,0 +1,16 @@
+type t = Enoent | Eexist | Ebadf | Einval | Enomem | Enotconn | Enosys
+
+let to_string = function
+  | Enoent -> "ENOENT"
+  | Eexist -> "EEXIST"
+  | Ebadf -> "EBADF"
+  | Einval -> "EINVAL"
+  | Enomem -> "ENOMEM"
+  | Enotconn -> "ENOTCONN"
+  | Enosys -> "ENOSYS"
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+exception Error of t * string
+
+let fail errno fmt = Format.kasprintf (fun s -> raise (Error (errno, s))) fmt

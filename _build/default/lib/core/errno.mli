@@ -1,0 +1,20 @@
+(** Error codes returned by as-libos interfaces (the [Result<..>] side
+    of Table 2). *)
+
+type t =
+  | Enoent  (** No such file / slot. *)
+  | Eexist  (** Slot or file already exists. *)
+  | Ebadf  (** Bad file descriptor. *)
+  | Einval  (** Invalid argument (e.g. fingerprint mismatch). *)
+  | Enomem  (** Buffer heap exhausted. *)
+  | Enotconn  (** Socket not connected. *)
+  | Enosys  (** Module not loaded and loading disabled. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+exception Error of t * string
+(** Carried by as-std wrappers that surface errors as exceptions. *)
+
+val fail : t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [fail errno fmt ...] raises {!Error}. *)

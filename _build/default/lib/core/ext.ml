@@ -1,0 +1,45 @@
+(* Classic universal-type extension map: each key owns an injection /
+   projection pair over an extensible variant. *)
+
+type binding = ..
+
+type 'a key = {
+  uid : int;
+  name : string;
+  inject : 'a -> binding;
+  project : binding -> 'a option;
+}
+
+type t = (int, binding) Hashtbl.t
+
+let next_uid = ref 0
+
+let create () = Hashtbl.create 8
+
+let new_key (type a) name : a key =
+  let module M = struct
+    type binding += B of a
+  end in
+  incr next_uid;
+  {
+    uid = !next_uid;
+    name;
+    inject = (fun v -> M.B v);
+    project = (function M.B v -> Some v | _ -> None);
+  }
+
+let set t key v = Hashtbl.replace t key.uid (key.inject v)
+
+let get t key =
+  match Hashtbl.find_opt t key.uid with
+  | None -> None
+  | Some b -> key.project b
+
+let get_exn t key =
+  match get t key with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Ext.get_exn: no binding for %s" key.name)
+
+let mem t key = Hashtbl.mem t key.uid
+
+let remove t key = Hashtbl.remove t key.uid

@@ -1,0 +1,21 @@
+(** Heterogeneous extension map.
+
+    as-libos modules keep their per-WFD state (fd tables, socket
+    tables, slot maps) in the WFD without the WFD module depending on
+    them: each module creates a typed key and stores its state under
+    it. *)
+
+type t
+
+type 'a key
+
+val create : unit -> t
+val new_key : string -> 'a key
+val set : t -> 'a key -> 'a -> unit
+val get : t -> 'a key -> 'a option
+
+val get_exn : t -> 'a key -> 'a
+(** Raises [Invalid_argument] naming the key when absent. *)
+
+val mem : t -> 'a key -> bool
+val remove : t -> 'a key -> unit

@@ -1,0 +1,234 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of { pos : int; message : string }
+
+let fail pos fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { pos; message })) fmt
+
+type state = { input : string; mutable pos : int }
+
+let peek s = if s.pos < String.length s.input then Some s.input.[s.pos] else None
+
+let advance s = s.pos <- s.pos + 1
+
+let rec skip_ws s =
+  match peek s with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance s;
+      skip_ws s
+  | Some _ | None -> ()
+
+let expect s c =
+  match peek s with
+  | Some got when got = c -> advance s
+  | Some got -> fail s.pos "expected '%c', found '%c'" c got
+  | None -> fail s.pos "expected '%c', found end of input" c
+
+let parse_literal s word value =
+  let n = String.length word in
+  if s.pos + n <= String.length s.input && String.sub s.input s.pos n = word then begin
+    s.pos <- s.pos + n;
+    value
+  end
+  else fail s.pos "invalid literal"
+
+let parse_string_body s =
+  expect s '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek s with
+    | None -> fail s.pos "unterminated string"
+    | Some '"' ->
+        advance s;
+        Buffer.contents buf
+    | Some '\\' -> begin
+        advance s;
+        match peek s with
+        | None -> fail s.pos "unterminated escape"
+        | Some c ->
+            advance s;
+            let decoded =
+              match c with
+              | '"' -> '"'
+              | '\\' -> '\\'
+              | '/' -> '/'
+              | 'n' -> '\n'
+              | 't' -> '\t'
+              | 'r' -> '\r'
+              | 'b' -> '\b'
+              | other -> fail (s.pos - 1) "unsupported escape '\\%c'" other
+            in
+            Buffer.add_char buf decoded;
+            go ()
+      end
+    | Some c ->
+        advance s;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ()
+
+let parse_number s =
+  let start = s.pos in
+  let is_num_char c =
+    (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+  in
+  let rec go () =
+    match peek s with
+    | Some c when is_num_char c ->
+        advance s;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  let text = String.sub s.input start (s.pos - start) in
+  match int_of_string_opt text with
+  | Some i -> Int i
+  | None -> begin
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail start "invalid number %S" text
+    end
+
+let rec parse_value s =
+  skip_ws s;
+  match peek s with
+  | None -> fail s.pos "unexpected end of input"
+  | Some '{' -> parse_obj s
+  | Some '[' -> parse_list s
+  | Some '"' -> String (parse_string_body s)
+  | Some 't' -> parse_literal s "true" (Bool true)
+  | Some 'f' -> parse_literal s "false" (Bool false)
+  | Some 'n' -> parse_literal s "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number s
+  | Some c -> fail s.pos "unexpected character '%c'" c
+
+and parse_obj s =
+  expect s '{';
+  skip_ws s;
+  if peek s = Some '}' then begin
+    advance s;
+    Obj []
+  end
+  else begin
+    let rec fields acc =
+      skip_ws s;
+      let key = parse_string_body s in
+      skip_ws s;
+      expect s ':';
+      let value = parse_value s in
+      skip_ws s;
+      match peek s with
+      | Some ',' ->
+          advance s;
+          fields ((key, value) :: acc)
+      | Some '}' ->
+          advance s;
+          Obj (List.rev ((key, value) :: acc))
+      | _ -> fail s.pos "expected ',' or '}' in object"
+    in
+    fields []
+  end
+
+and parse_list s =
+  expect s '[';
+  skip_ws s;
+  if peek s = Some ']' then begin
+    advance s;
+    List []
+  end
+  else begin
+    let rec items acc =
+      let value = parse_value s in
+      skip_ws s;
+      match peek s with
+      | Some ',' ->
+          advance s;
+          items (value :: acc)
+      | Some ']' ->
+          advance s;
+          List (List.rev (value :: acc))
+      | _ -> fail s.pos "expected ',' or ']' in array"
+    in
+    items []
+  end
+
+let parse input =
+  let s = { input; pos = 0 } in
+  let v = parse_value s in
+  skip_ws s;
+  (match peek s with
+  | Some c -> fail s.pos "trailing content starting with '%c'" c
+  | None -> ());
+  v
+
+let parse_result input =
+  match parse input with
+  | v -> Ok v
+  | exception Parse_error { pos; message } ->
+      Error (Printf.sprintf "at offset %d: %s" pos message)
+
+let rec to_string = function
+  | Null -> "null"
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | String s -> Printf.sprintf "%S" s
+  | List items -> "[" ^ String.concat ", " (List.map to_string items) ^ "]"
+  | Obj fields ->
+      "{"
+      ^ String.concat ", "
+          (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k (to_string v)) fields)
+      ^ "}"
+
+let member key = function
+  | Obj fields -> ( match List.assoc_opt key fields with Some v -> v | None -> Null)
+  | _ -> invalid_arg (Printf.sprintf "Jsonlite.member %S: not an object" key)
+
+let get_string = function
+  | String s -> s
+  | v -> invalid_arg (Printf.sprintf "Jsonlite.get_string: %s" (to_string v))
+
+let get_int = function
+  | Int i -> i
+  | v -> invalid_arg (Printf.sprintf "Jsonlite.get_int: %s" (to_string v))
+
+let get_bool = function
+  | Bool b -> b
+  | v -> invalid_arg (Printf.sprintf "Jsonlite.get_bool: %s" (to_string v))
+
+let get_list = function
+  | List l -> l
+  | v -> invalid_arg (Printf.sprintf "Jsonlite.get_list: %s" (to_string v))
+
+let get_obj = function
+  | Obj o -> o
+  | v -> invalid_arg (Printf.sprintf "Jsonlite.get_obj: %s" (to_string v))
+
+let member_string ?default key obj =
+  match (member key obj, default) with
+  | Null, Some d -> d
+  | Null, None -> invalid_arg (Printf.sprintf "Jsonlite: missing field %S" key)
+  | v, _ -> get_string v
+
+let member_int ?default key obj =
+  match (member key obj, default) with
+  | Null, Some d -> d
+  | Null, None -> invalid_arg (Printf.sprintf "Jsonlite: missing field %S" key)
+  | v, _ -> get_int v
+
+let member_bool ?default key obj =
+  match (member key obj, default) with
+  | Null, Some d -> d
+  | Null, None -> invalid_arg (Printf.sprintf "Jsonlite: missing field %S" key)
+  | v, _ -> get_bool v
+
+let member_list key obj =
+  match member key obj with Null -> [] | v -> get_list v

@@ -1,0 +1,106 @@
+open Sim
+
+type mod_def = {
+  mod_name : string;
+  entries : string list;
+  deps : string list;
+  init : Wfd.t -> clock:Sim.Clock.t -> unit;
+}
+
+let registry =
+  [
+    {
+      mod_name = "mm";
+      entries = [ "mmap"; "alloc_buffer"; "acquire_buffer" ];
+      deps = [];
+      init = Libos_mm.init;
+    };
+    {
+      mod_name = "fdtab";
+      entries = [ "open"; "read"; "write"; "close" ];
+      (* fd-backed files live in the FAT image; stdio backs /dev/stdout. *)
+      deps = [ "fatfs"; "stdio" ];
+      init = Libos_fdtab.init;
+    };
+    {
+      mod_name = "fatfs";
+      entries = [ "fatfs_open"; "fatfs_read"; "fatfs_write"; "fatfs_delete" ];
+      deps = [];
+      init = Libos_fatfs.init;
+    };
+    {
+      mod_name = "socket";
+      entries = [ "smol_bind"; "smol_connect"; "smol_accept"; "smol_send"; "smol_recv" ];
+      deps = [];
+      init = Libos_socket.init;
+    };
+    {
+      mod_name = "stdio";
+      entries = [ "host_stdout" ];
+      deps = [];
+      init = Libos_stdio.init;
+    };
+    {
+      mod_name = "time";
+      entries = [ "gettimeofday" ];
+      deps = [];
+      init = Libos_time.init;
+    };
+    {
+      mod_name = "mmap_file_backend";
+      entries = [ "register_file_backend" ];
+      deps = [ "fatfs"; "mm" ];
+      init = Libos_mmap_backend.init;
+    };
+  ]
+
+let find_module name =
+  match List.find_opt (fun m -> String.equal m.mod_name name) registry with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Libos.find_module: unknown module %s" name)
+
+let module_names = List.map (fun m -> m.mod_name) registry
+
+let providing entry =
+  match List.find_opt (fun m -> List.mem entry m.entries) registry with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Libos.providing: no module provides %s" entry)
+
+let rec load_module (wfd : Wfd.t) ~clock name =
+  if not (Wfd.is_loaded wfd name) then begin
+    let m = find_module name in
+    List.iter (load_module wfd ~clock) m.deps;
+    (* dlmopen the module into the WFD's namespace, then run its
+       constructor. *)
+    Clock.advance clock Cost.dlmopen_namespace;
+    Clock.advance clock (Cost.module_load name);
+    m.init wfd ~clock;
+    Hashtbl.replace wfd.Wfd.loaded_modules name ();
+    List.iter (fun e -> Hashtbl.replace wfd.Wfd.entry_table e name) m.entries;
+    Trace.recordf Trace.global ~at:(Clock.now clock) ~category:"loader"
+      ~label:"module-loaded" "wfd%d %s" wfd.Wfd.id name
+  end
+
+let ensure_entry (wfd : Wfd.t) ~clock entry =
+  if Hashtbl.mem wfd.Wfd.entry_table entry then begin
+    wfd.Wfd.entry_hits <- wfd.Wfd.entry_hits + 1;
+    `Fast
+  end
+  else begin
+    wfd.Wfd.entry_misses <- wfd.Wfd.entry_misses + 1;
+    Trace.recordf Trace.global ~at:(Clock.now clock) ~category:"loader"
+      ~label:"entry-miss" "wfd%d %s" wfd.Wfd.id entry;
+    let m = providing entry in
+    load_module wfd ~clock m.mod_name;
+    `Slow
+  end
+
+let load_all (wfd : Wfd.t) ~clock =
+  List.iter (fun m -> load_module wfd ~clock m.mod_name) registry;
+  Clock.advance clock Cost.load_all_binding
+
+let load_all_cost =
+  List.fold_left
+    (fun acc m ->
+      Units.add acc (Units.add Cost.dlmopen_namespace (Cost.module_load m.mod_name)))
+    Cost.load_all_binding registry

@@ -1,0 +1,30 @@
+open Sim
+
+(* Mounting: superblock + FAT + root directory reads. *)
+let mount_cost = Units.us 900
+
+let init (_wfd : Wfd.t) ~clock = Clock.advance clock mount_cost
+
+let fatfs_read (wfd : Wfd.t) ~clock path =
+  match wfd.Wfd.vfs.Fsim.Vfs.read_file ~clock path with
+  | data -> Ok data
+  | exception Not_found -> Error Errno.Enoent
+
+let fatfs_write (wfd : Wfd.t) ~clock path data =
+  wfd.Wfd.vfs.Fsim.Vfs.write_file ~clock path data;
+  Ok (Bytes.length data)
+
+let fatfs_exists (wfd : Wfd.t) path = wfd.Wfd.vfs.Fsim.Vfs.exists path
+
+let fatfs_size (wfd : Wfd.t) path =
+  match wfd.Wfd.vfs.Fsim.Vfs.file_size path with
+  | n -> Ok n
+  | exception Not_found -> Error Errno.Enoent
+
+let fatfs_delete (wfd : Wfd.t) ~clock path =
+  Clock.advance clock (Hostos.Syscall.cost Hostos.Syscall.Close);
+  match wfd.Wfd.vfs.Fsim.Vfs.delete path with
+  | () -> Ok ()
+  | exception Not_found -> Error Errno.Enoent
+
+let fatfs_list (wfd : Wfd.t) = wfd.Wfd.vfs.Fsim.Vfs.list_files ()

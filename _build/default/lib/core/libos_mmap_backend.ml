@@ -1,0 +1,46 @@
+open Sim
+open Mem
+
+type backend = { region_addr : int; region_len : int; content : bytes }
+
+type state = { mutable backends : backend list; mutable served : int }
+
+let key : state Ext.key = Ext.new_key "libos.mmap_file_backend"
+
+let init (wfd : Wfd.t) ~clock =
+  Clock.advance clock (Hostos.Syscall.cost Hostos.Syscall.Userfaultfd);
+  let st = { backends = []; served = 0 } in
+  Ext.set wfd.Wfd.ext key st;
+  (* One handler serves every registered region of the WFD. *)
+  Address_space.set_fault_handler wfd.Wfd.aspace
+    (Some
+       (fun addr ->
+         match
+           List.find_opt
+             (fun b -> addr >= b.region_addr && addr < b.region_addr + b.region_len)
+             st.backends
+         with
+         | None -> ()
+         | Some b ->
+             st.served <- st.served + 1;
+             let vpn = Page.vpn_of_addr addr in
+             let file_off = Page.addr_of_vpn vpn - b.region_addr in
+             let n = Stdlib.min Page.size (Bytes.length b.content - file_off) in
+             if n > 0 then
+               Address_space.populate_page wfd.Wfd.aspace ~vpn
+                 (Bytes.sub b.content file_off n)))
+
+let state wfd = Ext.get_exn wfd.Wfd.ext key
+
+let register_file_backend (wfd : Wfd.t) ~clock ~region_addr ~region_len ~path =
+  let st = state wfd in
+  if not (Address_space.is_mapped wfd.Wfd.aspace region_addr) then Error Errno.Einval
+  else begin
+    match Libos_fatfs.fatfs_read wfd ~clock path with
+    | Error _ as e -> e
+    | Ok content ->
+        st.backends <- { region_addr; region_len; content } :: st.backends;
+        Ok ()
+  end
+
+let faults_served wfd = (state wfd).served

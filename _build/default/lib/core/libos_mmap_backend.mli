@@ -1,0 +1,21 @@
+(** as-libos [mmap_file_backend] module: user-space page-fault handling
+    (Table 2).
+
+    [register_file_backend] ties a mapped memory region to a file
+    managed by as-libos; the first touch of each page is served by a
+    userfaultfd-style handler that reads the backing file and populates
+    the page, charging the calibrated fault-service cost. *)
+
+val init : Wfd.t -> clock:Sim.Clock.t -> unit
+
+val register_file_backend :
+  Wfd.t ->
+  clock:Sim.Clock.t ->
+  region_addr:int ->
+  region_len:int ->
+  path:string ->
+  (unit, Errno.t) result
+(** The region must already be mapped (e.g. via [mmap]); the file must
+    exist in the WFD's filesystem. *)
+
+val faults_served : Wfd.t -> int

@@ -1,0 +1,78 @@
+open Sim
+
+let tap_registry = Hostos.Tap.create ()
+
+type listener = {
+  ip : string;
+  port : int;
+  clock : Clock.t;  (** Server-side service clock. *)
+  mutable pending : Netsim.Tcp.t list;
+}
+
+(* Host-wide listener table: (ip, port) -> listener. *)
+let listeners : (string * int, listener) Hashtbl.t = Hashtbl.create 16
+
+let reset_host () = Hashtbl.reset listeners
+
+type state = { device : Hostos.Tap.device }
+
+let key : state Ext.key = Ext.new_key "libos.socket"
+
+(* Bringing up the smoltcp interface over the fresh TAP. *)
+let stack_up_cost = Units.us 420
+
+let init (wfd : Wfd.t) ~clock =
+  let device = Hostos.Tap.allocate tap_registry in
+  Clock.advance clock device.Hostos.Tap.setup_cost;
+  Clock.advance clock stack_up_cost;
+  wfd.Wfd.tap <- Some device;
+  Ext.set wfd.Wfd.ext key { device }
+
+let wfd_ip (wfd : Wfd.t) =
+  match Ext.get wfd.Wfd.ext key with
+  | Some st -> Some st.device.Hostos.Tap.ip
+  | None -> None
+
+let smol_bind (wfd : Wfd.t) ~clock ~port =
+  match Ext.get wfd.Wfd.ext key with
+  | None -> Error Errno.Enosys
+  | Some st ->
+      let ip = st.device.Hostos.Tap.ip in
+      Clock.advance clock (Hostos.Syscall.cost Hostos.Syscall.Bind);
+      Clock.advance clock (Hostos.Syscall.cost Hostos.Syscall.Listen);
+      if Hashtbl.mem listeners (ip, port) then Error Errno.Eexist
+      else begin
+        let listener = { ip; port; clock; pending = [] } in
+        Hashtbl.replace listeners (ip, port) listener;
+        Ok listener
+      end
+
+let smol_connect (_wfd : Wfd.t) ~clock ~ip ~port =
+  match Hashtbl.find_opt listeners (ip, port) with
+  | None -> Error Errno.Enotconn
+  | Some listener ->
+      let conn =
+        Netsim.Tcp.connect ~client:clock ~server:listener.clock
+          ~link:Netsim.Link.loopback ~client_profile:Netsim.Tcp.smoltcp
+          ~server_profile:Netsim.Tcp.smoltcp
+      in
+      listener.pending <- listener.pending @ [ conn ];
+      Ok conn
+
+let smol_accept listener ~clock =
+  Clock.advance clock (Hostos.Syscall.cost Hostos.Syscall.Accept);
+  match listener.pending with
+  | [] -> Error Errno.Enotconn
+  | conn :: rest ->
+      listener.pending <- rest;
+      Ok conn
+
+let smol_send conn ~clock ~from_client data =
+  ignore clock;
+  (* The TCP layer advances both endpoint clocks itself. *)
+  Netsim.Tcp.send conn ~from_client data;
+  Bytes.length data
+
+let smol_recv conn ~clock ~at_client len =
+  Clock.advance clock (Hostos.Syscall.cost Hostos.Syscall.Recvfrom);
+  Netsim.Tcp.recv conn ~at_client len

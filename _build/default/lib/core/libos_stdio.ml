@@ -1,0 +1,10 @@
+open Sim
+
+let init (_wfd : Wfd.t) ~clock = ignore clock
+
+let host_stdout (wfd : Wfd.t) ~clock data =
+  Clock.advance clock (Hostos.Syscall.cost Hostos.Syscall.Write);
+  Buffer.add_bytes wfd.Wfd.stdout data;
+  Bytes.length data
+
+let output (wfd : Wfd.t) = Buffer.contents wfd.Wfd.stdout

@@ -1,0 +1,12 @@
+(** as-libos [stdio] module: write to the host console (Table 2).
+
+    Output lands in the WFD's stdout buffer (what the host console
+    would show), charged as one host write syscall per call. *)
+
+val init : Wfd.t -> clock:Sim.Clock.t -> unit
+
+val host_stdout : Wfd.t -> clock:Sim.Clock.t -> bytes -> int
+(** Returns the number of bytes written. *)
+
+val output : Wfd.t -> string
+(** Everything this WFD has printed. *)

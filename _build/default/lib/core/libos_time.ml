@@ -1,0 +1,10 @@
+open Sim
+
+(* 2025-03-30T00:00:00Z *)
+let epoch_ns = 1_743_292_800_000_000_000L
+
+let init (_wfd : Wfd.t) ~clock = ignore clock
+
+let gettimeofday (_wfd : Wfd.t) ~clock =
+  Clock.advance clock (Hostos.Syscall.cost Hostos.Syscall.Gettimeofday);
+  Int64.add epoch_ns (Units.to_ns (Clock.now clock))

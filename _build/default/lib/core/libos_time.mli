@@ -1,0 +1,10 @@
+(** as-libos [time] module: the host's Unix timestamp (Table 2). *)
+
+val init : Wfd.t -> clock:Sim.Clock.t -> unit
+
+val gettimeofday : Wfd.t -> clock:Sim.Clock.t -> int64
+(** Nanoseconds of virtual time on the calling thread's clock, offset
+    by the simulation epoch. *)
+
+val epoch_ns : int64
+(** The virtual epoch: 2025-03-30T00:00:00Z (EuroSys '25), in ns. *)

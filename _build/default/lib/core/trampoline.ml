@@ -1,0 +1,32 @@
+open Sim
+open Mem
+
+exception Not_in_user_context
+
+let in_system (thread : Wfd.thread) =
+  Prot.equal_pkru thread.Wfd.pkru Wfd.system_pkru
+
+let enter_system (wfd : Wfd.t) (thread : Wfd.thread) f =
+  if in_system thread then raise Not_in_user_context;
+  (* The trampoline code runs in user context: fetching it must be
+     permitted by the user rights (the pages are in the user
+     partition). *)
+  Address_space.check_exec wfd.Wfd.aspace ~pkru:thread.Wfd.pkru
+    Layout.trampoline.Layout.base;
+  Clock.advance thread.Wfd.clock Cost.trampoline_switch;
+  wfd.Wfd.trampoline_crossings <- wfd.Wfd.trampoline_crossings + 1;
+  thread.Wfd.pkru <- Wfd.system_pkru;
+  let restore () =
+    thread.Wfd.pkru <- thread.Wfd.user_pkru;
+    Clock.advance thread.Wfd.clock Cost.trampoline_switch
+  in
+  match f () with
+  | result ->
+      restore ();
+      result
+  | exception e ->
+      restore ();
+      raise e
+
+let user_access_check (wfd : Wfd.t) (thread : Wfd.thread) addr =
+  ignore (Address_space.load_byte wfd.Wfd.aspace ~pkru:thread.Wfd.pkru addr)

@@ -1,0 +1,26 @@
+(** The as-std trampoline: PKRU switching between user and system
+    contexts (Fig. 9 of the paper).
+
+    Entering as-libos from user code saves the context, switches to the
+    system stack, raises PKRU to the system rights word and jumps;
+    returning performs the reverse.  The switch is modelled faithfully:
+    the thread's PKRU field really changes, so any simulated memory
+    access in the wrong context raises a protection fault — and the
+    trampoline pages themselves must be executable under the user
+    rights, which {!enter_system} checks by fetching from them. *)
+
+exception Not_in_user_context
+(** Raised when entering the system while already in system context —
+    trampolines are not reentrant. *)
+
+val enter_system : Wfd.t -> Wfd.thread -> (unit -> 'a) -> 'a
+(** [enter_system wfd thread f] raises rights, runs [f] (as-libos
+    work), restores user rights, and charges two trampoline switches
+    to the thread's clock.  Exceptions from [f] still restore user
+    rights. *)
+
+val in_system : Wfd.thread -> bool
+
+val user_access_check : Wfd.t -> Wfd.thread -> int -> unit
+(** Probe helper for tests: perform a 1-byte read at an address with
+    the thread's *current* rights. *)

@@ -1,0 +1,329 @@
+open Sim
+
+type kernel = Asstd.ctx -> instance:int -> total:int -> unit
+
+type binding = { kernel : kernel; image : Isa.Image.t option }
+
+let bind ?image kernel = { kernel; image }
+
+type retry_policy = No_retry | Retry_function of int | Retry_workflow of int
+
+type config = {
+  cores : int;
+  features : Wfd.features;
+  vfs : Fsim.Vfs.t option;
+  wasm_runtime : Wasm.Runtime.profile option;
+  dispatch_latency : Units.time;
+  retry : retry_policy;
+  cpu_quota : float option;
+}
+
+let default_config =
+  {
+    cores = 64;
+    features = Wfd.default_features;
+    vfs = None;
+    wasm_runtime = None;
+    dispatch_latency = Units.us 15;
+    retry = No_retry;
+    cpu_quota = None;
+  }
+
+type stage_report = {
+  stage_index : int;
+  instance_durations : Units.time list;
+  stage_makespan : Units.time;
+  fan_in_waits : Units.time list;
+}
+
+type report = {
+  e2e : Units.time;
+  cold_start : Units.time;
+  admission : Units.time;
+  stage_reports : stage_report list;
+  phase_totals : (string * Units.time) list;
+  entry_misses : int;
+  entry_hits : int;
+  trampoline_crossings : int;
+  peak_rss : int;
+  stdout : string;
+  loaded_modules : string list;
+  retries : int;
+}
+
+exception Admission_failed of string
+
+exception Function_failed of { fn : string; attempts : int; error : exn }
+
+(* Recovering a crashed function: discard its heap-unit allocations
+   (linked_list_allocator recovery, 7.1), unmap its slot and restart
+   the thread in a fresh slot. *)
+let function_restart_cost = Units.us 260
+
+(* Blacklist admission: scan (and if needed rewrite) every provided
+   image.  This runs before the workflow is triggered (§6), so its cost
+   is reported separately from the critical path. *)
+let admit_images bindings =
+  let clock = Clock.create () in
+  List.iter
+    (fun (_, b) ->
+      match b.image with
+      | None -> ()
+      | Some image ->
+          let kb = (Isa.Image.code_size image + 1023) / 1024 in
+          Clock.advance clock (Units.scale Cost.image_scan_per_kb (float_of_int kb));
+          (match Isa.Rewriter.admit image with
+          | Ok _ -> ()
+          | Error reason -> raise (Admission_failed reason)))
+    bindings;
+  Clock.now clock
+
+let lookup_binding bindings id =
+  match List.assoc_opt id bindings with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Visor.run: no binding for function %s" id)
+
+let make_fn_ctx config wfd thread language =
+  let ctx = Asstd.make_ctx wfd thread language in
+  match language with
+  | Workflow.Rust -> ctx
+  | Workflow.C | Workflow.Python ->
+      let runtime =
+        match config.wasm_runtime with Some r -> r | None -> Wasm.Runtime.wasmtime
+      in
+      Asstd.with_runtime ctx runtime
+
+(* Module instantiation for a WASM-hosted function after the engine is
+   up (linear memory + linker binding). *)
+let wasm_instantiate_cost = Units.us 300
+
+(* A parallel Python instance needs its own interpreter state; with the
+   runtime files already resident in the WFD this re-init is far
+   cheaper than the first boot (the Fig. 13 "file reading during
+   initialization" bottleneck shows up as instances grow). *)
+let cpython_reinit = Units.ms 300
+
+(* Interpreter reuse by a later sequential function of the same WFD. *)
+let cpython_reuse = Units.ms 25
+
+type runtime_state = {
+  mutable engine_started : bool;
+  mutable python_booted : bool;
+}
+
+(* Runtime init charged before a WASM-hosted function's first
+   instruction.  The engine (and for Python the CPython runtime) lives
+   in the WFD and is shared: only the first function pays the full
+   boot. *)
+let runtime_init_cost config state language ~instance =
+  let runtime =
+    match config.wasm_runtime with Some r -> r | None -> Wasm.Runtime.wasmtime
+  in
+  match language with
+  | Workflow.Rust -> Units.zero
+  | Workflow.C | Workflow.Python ->
+      let engine =
+        if state.engine_started then Units.zero
+        else begin
+          state.engine_started <- true;
+          runtime.Wasm.Runtime.startup
+        end
+      in
+      let python =
+        match language with
+        | Workflow.Python ->
+            if not state.python_booted then begin
+              state.python_booted <- true;
+              Wasm.Runtime.cpython_init
+            end
+            else if instance > 0 then cpython_reinit
+            else cpython_reuse
+        | Workflow.Rust | Workflow.C -> Units.zero
+      in
+      Units.add engine (Units.add wasm_instantiate_cost python)
+
+let run_once ~config ~workflow ~bindings () =
+  (* Check bindings exist up front. *)
+  List.iter
+    (fun n -> ignore (lookup_binding bindings n.Workflow.node_id))
+    workflow.Workflow.nodes;
+  let admission = admit_images bindings in
+  let proc_table = Hostos.Process.create_table () in
+  let clock = Clock.create () in
+  let t0 = Clock.now clock in
+  (* (1) The watchdog receives the invocation event. *)
+  Clock.advance clock Cost.visor_dispatch;
+  (* as-visor instantiates the WFD for the workflow. *)
+  let wfd =
+    Wfd.create ~features:config.features ?vfs:config.vfs ~proc_table ~clock
+      ~workflow_name:workflow.Workflow.wf_name ()
+  in
+  Clock.advance clock Cost.entry_table_init;
+  Trace.recordf Trace.global ~at:(Clock.now clock) ~category:"visor" ~label:"wfd-created"
+    "wfd%d for %s" wfd.Wfd.id workflow.Workflow.wf_name;
+  if not config.features.Wfd.on_demand then Libos.load_all wfd ~clock;
+  let runtime_state = { engine_started = false; python_booted = false } in
+  let retries = ref 0 in
+  let cold_start_mark = ref None in
+  let phase_totals : (string, Units.time) Hashtbl.t = Hashtbl.create 8 in
+  let peak_rss = ref 0 in
+  let stage_reports = ref [] in
+  let stage_ready = ref (Clock.now clock) in
+  let run_stage stage_index nodes =
+    (* The orchestrator dispatches every instance of every node of the
+       stage as parallel threads. *)
+    let tasks =
+      List.concat_map
+        (fun node ->
+          let b = lookup_binding bindings node.Workflow.node_id in
+          List.init node.Workflow.instances (fun i -> (node, b, i)))
+        nodes
+    in
+    let dispatch = ref !stage_ready in
+    let durations =
+      List.map
+        (fun ((node : Workflow.node), b, i) ->
+          dispatch := Units.add !dispatch config.dispatch_latency;
+          let start = !dispatch in
+          let spawn_clock = Clock.create ~at:start () in
+          (match config.cpu_quota with
+          | Some _ -> Clock.advance spawn_clock Hostos.Cgroup.setup_cost
+          | None -> ());
+          let thread = Wfd.spawn_function_thread wfd ~clock:spawn_clock in
+          Clock.sync thread.Wfd.clock spawn_clock;
+          Clock.advance thread.Wfd.clock
+            (runtime_init_cost config runtime_state node.Workflow.language ~instance:i);
+          (match !cold_start_mark with
+          | None -> cold_start_mark := Some (Clock.now thread.Wfd.clock)
+          | Some _ -> ());
+          (* Run the kernel; a crash is contained by MPK fault
+             isolation, so under Retry_function the orchestrator
+             recovers the function's heap and restarts just this
+             function (3.1). *)
+          let max_attempts =
+            match config.retry with
+            | Retry_function n -> Stdlib.max 1 n
+            | No_retry | Retry_workflow _ -> 1
+          in
+          let rec attempt thread n =
+            let ctx = make_fn_ctx config wfd thread node.Workflow.language in
+            match b.kernel ctx ~instance:i ~total:node.Workflow.instances with
+            | () -> (thread, ctx)
+            | exception error ->
+                if n >= max_attempts then
+                  raise
+                    (Function_failed
+                       { fn = node.Workflow.node_id; attempts = n; error })
+                else begin
+                  incr retries;
+                  (* Recover the crashed function's heap unit and
+                     restart it in the same slot. *)
+                  let fresh =
+                    Wfd.respawn_function_thread wfd ~slot:thread.Wfd.fn_slot
+                      ~clock:thread.Wfd.clock
+                  in
+                  Clock.advance fresh.Wfd.clock function_restart_cost;
+                  attempt fresh (n + 1)
+                end
+          in
+          let final_thread, ctx = attempt thread 1 in
+          Hashtbl.iter
+            (fun name t ->
+              let prev =
+                match Hashtbl.find_opt phase_totals name with
+                | Some v -> v
+                | None -> Units.zero
+              in
+              Hashtbl.replace phase_totals name (Units.add prev t))
+            ctx.Asstd.phases;
+          let on_cpu = Clock.elapsed_since final_thread.Wfd.clock start in
+          match config.cpu_quota with
+          | Some q -> Hostos.Cgroup.stretch (Hostos.Cgroup.create ~quota:q) on_cpu
+          | None -> on_cpu)
+        tasks
+    in
+    let placements =
+      Hostos.Sched.schedule ~cores:config.cores ~ready:!stage_ready
+        ~dispatch_latency:config.dispatch_latency durations
+    in
+    let makespan = Hostos.Sched.makespan placements in
+    peak_rss := Stdlib.max !peak_rss (Hostos.Process.total_rss proc_table);
+    stage_reports :=
+      {
+        stage_index;
+        instance_durations = durations;
+        stage_makespan = Units.sub makespan !stage_ready;
+        fan_in_waits = Hostos.Sched.fan_in_wait placements;
+      }
+      :: !stage_reports;
+    Trace.recordf Trace.global ~at:makespan ~category:"visor" ~label:"stage-done"
+      "wfd%d stage %d (%d instances)" wfd.Wfd.id stage_index (List.length durations);
+    stage_ready := makespan
+  in
+  List.iteri run_stage (Workflow.stages workflow);
+  (* (7) after the last function completes, as-visor destroys the WFD
+     and reclaims the resources. *)
+  let finish = !stage_ready in
+  let stdout = Libos_stdio.output wfd in
+  let loaded_modules =
+    Hashtbl.fold (fun k () acc -> k :: acc) wfd.Wfd.loaded_modules []
+    |> List.sort compare
+  in
+  Trace.recordf Trace.global ~at:finish ~category:"visor" ~label:"wfd-destroyed"
+    "wfd%d" wfd.Wfd.id;
+  let result =
+    {
+      e2e = Units.sub finish t0;
+      cold_start =
+        (match !cold_start_mark with
+        | Some m -> Units.sub m t0
+        | None -> Units.sub (Clock.now clock) t0);
+      admission;
+      stage_reports = List.rev !stage_reports;
+      phase_totals =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) phase_totals []
+        |> List.sort compare;
+      entry_misses = wfd.Wfd.entry_misses;
+      entry_hits = wfd.Wfd.entry_hits;
+      trampoline_crossings = wfd.Wfd.trampoline_crossings;
+      peak_rss = !peak_rss;
+      stdout;
+      loaded_modules;
+      retries = !retries;
+    }
+  in
+  Wfd.destroy wfd;
+  result
+
+let cold_start_only ?(config = default_config) () =
+  let noop = bind (fun _ctx ~instance:_ ~total:_ -> ()) in
+  let workflow =
+    Workflow.create_exn ~name:"no-ops"
+      ~nodes:
+        [
+          {
+            Workflow.node_id = "noop";
+            language = Workflow.Rust;
+            instances = 1;
+            required_modules = [];
+          };
+        ]
+      ~edges:[]
+  in
+  let report = run_once ~config ~workflow ~bindings:[ ("noop", noop) ] () in
+  report.cold_start
+
+
+let run ?(config = default_config) ~workflow ~bindings () =
+  match config.retry with
+  | No_retry | Retry_function _ -> run_once ~config ~workflow ~bindings ()
+  | Retry_workflow max_attempts ->
+      (* Idempotent functions: a failed run is retried in a brand new
+         WFD; inputs are still staged on the (shared) disk image. *)
+      let rec attempt n =
+        match run_once ~config ~workflow ~bindings () with
+        | report -> { report with retries = report.retries + (n - 1) }
+        | exception Function_failed _ when n < Stdlib.max 1 max_attempts ->
+            attempt (n + 1)
+      in
+      attempt 1

@@ -1,0 +1,89 @@
+(** as-visor: the global runtime layer (§3.3).
+
+    Owns workflow execution end to end: the watchdog receives the
+    invocation event, the orchestrator instantiates a WFD, spawns one
+    thread per function instance stage by stage (threads are cloned
+    Linux threads scheduled on the host's cores), and destroys the WFD
+    when the workflow completes.  Before anything runs, function images
+    go through blacklist admission (§6). *)
+
+type kernel = Asstd.ctx -> instance:int -> total:int -> unit
+(** A user function body: receives its as-std context plus its parallel
+    instance coordinates. *)
+
+type binding = { kernel : kernel; image : Isa.Image.t option }
+
+val bind : ?image:Isa.Image.t -> kernel -> binding
+
+type retry_policy =
+  | No_retry
+  | Retry_function of int
+      (** Restart only the failed function, up to n attempts total
+          (§3.1: possible when as-libos is unaffected and the
+          intermediate data is intact — function heaps are recovered
+          per heap unit). *)
+  | Retry_workflow of int
+      (** Restart the whole workflow in a fresh WFD, up to n attempts
+          total (idempotent functions). *)
+
+type config = {
+  cores : int;  (** Host CPUs available to this WFD. *)
+  features : Wfd.features;
+  vfs : Fsim.Vfs.t option;  (** Pre-staged disk image (inputs). *)
+  wasm_runtime : Wasm.Runtime.profile option;
+      (** Runtime for C/Python functions; default Wasmtime. *)
+  dispatch_latency : Sim.Units.time;  (** Orchestrator per-thread dispatch. *)
+  retry : retry_policy;
+  cpu_quota : float option;
+      (** §9 resource allocation: cgroup CPU bandwidth per function
+          thread (0 < q <= 1); [None] = unlimited. *)
+}
+
+val default_config : config
+
+type stage_report = {
+  stage_index : int;
+  instance_durations : Sim.Units.time list;
+  stage_makespan : Sim.Units.time;
+  fan_in_waits : Sim.Units.time list;
+}
+
+type report = {
+  e2e : Sim.Units.time;  (** Trigger to workflow completion. *)
+  cold_start : Sim.Units.time;
+      (** Trigger to first user instruction (the Fig. 10 metric). *)
+  admission : Sim.Units.time;
+      (** Image scanning/rewriting time (off the critical path). *)
+  stage_reports : stage_report list;
+  phase_totals : (string * Sim.Units.time) list;
+      (** Summed per-phase time across all function threads (Fig. 15). *)
+  entry_misses : int;
+  entry_hits : int;
+  trampoline_crossings : int;
+  peak_rss : int;
+  stdout : string;
+  loaded_modules : string list;
+  retries : int;  (** Function or workflow restarts performed. *)
+}
+
+exception Admission_failed of string
+(** An image contained non-rewritable blacklisted instructions. *)
+
+exception Function_failed of { fn : string; attempts : int; error : exn }
+(** A user function kept failing after the configured retries.  The
+    failure never escapes the WFD: MPK fault isolation means other
+    WFDs (and the visor itself) are unaffected. *)
+
+val run :
+  ?config:config ->
+  workflow:Workflow.t ->
+  bindings:(string * binding) list ->
+  unit ->
+  report
+(** Execute the workflow once in a fresh WFD.  Raises
+    [Invalid_argument] if a node has no binding, {!Admission_failed} on
+    a rejected image. *)
+
+val cold_start_only : ?config:config -> unit -> Sim.Units.time
+(** The no-ops cold-start measurement: trigger to first user
+    instruction of an empty function. *)

@@ -1,0 +1,158 @@
+open Sim
+open Mem
+
+type features = { on_demand : bool; ref_passing : bool; ifi : bool }
+
+let default_features = { on_demand = true; ref_passing = true; ifi = false }
+
+type thread = {
+  fn_slot : int;
+  clock : Clock.t;
+  mutable pkru : Prot.pkru;
+  user_pkru : Prot.pkru;
+}
+
+type t = {
+  id : int;
+  workflow_name : string;
+  features : features;
+  aspace : Address_space.t;
+  buffer_alloc : Alloc.t;
+  loaded_modules : (string, unit) Hashtbl.t;
+  entry_table : (string, string) Hashtbl.t;
+  ext : Ext.t;
+  vfs : Fsim.Vfs.t;
+  mutable tap : Hostos.Tap.device option;
+  stdout : Buffer.t;
+  pid : Hostos.Process.pid;
+  proc_table : Hostos.Process.t;
+  mutable next_fn_slot : int;
+  mutable destroyed : bool;
+  mutable entry_misses : int;
+  mutable entry_hits : int;
+  mutable trampoline_crossings : int;
+}
+
+let system_key = Prot.key_of_int 1
+let shared_user_key = Prot.key_of_int 2
+let buffer_key = Prot.key_of_int 3
+
+(* IFI keys rotate through 4..15; beyond twelve isolated functions keys
+   are reused (hardware has only 16). *)
+let ifi_key_base = 4
+let ifi_key_count = 12
+
+let function_key t slot =
+  if t.features.ifi then Prot.key_of_int (ifi_key_base + (slot mod ifi_key_count))
+  else shared_user_key
+
+let system_pkru = Prot.pkru_allow_all
+
+let user_pkru_for t slot =
+  Prot.pkru_deny_all_except [ function_key t slot; buffer_key; Prot.default_key ]
+
+let next_id = ref 0
+
+let create ?(features = default_features) ?vfs ~proc_table ~clock ~workflow_name () =
+  incr next_id;
+  let aspace = Address_space.create () in
+  (* System partition: visor and libos code, both on the system key.
+     The libos heap region is *address space* for AsBuffers; its pages
+     are mapped per allocation. *)
+  Address_space.map aspace ~addr:Layout.visor_code.Layout.base
+    ~len:Layout.visor_code.Layout.size ~perm:Page.rx ~pkey:system_key ();
+  Address_space.map aspace ~addr:Layout.libos_code.Layout.base
+    ~len:Layout.libos_code.Layout.size ~perm:Page.rx ~pkey:system_key ();
+  (* Trampoline pages: user-executable (they run in user context before
+     raising rights). *)
+  Address_space.map aspace ~addr:Layout.trampoline.Layout.base
+    ~len:Layout.trampoline.Layout.size ~perm:Page.rx ~pkey:Prot.default_key ();
+  let vfs = match vfs with Some v -> v | None -> Fsim.Vfs.fresh_fat () in
+  let pid = Hostos.Process.spawn_process proc_table ~at:(Clock.now clock) ~name:workflow_name () in
+  (* The mapped system partition (visor + libos code, trampolines) is
+     resident from the start. *)
+  Hostos.Process.charge_rss proc_table pid
+    (Layout.visor_code.Layout.size + Layout.libos_code.Layout.size
+    + Layout.trampoline.Layout.size);
+  Clock.advance clock Cost.wfd_create;
+  Clock.advance clock (Hostos.Syscall.cost Hostos.Syscall.Pkey_alloc);
+  Clock.advance clock (Hostos.Syscall.cost Hostos.Syscall.Pkey_mprotect);
+  {
+    id = !next_id;
+    workflow_name;
+    features;
+    aspace;
+    buffer_alloc =
+      Alloc.create ~base:Layout.libos_heap.Layout.base ~size:Layout.libos_heap.Layout.size ();
+    loaded_modules = Hashtbl.create 8;
+    entry_table = Hashtbl.create 16;
+    ext = Ext.create ();
+    vfs;
+    tap = None;
+    stdout = Buffer.create 256;
+    pid;
+    proc_table;
+    next_fn_slot = 0;
+    destroyed = false;
+    entry_misses = 0;
+    entry_hits = 0;
+    trampoline_crossings = 0;
+  }
+
+let kib n = n * 1024
+let mib n = n * 1024 * 1024
+
+(* Map a fresh working set for a slot: code, an initial heap arena and
+   the thread stack.  Exclusive segments per function (§6(1)). *)
+let map_slot t slot =
+  let key = function_key t slot in
+  let code = Layout.function_code slot in
+  let heap = Layout.function_heap slot in
+  let stack = Layout.function_stack slot in
+  Address_space.map t.aspace ~addr:code.Layout.base ~len:(kib 256) ~perm:Page.rx
+    ~pkey:key ();
+  Address_space.map t.aspace ~addr:heap.Layout.base ~len:(mib 1) ~perm:Page.rw
+    ~pkey:key ();
+  Address_space.map t.aspace ~addr:stack.Layout.base ~len:(kib 512) ~perm:Page.rw
+    ~pkey:key ();
+  Hostos.Process.charge_rss t.proc_table t.pid (kib 256 + mib 1 + kib 512)
+
+let clone_into_slot t slot ~clock =
+  (* The orchestrator clones the thread; the new thread starts once the
+     clone returns and its runtime glue is set up. *)
+  let main = Hostos.Process.main_thread t.proc_table t.pid in
+  Clock.advance_to main.Hostos.Process.clock (Clock.now clock);
+  let th = Hostos.Process.clone_thread t.proc_table t.pid in
+  Clock.advance th.Hostos.Process.clock Cost.function_thread_start;
+  let user_pkru = user_pkru_for t slot in
+  { fn_slot = slot; clock = th.Hostos.Process.clock; pkru = user_pkru; user_pkru }
+
+let spawn_function_thread t ~clock =
+  if t.destroyed then invalid_arg "Wfd.spawn_function_thread: WFD destroyed";
+  let slot = t.next_fn_slot in
+  t.next_fn_slot <- slot + 1;
+  map_slot t slot;
+  clone_into_slot t slot ~clock
+
+let respawn_function_thread t ~slot ~clock =
+  if t.destroyed then invalid_arg "Wfd.respawn_function_thread: WFD destroyed";
+  if slot < 0 || slot >= t.next_fn_slot then
+    invalid_arg "Wfd.respawn_function_thread: slot was never spawned";
+  (* Drop every mapping in the slot (heap-unit recovery): the crashed
+     function's heap, stack, code and any anonymous mmaps vanish. *)
+  let region = Layout.function_slot slot in
+  Address_space.unmap t.aspace ~addr:region.Layout.base ~len:region.Layout.size;
+  Hostos.Process.release_rss t.proc_table t.pid (kib 256 + mib 1 + kib 512);
+  map_slot t slot;
+  clone_into_slot t slot ~clock
+
+let destroy t =
+  if not t.destroyed then begin
+    t.destroyed <- true;
+    (match t.tap with Some _ -> t.tap <- None | None -> ());
+    Hostos.Process.exit_process t.proc_table t.pid
+  end
+
+let mapped_bytes t = Address_space.mapped_bytes t.aspace
+
+let is_loaded t name = Hashtbl.mem t.loaded_modules name

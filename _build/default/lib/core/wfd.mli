@@ -1,0 +1,96 @@
+(** The WorkFlow Domain (WFD): one address space carrying every entity a
+    workflow needs — user functions, as-libos, heap memory and system
+    resources (§3.1).
+
+    The address space is split by MPK into a system partition (as-visor
+    and as-libos, key {!system_key}) and a user partition (function
+    slots and trampoline pages).  Functions of the same tenant share
+    one user key by default; enabling inter-function isolation (IFI)
+    gives every function slot its own key (§3.3). *)
+
+type features = {
+  on_demand : bool;  (** On-demand as-libos loading (§4). *)
+  ref_passing : bool;  (** AsBuffer reference passing (§5). *)
+  ifi : bool;  (** Per-function MPK keys. *)
+}
+
+val default_features : features
+
+type thread = {
+  fn_slot : int;  (** Which function slot this thread executes. *)
+  clock : Sim.Clock.t;
+  mutable pkru : Mem.Prot.pkru;  (** Current rights of this thread. *)
+  user_pkru : Mem.Prot.pkru;  (** Rights while in user code. *)
+}
+
+type t = {
+  id : int;
+  workflow_name : string;
+  features : features;
+  aspace : Mem.Address_space.t;
+  buffer_alloc : Mem.Alloc.t;  (** AsBuffer heap in the libos-heap region. *)
+  loaded_modules : (string, unit) Hashtbl.t;
+  entry_table : (string, string) Hashtbl.t;  (** entry name -> module. *)
+  ext : Ext.t;  (** Per-module state (fd tables, slot maps, ...). *)
+  vfs : Fsim.Vfs.t;  (** The WFD's virtual disk image. *)
+  mutable tap : Hostos.Tap.device option;
+  stdout : Buffer.t;  (** Host console output of this WFD. *)
+  pid : Hostos.Process.pid;
+  proc_table : Hostos.Process.t;
+  mutable next_fn_slot : int;
+  mutable destroyed : bool;
+  (* Counters *)
+  mutable entry_misses : int;
+  mutable entry_hits : int;
+  mutable trampoline_crossings : int;
+}
+
+(** {1 Keys} *)
+
+val system_key : Mem.Prot.key
+val shared_user_key : Mem.Prot.key
+val buffer_key : Mem.Prot.key
+
+val function_key : t -> int -> Mem.Prot.key
+(** Key for a function slot: the shared user key, or a per-slot key
+    under IFI. *)
+
+val system_pkru : Mem.Prot.pkru
+(** Rights while executing as-visor / as-libos code: everything. *)
+
+val user_pkru_for : t -> int -> Mem.Prot.pkru
+(** Rights for user code in a given slot: its own key, the buffer key
+    and the trampoline pages — nothing else. *)
+
+(** {1 Lifecycle} *)
+
+val create :
+  ?features:features ->
+  ?vfs:Fsim.Vfs.t ->
+  proc_table:Hostos.Process.t ->
+  clock:Sim.Clock.t ->
+  workflow_name:string ->
+  unit ->
+  t
+(** Builds the address space (system regions + trampoline), allocates
+    protection keys and charges {!Cost.wfd_create} to [clock].  The
+    default disk is a fresh FAT image. *)
+
+val spawn_function_thread : t -> clock:Sim.Clock.t -> thread
+(** Clone a thread into the next free function slot, map its code,
+    heap and stack with the slot's key, and charge clone +
+    {!Cost.function_thread_start}.  The thread's clock starts at
+    [clock]'s instant. *)
+
+val respawn_function_thread : t -> slot:int -> clock:Sim.Clock.t -> thread
+(** Heap-unit crash recovery (§3.1 / §7.1): unmap everything in the
+    function's slot (its heap allocations die with it), remap fresh
+    code/heap/stack and clone a new thread executing in the {e same}
+    slot.  Intermediate-data buffers live in the libos heap and are
+    untouched. *)
+
+val destroy : t -> unit
+(** Unmap everything and reclaim resources.  Idempotent. *)
+
+val mapped_bytes : t -> int
+val is_loaded : t -> string -> bool

@@ -1,0 +1,1 @@
+lib/fs/blockdev.ml: Bytes Hashtbl Printf Stdlib

@@ -1,0 +1,1 @@
+lib/fs/extfs.ml: Blockdev Buffer Bytes Clock Hashtbl List Mem_free Sim Stdlib Units

@@ -1,0 +1,1 @@
+lib/fs/extfs.mli: Blockdev Sim

@@ -1,0 +1,1 @@
+lib/fs/fat.ml: Array Blockdev Buffer Bytes Clock Hashtbl List Printf Sim Stdlib String Units

@@ -1,0 +1,1 @@
+lib/fs/fat.mli: Blockdev Sim

@@ -1,0 +1,1 @@
+lib/fs/mem_free.ml: List Stdlib

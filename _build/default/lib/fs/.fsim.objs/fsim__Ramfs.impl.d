@@ -1,0 +1,1 @@
+lib/fs/ramfs.ml: Bytes Clock Hashtbl List Sim Units

@@ -1,0 +1,1 @@
+lib/fs/vfs.ml: Blockdev Extfs Fat Ramfs Sim

@@ -1,0 +1,1 @@
+lib/fs/vfs.mli: Extfs Fat Ramfs Sim

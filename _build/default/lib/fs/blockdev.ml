@@ -1,0 +1,75 @@
+let sector_size = 512
+
+(* Sparse storage: only written sectors are materialised, so large
+   virtual disks (the 2 GiB default images) cost memory proportional to
+   live data, the way a sparse qcow/raw file does on a host. *)
+type t = {
+  store : (int, Bytes.t) Hashtbl.t;
+  nsectors : int;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create ~sectors =
+  if sectors <= 0 then invalid_arg "Blockdev.create: sectors must be positive";
+  { store = Hashtbl.create 1024; nsectors = sectors; reads = 0; writes = 0 }
+
+let sectors t = t.nsectors
+let size_bytes t = t.nsectors * sector_size
+
+let check t sector =
+  if sector < 0 || sector >= t.nsectors then
+    invalid_arg (Printf.sprintf "Blockdev: sector %d out of range" sector)
+
+let sector_data t sector =
+  match Hashtbl.find_opt t.store sector with
+  | Some b -> b
+  | None -> Bytes.make sector_size '\000'
+
+let read_sector t sector =
+  check t sector;
+  t.reads <- t.reads + 1;
+  Bytes.copy (sector_data t sector)
+
+let write_sector t sector b =
+  check t sector;
+  t.writes <- t.writes + 1;
+  let stored =
+    match Hashtbl.find_opt t.store sector with
+    | Some existing -> existing
+    | None ->
+        let fresh = Bytes.make sector_size '\000' in
+        Hashtbl.replace t.store sector fresh;
+        fresh
+  in
+  Bytes.blit b 0 stored 0 (Stdlib.min (Bytes.length b) sector_size)
+
+let read_range t ~sector ~count =
+  check t sector;
+  if count > 0 then check t (sector + count - 1);
+  t.reads <- t.reads + count;
+  let out = Bytes.create (count * sector_size) in
+  for i = 0 to count - 1 do
+    Bytes.blit (sector_data t (sector + i)) 0 out (i * sector_size) sector_size
+  done;
+  out
+
+let write_range t ~sector b =
+  let len = Bytes.length b in
+  let count = (len + sector_size - 1) / sector_size in
+  check t sector;
+  if count > 0 then check t (sector + count - 1);
+  t.writes <- t.writes + count;
+  for i = 0 to count - 1 do
+    let off = i * sector_size in
+    let n = Stdlib.min sector_size (len - off) in
+    let chunk = Bytes.make sector_size '\000' in
+    Bytes.blit b off chunk 0 n;
+    (* Preserve the tail of a partially overwritten last sector. *)
+    if n < sector_size then
+      Bytes.blit (sector_data t (sector + i)) n chunk n (sector_size - n);
+    Hashtbl.replace t.store (sector + i) chunk
+  done
+
+let reads t = t.reads
+let writes t = t.writes

@@ -1,0 +1,25 @@
+(** Sector-addressed virtual block device backing the filesystem
+    implementations.  Mechanically exact storage; timing is charged by
+    the filesystem layer, which knows its own access pattern. *)
+
+val sector_size : int
+(** 512 bytes. *)
+
+type t
+
+val create : sectors:int -> t
+val sectors : t -> int
+val size_bytes : t -> int
+
+val read_sector : t -> int -> bytes
+(** Fresh copy of one sector.  Raises [Invalid_argument] out of range. *)
+
+val write_sector : t -> int -> bytes -> unit
+(** [bytes] may be shorter than a sector; the rest is untouched. *)
+
+val read_range : t -> sector:int -> count:int -> bytes
+val write_range : t -> sector:int -> bytes -> unit
+
+val reads : t -> int
+val writes : t -> int
+(** Sector-op counters for tests. *)

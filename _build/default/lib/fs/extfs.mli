@@ -1,0 +1,19 @@
+(** Extent-based filesystem — the Linux ext4 stand-in.
+
+    Files are stored as a handful of contiguous extents allocated
+    greedily, so reads walk extents (few lookups) rather than a
+    per-cluster chain.  Calibrated to Table 4: read 1351 MB/s, write
+    1282 MB/s. *)
+
+type t
+
+val format : Blockdev.t -> t
+val write_file : t -> ?clock:Sim.Clock.t -> string -> bytes -> unit
+val read_file : t -> ?clock:Sim.Clock.t -> string -> bytes
+val file_size : t -> string -> int
+val exists : t -> string -> bool
+val delete : t -> string -> unit
+val list_files : t -> string list
+val extent_count : t -> string -> int
+(** Number of extents of a file (tests: sequential writes on a fresh
+    device should need exactly one). *)

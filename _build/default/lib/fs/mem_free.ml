@@ -1,0 +1,61 @@
+type hole = { start : int; count : int }
+
+type t = { mutable holes : hole list }
+
+let create ~start ~count =
+  if count <= 0 then invalid_arg "Mem_free.create: count must be positive";
+  { holes = [ { start; count } ] }
+
+let take t n =
+  if n <= 0 then invalid_arg "Mem_free.take: n must be positive";
+  (* Prefer the first hole large enough for the whole request; fall back
+     to the largest hole (splitting the request into extents). *)
+  let rec pick_whole = function
+    | [] -> None
+    | h :: _ when h.count >= n -> Some h
+    | _ :: rest -> pick_whole rest
+  in
+  let chosen =
+    match pick_whole t.holes with
+    | Some h -> Some h
+    | None -> begin
+        match t.holes with
+        | [] -> None
+        | first :: rest ->
+            Some (List.fold_left (fun best h -> if h.count > best.count then h else best) first rest)
+      end
+  in
+  match chosen with
+  | None -> None
+  | Some h ->
+      let granted = Stdlib.min n h.count in
+      let rec replace = function
+        | [] -> []
+        | x :: rest when x.start = h.start ->
+            if granted = h.count then rest
+            else { start = h.start + granted; count = h.count - granted } :: rest
+        | x :: rest -> x :: replace rest
+      in
+      t.holes <- replace t.holes;
+      Some (h.start, granted)
+
+let give t ~start ~count =
+  let hole = { start; count } in
+  let rec insert = function
+    | [] -> [ hole ]
+    | h :: rest when hole.start + hole.count < h.start -> hole :: h :: rest
+    | h :: rest when hole.start + hole.count = h.start ->
+        { start = hole.start; count = hole.count + h.count } :: rest
+    | h :: rest when h.start + h.count = hole.start ->
+        merge { start = h.start; count = h.count + hole.count } rest
+    | h :: rest -> h :: insert rest
+  and merge m = function
+    | h :: rest when m.start + m.count = h.start ->
+        { start = m.start; count = m.count + h.count } :: rest
+    | rest -> m :: rest
+  in
+  t.holes <- insert t.holes
+
+let free_sectors t = List.fold_left (fun acc h -> acc + h.count) 0 t.holes
+
+let hole_count t = List.length t.holes

@@ -1,0 +1,17 @@
+(** Sector-range free-space tracker for {!Extfs}: address-ordered holes
+    with greedy contiguous allocation. *)
+
+type t
+
+val create : start:int -> count:int -> t
+
+val take : t -> int -> (int * int) option
+(** [take t n] removes up to [n] contiguous sectors from the first hole,
+    preferring one that fits entirely; returns [(start, count)] with
+    [count <= n], or [None] when empty. *)
+
+val give : t -> start:int -> count:int -> unit
+(** Return a range, coalescing with neighbours. *)
+
+val free_sectors : t -> int
+val hole_count : t -> int

@@ -1,0 +1,36 @@
+open Sim
+
+type t = { files : (string, bytes) Hashtbl.t }
+
+(* Page-cache-speed copies; no allocation/chain overhead to speak of. *)
+let bw = 8.2e9
+let per_op = Units.ns 600
+
+let create () = { files = Hashtbl.create 64 }
+
+let charge clock len =
+  match clock with
+  | Some c -> Clock.advance c (Units.add per_op (Units.time_for_bytes ~bytes_per_sec:bw len))
+  | None -> ()
+
+let write_file t ?clock path data =
+  Hashtbl.replace t.files path (Bytes.copy data);
+  charge clock (Bytes.length data)
+
+let find t path =
+  match Hashtbl.find_opt t.files path with Some b -> b | None -> raise Not_found
+
+let read_file t ?clock path =
+  let data = find t path in
+  charge clock (Bytes.length data);
+  Bytes.copy data
+
+let file_size t path = Bytes.length (find t path)
+
+let exists t path = Hashtbl.mem t.files path
+
+let delete t path =
+  ignore (find t path);
+  Hashtbl.remove t.files path
+
+let list_files t = Hashtbl.fold (fun k _ acc -> k :: acc) t.files [] |> List.sort compare

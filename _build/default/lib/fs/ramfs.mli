@@ -1,0 +1,13 @@
+(** In-memory filesystem (ramfs).  Used by the Fig. 16 experiment to
+    remove disk-format differences: transfers run at memory bandwidth
+    with negligible metadata cost. *)
+
+type t
+
+val create : unit -> t
+val write_file : t -> ?clock:Sim.Clock.t -> string -> bytes -> unit
+val read_file : t -> ?clock:Sim.Clock.t -> string -> bytes
+val file_size : t -> string -> int
+val exists : t -> string -> bool
+val delete : t -> string -> unit
+val list_files : t -> string list

@@ -1,0 +1,51 @@
+type t = {
+  name : string;
+  write_file : ?clock:Sim.Clock.t -> string -> bytes -> unit;
+  read_file : ?clock:Sim.Clock.t -> string -> bytes;
+  file_size : string -> int;
+  exists : string -> bool;
+  delete : string -> unit;
+  list_files : unit -> string list;
+}
+
+let of_fat fs =
+  {
+    name = "fatfs";
+    write_file = (fun ?clock path data -> Fat.write_file fs ?clock path data);
+    read_file = (fun ?clock path -> Fat.read_file fs ?clock path);
+    file_size = Fat.file_size fs;
+    exists = Fat.exists fs;
+    delete = Fat.delete fs;
+    list_files = (fun () -> Fat.list_files fs);
+  }
+
+let of_extfs fs =
+  {
+    name = "extfs";
+    write_file = (fun ?clock path data -> Extfs.write_file fs ?clock path data);
+    read_file = (fun ?clock path -> Extfs.read_file fs ?clock path);
+    file_size = Extfs.file_size fs;
+    exists = Extfs.exists fs;
+    delete = Extfs.delete fs;
+    list_files = (fun () -> Extfs.list_files fs);
+  }
+
+let of_ramfs fs =
+  {
+    name = "ramfs";
+    write_file = (fun ?clock path data -> Ramfs.write_file fs ?clock path data);
+    read_file = (fun ?clock path -> Ramfs.read_file fs ?clock path);
+    file_size = Ramfs.file_size fs;
+    exists = Ramfs.exists fs;
+    delete = Ramfs.delete fs;
+    list_files = (fun () -> Ramfs.list_files fs);
+  }
+
+let sectors_of_mib mib = mib * 1024 * 1024 / Blockdev.sector_size
+
+let fresh_fat ?(mib = 2048) () = of_fat (Fat.format (Blockdev.create ~sectors:(sectors_of_mib mib)))
+
+let fresh_extfs ?(mib = 2048) () =
+  of_extfs (Extfs.format (Blockdev.create ~sectors:(sectors_of_mib mib)))
+
+let fresh_ramfs () = of_ramfs (Ramfs.create ())

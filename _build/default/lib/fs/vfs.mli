@@ -1,0 +1,28 @@
+(** Uniform filesystem interface over {!Fat}, {!Extfs} and {!Ramfs}.
+
+    The as-libos fatfs module and the baseline platforms are written
+    against this interface so a workflow can be re-run on a different
+    backing filesystem (the Fig. 16 ramfs experiment) without touching
+    workload code. *)
+
+type t = {
+  name : string;
+  write_file : ?clock:Sim.Clock.t -> string -> bytes -> unit;
+  read_file : ?clock:Sim.Clock.t -> string -> bytes;
+  file_size : string -> int;
+  exists : string -> bool;
+  delete : string -> unit;
+  list_files : unit -> string list;
+}
+
+val of_fat : Fat.t -> t
+val of_extfs : Extfs.t -> t
+val of_ramfs : Ramfs.t -> t
+
+val fresh_fat : ?mib:int -> unit -> t
+(** Format a new FAT fs on a fresh device of the given size
+    (default 2048 MiB, enough for the 300 MB WordCount inputs plus
+    intermediates). *)
+
+val fresh_extfs : ?mib:int -> unit -> t
+val fresh_ramfs : unit -> t

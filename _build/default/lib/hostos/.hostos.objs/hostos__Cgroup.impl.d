@@ -1,0 +1,1 @@
+lib/hostos/cgroup.ml: Sim

@@ -1,0 +1,1 @@
+lib/hostos/pipe.ml: Buffer Bytes Stdlib

@@ -1,0 +1,1 @@
+lib/hostos/pipe.mli:

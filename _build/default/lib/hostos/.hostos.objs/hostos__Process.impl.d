@@ -1,0 +1,1 @@
+lib/hostos/process.ml: Hashtbl List Printf Sim Stdlib Syscall

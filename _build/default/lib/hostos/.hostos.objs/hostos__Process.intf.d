@@ -1,0 +1,1 @@
+lib/hostos/process.mli: Sim

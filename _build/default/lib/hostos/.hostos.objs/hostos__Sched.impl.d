@@ -1,0 +1,1 @@
+lib/hostos/sched.ml: Array List Sim Units

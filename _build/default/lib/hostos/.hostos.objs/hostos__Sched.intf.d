@@ -1,0 +1,1 @@
+lib/hostos/sched.mli: Sim

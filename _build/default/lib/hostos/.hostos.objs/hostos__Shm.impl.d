@@ -1,0 +1,1 @@
+lib/hostos/shm.ml: Bytes Clock Pipe Sim Stdlib Syscall Units

@@ -1,0 +1,1 @@
+lib/hostos/shm.mli: Sim

@@ -1,0 +1,1 @@
+lib/hostos/syscall.ml: Format Sim Units

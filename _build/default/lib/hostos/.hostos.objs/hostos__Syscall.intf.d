@@ -1,0 +1,1 @@
+lib/hostos/syscall.mli: Format Sim

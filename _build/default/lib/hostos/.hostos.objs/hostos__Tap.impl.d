@@ -1,0 +1,1 @@
+lib/hostos/tap.ml: Printf Sim Stdlib

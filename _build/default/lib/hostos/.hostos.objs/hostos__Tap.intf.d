@@ -1,0 +1,1 @@
+lib/hostos/tap.mli: Sim

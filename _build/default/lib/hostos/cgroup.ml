@@ -1,0 +1,17 @@
+type t = { quota : float }
+
+let create ~quota =
+  if quota <= 0.0 || quota > 1.0 then
+    invalid_arg "Cgroup.create: quota must be in (0, 1]";
+  { quota }
+
+let unlimited = { quota = 1.0 }
+
+let quota t = t.quota
+
+(* Three cgroupfs writes through the VFS. *)
+let setup_cost = Sim.Units.us 85
+
+let stretch t d = Sim.Units.scale d (1.0 /. t.quota)
+
+let throttled_share t = 1.0 -. t.quota

@@ -1,0 +1,26 @@
+(** cgroup-style CPU bandwidth limiting.
+
+    §9 of the paper: "AlloyStack can also implement resource allocation
+    based on user specifications, such as limiting the CPU bandwidth of
+    function threads through cgroups."  A quota of [q] CPU (0 < q <= 1)
+    stretches on-CPU time by 1/q — the thread runs, is throttled until
+    the next period, runs again.  Setup cost models writing the cgroup
+    files and attaching the thread. *)
+
+type t
+
+val create : quota:float -> t
+(** Raises [Invalid_argument] unless 0 < quota <= 1. *)
+
+val unlimited : t
+
+val quota : t -> float
+
+val setup_cost : Sim.Units.time
+(** mkdir + cpu.max write + cgroup.procs attach. *)
+
+val stretch : t -> Sim.Units.time -> Sim.Units.time
+(** On-CPU duration -> wall duration under the quota. *)
+
+val throttled_share : t -> float
+(** Fraction of wall time spent throttled (1 - quota). *)

@@ -1,0 +1,37 @@
+(** Host process / thread table.
+
+    Each WFD (and each baseline sandbox) is one host process; functions
+    run as threads created with [clone].  Threads carry the virtual
+    clock they execute on.  Memory accounting (RSS) feeds Fig. 17b. *)
+
+type pid = int
+type tid = int
+
+type thread = { tid : tid; clock : Sim.Clock.t }
+
+type t
+
+val create_table : unit -> t
+
+val spawn_process : t -> ?at:Sim.Units.time -> name:string -> unit -> pid
+(** Fork+exec cost is the sandbox's concern; this just registers the
+    process with its main thread started at [at]. *)
+
+val clone_thread : t -> pid -> thread
+(** Create a thread in the process, charged one [clone] syscall on the
+    main thread's clock; the new thread starts at the instant the clone
+    returns. *)
+
+val main_thread : t -> pid -> thread
+val threads : t -> pid -> thread list
+val thread_count : t -> pid -> int
+
+val charge_rss : t -> pid -> int -> unit
+(** Add resident-set bytes to the process. *)
+
+val release_rss : t -> pid -> int -> unit
+val rss : t -> pid -> int
+val total_rss : t -> int
+
+val exit_process : t -> pid -> unit
+val live_processes : t -> int

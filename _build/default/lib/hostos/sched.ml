@@ -1,0 +1,36 @@
+open Sim
+
+type placement = { core : int; start : Units.time; finish : Units.time }
+
+let schedule ~cores ?(ready = Units.zero) ?(dispatch_latency = Units.zero) durations =
+  if cores <= 0 then invalid_arg "Sched.schedule: cores must be positive";
+  let free_at = Array.make cores ready in
+  let dispatch_clock = ref ready in
+  let place d =
+    (* The orchestrator dispatches tasks one after another. *)
+    dispatch_clock := Units.add !dispatch_clock dispatch_latency;
+    let core = ref 0 in
+    for c = 1 to cores - 1 do
+      if Units.( < ) free_at.(c) free_at.(!core) then core := c
+    done;
+    let start = Units.max free_at.(!core) !dispatch_clock in
+    let finish = Units.add start d in
+    free_at.(!core) <- finish;
+    { core = !core; start; finish }
+  in
+  List.map place durations
+
+let makespan placements =
+  List.fold_left (fun acc p -> Units.max acc p.finish) Units.zero placements
+
+let fan_in_wait placements =
+  let m = makespan placements in
+  List.map (fun p -> Units.sub m p.finish) placements
+
+let same_core_pairs placements =
+  let arr = Array.of_list placements in
+  let pairs = ref [] in
+  for i = 0 to Array.length arr - 2 do
+    if arr.(i).core = arr.(i + 1).core then pairs := (i, i + 1) :: !pairs
+  done;
+  List.rev !pairs

@@ -1,0 +1,37 @@
+(** Stage scheduler: list scheduling of parallel tasks on limited CPUs.
+
+    AlloyStack's orchestrator runs a DAG stage's function instances as
+    parallel Linux threads managed by CFS.  With [cores] CPUs and more
+    runnable threads than cores, threads queue; the makespan of a stage
+    is therefore the classic greedy list-scheduling result.  A small
+    per-dispatch scheduling latency models the control-plane jitter that
+    produces fan-in waiting in Fig. 15. *)
+
+type placement = {
+  core : int;
+  start : Sim.Units.time;
+  finish : Sim.Units.time;
+}
+
+val schedule :
+  cores:int ->
+  ?ready:Sim.Units.time ->
+  ?dispatch_latency:Sim.Units.time ->
+  Sim.Units.time list ->
+  placement list
+(** [schedule ~cores durations] places each task (in order) on the
+    earliest-available core, no earlier than [ready].  The i-th
+    placement corresponds to the i-th duration.  [dispatch_latency] is
+    added before each task's start (sequential dispatch by the
+    orchestrator). *)
+
+val makespan : placement list -> Sim.Units.time
+(** Latest finish time; zero for no placements. *)
+
+val fan_in_wait : placement list -> Sim.Units.time list
+(** For each task, how long it waits at the stage barrier for the
+    slowest sibling: [makespan - finish_i]. *)
+
+val same_core_pairs : placement list -> (int * int) list
+(** Index pairs of consecutive tasks that landed on the same core —
+    used by the locality model for reference-passing transfers. *)

@@ -1,0 +1,46 @@
+open Sim
+
+type t = {
+  backing : Bytes.t;
+  doorbell : Pipe.t;
+  mutable written : int;
+  mutable reader_touched : bool;
+}
+
+(* Writer-side fill and reader-side traversal bandwidths (memcpy
+   class); first touch pays a soft page fault per 4KiB. *)
+let fill_bw = 11.0e9
+let fault_cost = Units.ns 1_200
+
+let create ~size ~clock =
+  if size <= 0 then invalid_arg "Shm.create: size must be positive";
+  (* open + ftruncate + two mmaps. *)
+  Clock.advance clock (Syscall.cost Syscall.Open);
+  Clock.advance clock (Syscall.cost Syscall.Mmap);
+  Clock.advance clock (Syscall.cost Syscall.Mmap);
+  { backing = Bytes.make size '\000'; doorbell = Pipe.create (); written = 0; reader_touched = false }
+
+let write t ~clock data =
+  let n = Stdlib.min (Bytes.length data) (Bytes.length t.backing) in
+  Bytes.blit data 0 t.backing 0 n;
+  t.written <- n;
+  Clock.advance clock (Units.time_for_bytes ~bytes_per_sec:fill_bw n);
+  (* One-byte doorbell. *)
+  ignore (Pipe.write t.doorbell (Bytes.make 1 '!'));
+  Clock.advance clock (Syscall.cost Syscall.Write)
+
+let read t ~clock =
+  if Pipe.is_empty t.doorbell then failwith "Shm.read: no data signalled";
+  ignore (Pipe.read t.doorbell 1);
+  Clock.advance clock (Syscall.cost Syscall.Read);
+  let out = Bytes.sub t.backing 0 t.written in
+  (* First traversal: fault in each page, then stream the bytes. *)
+  if not t.reader_touched then begin
+    let pages = (t.written + 4095) / 4096 in
+    Clock.advance clock (Units.scale fault_cost (float_of_int pages));
+    t.reader_touched <- true
+  end;
+  Clock.advance clock (Units.time_for_bytes ~bytes_per_sec:fill_bw t.written);
+  out
+
+let size t = Bytes.length t.backing

@@ -1,0 +1,25 @@
+(** Shared-memory transfer between two processes (Fig. 3's third
+    primitive).
+
+    The paper's measurement method (§2.3): a file in ramfs is mapped
+    into both the sender's and the receiver's address spaces with
+    [mmap]; after the sender initialises the data it writes one byte to
+    a pipe, and the receiver traverses the mapped region.  This module
+    implements that mechanically — one backing buffer visible to both
+    sides, a pipe for the doorbell — and charges setup (open + 2×mmap),
+    the notification syscalls, the writer's fill and the reader's
+    page-faulting first traversal. *)
+
+type t
+
+val create : size:int -> clock:Sim.Clock.t -> t
+(** Create the ramfs file and map it on both sides. *)
+
+val write : t -> clock:Sim.Clock.t -> bytes -> unit
+(** Sender fills the region (up to [size]) and rings the doorbell. *)
+
+val read : t -> clock:Sim.Clock.t -> bytes
+(** Receiver waits for the doorbell and traverses the mapping (first
+    touch faults each page in).  Raises [Failure] if no write happened. *)
+
+val size : t -> int

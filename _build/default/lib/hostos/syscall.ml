@@ -1,0 +1,100 @@
+open Sim
+
+type name =
+  | Open
+  | Close
+  | Read
+  | Write
+  | Mmap
+  | Munmap
+  | Mprotect
+  | Pkey_mprotect
+  | Pkey_alloc
+  | Clone
+  | Futex
+  | Pipe2
+  | Socket
+  | Bind
+  | Listen
+  | Connect
+  | Accept
+  | Sendto
+  | Recvfrom
+  | Epoll_wait
+  | Gettimeofday
+  | Dlmopen
+  | Userfaultfd
+
+type interception = Direct | Ptrace | Vmexit
+
+(* Direct-path costs (ns).  Small syscalls on a ~2GHz Xeon are in the
+   0.3-1.5us range; mmap/clone are heavier; dlmopen dominates because it
+   opens, maps and relocates an ELF namespace. *)
+let direct_ns = function
+  | Gettimeofday -> 60 (* vDSO *)
+  | Read | Write -> 450
+  | Open -> 1_300
+  | Close -> 400
+  | Mmap -> 1_800
+  | Munmap -> 1_500
+  | Mprotect -> 1_100
+  | Pkey_mprotect -> 1_250
+  | Pkey_alloc -> 700
+  | Clone -> 28_000
+  | Futex -> 550
+  | Pipe2 -> 1_400
+  | Socket -> 1_900
+  | Bind -> 900
+  | Listen -> 700
+  | Connect -> 14_000
+  | Accept -> 9_000
+  | Sendto -> 1_700
+  | Recvfrom -> 1_600
+  | Epoll_wait -> 1_100
+  | Dlmopen -> 380_000
+  | Userfaultfd -> 2_200
+
+let cost ?(via = Direct) name =
+  let base = direct_ns name in
+  let ns =
+    match via with
+    | Direct -> base
+    | Ptrace ->
+        (* Two ptrace stops (entry/exit), sentry handling, then the real
+           syscall: roughly an order of magnitude on small calls. *)
+        (base * 3) + 9_000
+    | Vmexit ->
+        (* VM exit + VMM emulation + re-entry on top of the guest's own
+           kernel work. *)
+        base + 2_500
+  in
+  Units.ns ns
+
+let pp_name fmt n =
+  let s =
+    match n with
+    | Open -> "open"
+    | Close -> "close"
+    | Read -> "read"
+    | Write -> "write"
+    | Mmap -> "mmap"
+    | Munmap -> "munmap"
+    | Mprotect -> "mprotect"
+    | Pkey_mprotect -> "pkey_mprotect"
+    | Pkey_alloc -> "pkey_alloc"
+    | Clone -> "clone"
+    | Futex -> "futex"
+    | Pipe2 -> "pipe2"
+    | Socket -> "socket"
+    | Bind -> "bind"
+    | Listen -> "listen"
+    | Connect -> "connect"
+    | Accept -> "accept"
+    | Sendto -> "sendto"
+    | Recvfrom -> "recvfrom"
+    | Epoll_wait -> "epoll_wait"
+    | Gettimeofday -> "gettimeofday"
+    | Dlmopen -> "dlmopen"
+    | Userfaultfd -> "userfaultfd"
+  in
+  Format.pp_print_string fmt s

@@ -1,0 +1,43 @@
+(** Host-kernel syscall cost model.
+
+    Baseline per-call overheads for a modern Xeon under Linux ~6.5.
+    Values are entry/exit plus typical in-kernel work for a small
+    request; bulk data movement is charged separately by the caller at
+    the relevant bandwidth.  gVisor's ptrace platform intercepts and
+    forwards every syscall, which multiplies the cost — the paper
+    measures ~50% of gVisor runtime CPU in kernel mode (§8.2). *)
+
+type name =
+  | Open
+  | Close
+  | Read
+  | Write
+  | Mmap
+  | Munmap
+  | Mprotect
+  | Pkey_mprotect
+  | Pkey_alloc
+  | Clone
+  | Futex
+  | Pipe2
+  | Socket
+  | Bind
+  | Listen
+  | Connect
+  | Accept
+  | Sendto
+  | Recvfrom
+  | Epoll_wait
+  | Gettimeofday
+  | Dlmopen  (** Not a syscall, but the loader path is charged here. *)
+  | Userfaultfd
+
+type interception =
+  | Direct  (** Normal host syscall. *)
+  | Ptrace  (** gVisor ptrace platform: stop + forward + resume. *)
+  | Vmexit  (** Inside a MicroVM: guest exit + VMM handling. *)
+
+val cost : ?via:interception -> name -> Sim.Units.time
+(** Per-call latency; [via] defaults to [Direct]. *)
+
+val pp_name : Format.formatter -> name -> unit

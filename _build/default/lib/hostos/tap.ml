@@ -1,0 +1,24 @@
+type device = { name : string; ip : string; setup_cost : Sim.Units.time }
+
+type t = { mutable next_id : int; mutable live : int; mutable total : int }
+
+let create () = { next_id = 0; live = 0; total = 0 }
+
+(* ip tuntap add + ip addr + ip link up: a few netlink round trips. *)
+let setup_cost = Sim.Units.us 350
+
+let allocate t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.live <- t.live + 1;
+  t.total <- t.total + 1;
+  {
+    name = Printf.sprintf "tap%d" id;
+    ip = Printf.sprintf "10.42.%d.%d" (id / 250) ((id mod 250) + 2);
+    setup_cost;
+  }
+
+let release t _device = t.live <- Stdlib.max 0 (t.live - 1)
+
+let active t = t.live
+let allocated_total t = t.total

@@ -1,0 +1,20 @@
+(** TAP virtual network device registry.
+
+    AlloyStack creates one Linux TAP device per WFD so the user-space
+    TCP stack (smoltcp analogue) gets an independent IP address.  The
+    registry hands out device names and addresses and charges setup
+    costs. *)
+
+type t
+
+type device = { name : string; ip : string; setup_cost : Sim.Units.time }
+
+val create : unit -> t
+
+val allocate : t -> device
+(** Fresh [tapN] device with a unique 10.42.x.y address; the setup cost
+    models the netlink configuration performed by the host OS. *)
+
+val release : t -> device -> unit
+val active : t -> int
+val allocated_total : t -> int

@@ -1,0 +1,1 @@
+lib/isa/elf.ml: Buffer Bytes Char Image Inst Int32 List Printf Scanner String

@@ -1,0 +1,1 @@
+lib/isa/elf.mli: Image Scanner

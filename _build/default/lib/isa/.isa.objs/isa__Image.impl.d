@@ -1,0 +1,1 @@
+lib/isa/image.ml: Format Inst List String

@@ -1,0 +1,1 @@
+lib/isa/inst.ml: Char Format Hashtbl Int32 List String

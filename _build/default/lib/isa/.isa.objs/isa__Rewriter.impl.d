@@ -1,0 +1,1 @@
+lib/isa/rewriter.ml: Format Image Inst Int32 List Scanner

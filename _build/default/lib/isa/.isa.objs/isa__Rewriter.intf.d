@@ -1,0 +1,1 @@
+lib/isa/rewriter.mli: Image

@@ -1,0 +1,1 @@
+lib/isa/scanner.ml: Char Format Fun Hashtbl Image List String

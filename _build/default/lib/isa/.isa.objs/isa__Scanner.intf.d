@@ -1,0 +1,1 @@
+lib/isa/scanner.mli: Format Image

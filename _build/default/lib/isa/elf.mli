@@ -1,0 +1,42 @@
+(** Minimal ELF-like container for function images.
+
+    The paper's platform receives user function binaries (and AOT-
+    compiled WASM "converted into the ELF format", §6) as files, scans
+    them, and maps their text into the WFD.  This container gives the
+    repo that artifact: a header (magic, version, toolchain), a string
+    table, a symbol table (function name → text offset) and a .text
+    section holding the encoded instruction stream.
+
+    [load] recovers an {!Image.t} whose byte stream equals the original
+    (so {!Scanner} verdicts agree before/after a store/load
+    round-trip), which is what admission-control-from-disk requires. *)
+
+val magic : string
+(** "\x7fASE" (AlloyStack Executable). *)
+
+type symbol = { sym_name : string; offset : int }
+
+type t = {
+  toolchain : Image.toolchain;
+  entry : string;  (** Name of the entry symbol. *)
+  symbols : symbol list;
+  text : string;  (** Encoded instruction bytes. *)
+}
+
+val of_image : ?entry:string -> Image.t -> t
+(** Wrap an image; every instruction start becomes a local symbol
+    [insn_N] unless it is the entry.  [entry] defaults to the image
+    name. *)
+
+val store : t -> bytes
+exception Malformed of string
+val load : bytes -> t
+(** Raises {!Malformed}. *)
+
+val text_image : name:string -> t -> Image.t option
+(** Re-decode the text into an instruction stream, [None] if the bytes
+    do not decode cleanly back (foreign/corrupt binaries). *)
+
+val scan_bytes : t -> Scanner.occurrence list
+(** Run the blacklist scanner directly over the container's text using
+    its symbol offsets as instruction boundaries. *)

@@ -1,0 +1,24 @@
+type toolchain = Rust_as_std | Rust_plain_std | Wasm_aot | Native_c
+
+type t = { name : string; toolchain : toolchain; insts : Inst.t list }
+
+let create ~name ~toolchain insts = { name; toolchain; insts }
+
+let code t = String.concat "" (List.map Inst.encode t.insts)
+
+let code_size t = String.length (code t)
+
+let inst_count t = List.length t.insts
+
+let boundaries t =
+  let rec go off = function
+    | [] -> []
+    | i :: rest -> off :: go (off + Inst.encoded_length i) rest
+  in
+  go 0 t.insts
+
+let pp_toolchain fmt = function
+  | Rust_as_std -> Format.pp_print_string fmt "rust+as-std"
+  | Rust_plain_std -> Format.pp_print_string fmt "rust+std"
+  | Wasm_aot -> Format.pp_print_string fmt "wasm-aot"
+  | Native_c -> Format.pp_print_string fmt "native-c"

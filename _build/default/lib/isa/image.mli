@@ -1,0 +1,24 @@
+(** A simulated function binary image: named instruction stream plus
+    metadata about which language/toolchain produced it. *)
+
+type toolchain = Rust_as_std | Rust_plain_std | Wasm_aot | Native_c
+
+type t = {
+  name : string;
+  toolchain : toolchain;
+  insts : Inst.t list;
+}
+
+val create : name:string -> toolchain:toolchain -> Inst.t list -> t
+
+val code : t -> string
+(** Concatenated byte encoding of the instruction stream. *)
+
+val code_size : t -> int
+val inst_count : t -> int
+
+val boundaries : t -> int list
+(** Byte offsets at which each instruction starts (ascending, starting
+    with 0). *)
+
+val pp_toolchain : Format.formatter -> toolchain -> unit

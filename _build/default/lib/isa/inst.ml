@@ -1,0 +1,64 @@
+type t =
+  | Nop
+  | Mov_imm of int32
+  | Mov_reg
+  | Add
+  | Load
+  | Store
+  | Jmp of int
+  | Call of string
+  | Ret
+  | Wrpkru
+  | Syscall
+  | Sysenter
+  | Int of int
+
+let bytes_of_list l =
+  String.init (List.length l) (fun i -> Char.chr (List.nth l i))
+
+let le32 (v : int32) =
+  String.init 4 (fun i ->
+      Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v (8 * i)) 0xFFl)))
+
+let encode = function
+  | Nop -> bytes_of_list [ 0x90 ]
+  | Mov_imm v -> bytes_of_list [ 0xB8 ] ^ le32 v
+  | Mov_reg -> bytes_of_list [ 0x89; 0xC8 ]
+  | Add -> bytes_of_list [ 0x01; 0xC8 ]
+  | Load -> bytes_of_list [ 0x8B; 0x00 ]
+  | Store -> bytes_of_list [ 0x89; 0x00 ]
+  | Jmp off -> bytes_of_list [ 0xEB; off land 0x7F ]
+  | Call name ->
+      (* A pseudo relative call whose displacement hashes the target
+         name.  Displacement bytes are confined to 0x40..0x7F: the
+         toolchain controls call targets, so (unlike user immediates)
+         they never form forbidden byte patterns. *)
+      let h = Hashtbl.hash name in
+      let safe i = 0x40 lor ((h lsr (6 * i)) land 0x3F) in
+      bytes_of_list [ 0xE8; safe 0; safe 1; safe 2; safe 3 ]
+  | Ret -> bytes_of_list [ 0xC3 ]
+  | Wrpkru -> bytes_of_list [ 0x0F; 0x01; 0xEF ]
+  | Syscall -> bytes_of_list [ 0x0F; 0x05 ]
+  | Sysenter -> bytes_of_list [ 0x0F; 0x34 ]
+  | Int v -> bytes_of_list [ 0xCD; v land 0xFF ]
+
+let encoded_length i = String.length (encode i)
+
+let is_blacklisted = function
+  | Wrpkru | Syscall | Sysenter | Int _ -> true
+  | Nop | Mov_imm _ | Mov_reg | Add | Load | Store | Jmp _ | Call _ | Ret -> false
+
+let pp fmt = function
+  | Nop -> Format.pp_print_string fmt "nop"
+  | Mov_imm v -> Format.fprintf fmt "mov $0x%lx" v
+  | Mov_reg -> Format.pp_print_string fmt "mov %reg"
+  | Add -> Format.pp_print_string fmt "add"
+  | Load -> Format.pp_print_string fmt "load"
+  | Store -> Format.pp_print_string fmt "store"
+  | Jmp off -> Format.fprintf fmt "jmp %+d" off
+  | Call name -> Format.fprintf fmt "call %s" name
+  | Ret -> Format.pp_print_string fmt "ret"
+  | Wrpkru -> Format.pp_print_string fmt "wrpkru"
+  | Syscall -> Format.pp_print_string fmt "syscall"
+  | Sysenter -> Format.pp_print_string fmt "sysenter"
+  | Int v -> Format.fprintf fmt "int $0x%x" v

@@ -1,0 +1,32 @@
+(** Simulated machine instructions with x86-like byte encodings.
+
+    Only the encoding-relevant structure matters for the threat model:
+    the blacklist scanner works on raw bytes, so instructions carry a
+    concrete encoding, and immediates can accidentally contain the bytes
+    of a forbidden opcode (the "false positive" case that ERIM-style
+    rewriting fixes). *)
+
+type t =
+  | Nop
+  | Mov_imm of int32  (** Move a 32-bit immediate into a register. *)
+  | Mov_reg  (** Register-to-register move (no immediate). *)
+  | Add
+  | Load
+  | Store
+  | Jmp of int
+  | Call of string
+  | Ret
+  | Wrpkru  (** Forbidden: writes the PKRU register. *)
+  | Syscall  (** Forbidden: direct syscall. *)
+  | Sysenter  (** Forbidden. *)
+  | Int of int  (** Forbidden: software interrupt. *)
+
+val encode : t -> string
+(** Byte encoding; uses the real x86 opcodes for the blacklisted
+    instructions (0f 01 ef, 0f 05, 0f 34, cd imm8). *)
+
+val encoded_length : t -> int
+
+val is_blacklisted : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,98 @@
+exception Unrewritable of Image.t
+
+(* Does inserting this instruction next to its neighbours produce a
+   forbidden byte pattern?  We test contextually: encode the window and
+   scan it. *)
+let window_dirty insts =
+  let img = Image.create ~name:"window" ~toolchain:Image.Native_c insts in
+  List.exists (fun (o : Scanner.occurrence) -> not o.aligned) (Scanner.scan img)
+
+(* An immediate is dangerous if its little-endian bytes, possibly
+   combined with neighbouring encoding bytes, contain part of a
+   forbidden pattern.  ERIM's fix: rebuild the constant from two
+   addends whose own encodings are pattern-free.  We try a set of
+   diverse masks and keep the first decomposition that scans clean —
+   splitting blindly (e.g. into 16-bit halves) can itself reproduce a
+   pattern like 0f 05 and loop forever. *)
+let split_masks =
+  [ 0x3B3B_3B3Bl; 0x2727_2727l; 0x5656_5656l; 0x1919_1919l; 0x6262_6262l;
+    0x4D4D_4D4Dl; 0x7171_7171l; 0x2A2A_2A2Al ]
+
+let split_immediate v =
+  let candidate mask =
+    let y = mask in
+    let x = Int32.sub v y in
+    [ Inst.Mov_imm x; Inst.Mov_imm y; Inst.Add ]
+  in
+  let rec try_masks = function
+    | [] ->
+        raise
+          (Unrewritable (Image.create ~name:"immediate" ~toolchain:Image.Native_c [ Inst.Mov_imm v ]))
+    | mask :: rest ->
+        let seq = candidate mask in
+        if window_dirty seq then try_masks rest else seq
+  in
+  try_masks split_masks
+
+let rec rewrite_insts = function
+  | [] -> []
+  | a :: b :: rest when window_dirty [ a; b ] ->
+      (* The boundary between a and b combines into a forbidden
+         pattern: first try a nop separator; if the pattern lives inside
+         an immediate, split the immediate. *)
+      if not (window_dirty [ a; Inst.Nop; b ]) then
+        a :: Inst.Nop :: rewrite_insts (b :: rest)
+      else begin
+        match a with
+        | Inst.Mov_imm v -> rewrite_insts (split_immediate v @ (b :: rest))
+        | _ ->
+            (match b with
+            | Inst.Mov_imm v -> a :: rewrite_insts (split_immediate v @ rest)
+            | _ -> a :: Inst.Nop :: rewrite_insts (b :: rest))
+      end
+  | [ a ] when window_dirty [ a ] -> begin
+      match a with
+      | Inst.Mov_imm v -> rewrite_insts (split_immediate v)
+      | _ -> [ a ]
+    end
+  | a :: rest -> begin
+      match a with
+      | Inst.Mov_imm v when window_dirty [ a ] -> rewrite_insts (split_immediate v @ rest)
+      | _ -> a :: rewrite_insts rest
+    end
+
+let rewrite image =
+  if List.exists Inst.is_blacklisted image.Image.insts then raise (Unrewritable image);
+  let rec fixpoint insts budget =
+    if budget = 0 then insts
+    else begin
+      let insts' = rewrite_insts insts in
+      let img = Image.create ~name:image.Image.name ~toolchain:image.Image.toolchain insts' in
+      match Scanner.verdict img with
+      | Scanner.Clean -> insts'
+      | Scanner.Rewritable _ -> fixpoint insts' (budget - 1)
+      | Scanner.Rejected _ -> raise (Unrewritable image)
+    end
+  in
+  let insts = fixpoint image.Image.insts 8 in
+  Image.create ~name:image.Image.name ~toolchain:image.Image.toolchain insts
+
+let admit image =
+  match Scanner.verdict image with
+  | Scanner.Clean -> Ok image
+  | Scanner.Rejected occs ->
+      Error
+        (Format.asprintf "image %s contains %d forbidden instruction(s)"
+           image.Image.name (List.length occs))
+  | Scanner.Rewritable _ -> begin
+      match rewrite image with
+      | rewritten -> begin
+          match Scanner.verdict rewritten with
+          | Scanner.Clean -> Ok rewritten
+          | _ ->
+              Error
+                (Format.asprintf "image %s could not be fully rewritten" image.Image.name)
+        end
+      | exception Unrewritable _ ->
+          Error (Format.asprintf "image %s is unrewritable" image.Image.name)
+    end

@@ -1,0 +1,25 @@
+(** ERIM-style binary rewriting.
+
+    Removes *accidental* occurrences of forbidden opcodes from an image:
+
+    - if a forbidden byte pattern straddles two instructions, a [nop] is
+      inserted between them so the bytes no longer combine;
+    - if the pattern lies inside a [mov] immediate, the instruction is
+      replaced by a register-variant sequence that builds the same value
+      without embedding the bytes.
+
+    Intentional forbidden instructions cannot be rewritten — the image
+    must be rejected (per the paper's threat model). *)
+
+exception Unrewritable of Image.t
+(** Raised when the image contains aligned forbidden instructions. *)
+
+val rewrite : Image.t -> Image.t
+(** Image whose {!Scanner.verdict} is [Clean].  Raises {!Unrewritable}
+    for images with intentional forbidden instructions.  Idempotent on
+    clean images. *)
+
+val admit : Image.t -> (Image.t, string) result
+(** Full admission pipeline used before workflow start: scan, rewrite if
+    needed, re-scan.  Returns the admitted image or a reason for
+    rejection. *)

@@ -1,0 +1,1 @@
+lib/mem/address_space.ml: Bytes Format Hashtbl Page Printf Prot Stdlib

@@ -1,0 +1,1 @@
+lib/mem/alloc.ml: Hashtbl List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/mem/prot.ml: Format Fun Int32 List

@@ -1,0 +1,173 @@
+type fault_kind =
+  | Unmapped
+  | Perm_denied of Prot.access
+  | Pkey_denied of Prot.access * Prot.key
+
+exception Fault of { addr : int; kind : fault_kind }
+
+let pp_fault_kind fmt = function
+  | Unmapped -> Format.pp_print_string fmt "unmapped"
+  | Perm_denied a -> Format.fprintf fmt "permission denied (%a)" Prot.pp_access a
+  | Pkey_denied (a, k) ->
+      Format.fprintf fmt "pkey %d denied (%a)" (Prot.key_to_int k) Prot.pp_access a
+
+type t = {
+  pages : (int, Page.t) Hashtbl.t;
+  mutable fault_handler : (int -> unit) option;
+  mutable demand_faults : int;
+  mutable accesses : int;
+}
+
+let create () =
+  { pages = Hashtbl.create 1024; fault_handler = None; demand_faults = 0; accesses = 0 }
+
+let fault addr kind = raise (Fault { addr; kind })
+
+let map t ~addr ~len ?(perm = Page.rw) ?(pkey = Prot.default_key) () =
+  if addr land (Page.size - 1) <> 0 then
+    invalid_arg "Address_space.map: addr not page aligned";
+  if len <= 0 then invalid_arg "Address_space.map: len must be positive";
+  let first = Page.vpn_of_addr addr in
+  let count = Page.count_for len in
+  for vpn = first to first + count - 1 do
+    if Hashtbl.mem t.pages vpn then
+      invalid_arg
+        (Printf.sprintf "Address_space.map: page 0x%x already mapped"
+           (Page.addr_of_vpn vpn))
+  done;
+  for vpn = first to first + count - 1 do
+    Hashtbl.replace t.pages vpn (Page.create ~perm ~pkey ())
+  done
+
+let unmap t ~addr ~len =
+  let first = Page.vpn_of_addr addr in
+  let count = Page.count_for len in
+  for vpn = first to first + count - 1 do
+    Hashtbl.remove t.pages vpn
+  done
+
+let is_mapped t addr = Hashtbl.mem t.pages (Page.vpn_of_addr addr)
+
+let page_count t = Hashtbl.length t.pages
+let mapped_bytes t = page_count t * Page.size
+
+let get_page t addr =
+  match Hashtbl.find_opt t.pages (Page.vpn_of_addr addr) with
+  | Some p -> p
+  | None -> fault addr Unmapped
+
+let iter_range t ~addr ~len f =
+  if len > 0 then begin
+    let first = Page.vpn_of_addr addr in
+    let last = Page.vpn_of_addr (addr + len - 1) in
+    for vpn = first to last do
+      match Hashtbl.find_opt t.pages vpn with
+      | Some p -> f vpn p
+      | None -> fault (Page.addr_of_vpn vpn) Unmapped
+    done
+  end
+
+let pkey_mprotect t ~addr ~len key =
+  iter_range t ~addr ~len (fun _ p -> p.Page.pkey <- key)
+
+let mprotect t ~addr ~len perm =
+  iter_range t ~addr ~len (fun _ p -> p.Page.perm <- perm)
+
+let key_of t addr = (get_page t addr).Page.pkey
+
+let serve_demand_fault t addr page =
+  if not page.Page.populated then
+    match t.fault_handler with
+    | Some handler ->
+        t.demand_faults <- t.demand_faults + 1;
+        handler addr;
+        page.Page.populated <- true
+    | None -> page.Page.populated <- true
+
+(* Permission check for one page under a given PKRU. *)
+let check_page addr page ~pkru access =
+  let perm_ok =
+    match access with
+    | Prot.Read -> page.Page.perm.Page.read
+    | Prot.Write -> page.Page.perm.Page.write
+    | Prot.Execute -> page.Page.perm.Page.exec
+  in
+  if not perm_ok then fault addr (Perm_denied access);
+  if not (Prot.access_allowed pkru page.Page.pkey access) then
+    fault addr (Pkey_denied (access, page.Page.pkey))
+
+let checked_page t ~pkru addr access =
+  let page = get_page t addr in
+  check_page addr page ~pkru access;
+  serve_demand_fault t addr page;
+  t.accesses <- t.accesses + 1;
+  page
+
+let load_byte t ~pkru addr =
+  let page = checked_page t ~pkru addr Prot.Read in
+  Bytes.get page.Page.data (Page.offset_of_addr addr)
+
+let store_byte t ~pkru addr c =
+  let page = checked_page t ~pkru addr Prot.Write in
+  page.Page.populated <- true;
+  Bytes.set page.Page.data (Page.offset_of_addr addr) c
+
+(* Walk a range page by page, calling [f page page_offset buf_offset n]
+   for each contiguous chunk. *)
+let walk t ~pkru ~access addr len f =
+  let pos = ref addr and done_ = ref 0 in
+  while !done_ < len do
+    let page = checked_page t ~pkru !pos access in
+    let off = Page.offset_of_addr !pos in
+    let n = Stdlib.min (Page.size - off) (len - !done_) in
+    f page off !done_ n;
+    if access = Prot.Write then page.Page.populated <- true;
+    pos := !pos + n;
+    done_ := !done_ + n
+  done
+
+let load_bytes t ~pkru addr len =
+  let buf = Bytes.create len in
+  walk t ~pkru ~access:Prot.Read addr len (fun page off boff n ->
+      Bytes.blit page.Page.data off buf boff n);
+  buf
+
+let store_bytes t ~pkru addr src =
+  let len = Bytes.length src in
+  walk t ~pkru ~access:Prot.Write addr len (fun page off boff n ->
+      Bytes.blit src boff page.Page.data off n)
+
+let load_int64 t ~pkru addr =
+  let b = load_bytes t ~pkru addr 8 in
+  Bytes.get_int64_le b 0
+
+let store_int64 t ~pkru addr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  store_bytes t ~pkru addr b
+
+let blit t ~pkru ~src ~dst ~len =
+  (* Load fully, then store: ranges may overlap in principle; a buffer
+     copy gives memmove semantics. *)
+  let data = load_bytes t ~pkru src len in
+  store_bytes t ~pkru dst data
+
+let fill t ~pkru ~addr ~len c =
+  walk t ~pkru ~access:Prot.Write addr len (fun page off _ n ->
+      Bytes.fill page.Page.data off n c)
+
+let check_exec t ~pkru addr = ignore (checked_page t ~pkru addr Prot.Execute)
+
+let set_fault_handler t h = t.fault_handler <- h
+
+let populate_page t ~vpn data =
+  match Hashtbl.find_opt t.pages vpn with
+  | None -> fault (Page.addr_of_vpn vpn) Unmapped
+  | Some page ->
+      let n = Stdlib.min (Bytes.length data) Page.size in
+      Bytes.blit data 0 page.Page.data 0 n;
+      page.Page.populated <- true
+
+let touched_fault_count t = t.demand_faults
+
+let access_count t = t.accesses

@@ -1,0 +1,51 @@
+type region = { base : int; size : int }
+
+let contains r addr = addr >= r.base && addr < r.base + r.size
+let region_end r = r.base + r.size
+
+let pp_region fmt r =
+  Format.fprintf fmt "[0x%x, 0x%x)" r.base (region_end r)
+
+let mib n = n * 1024 * 1024
+
+(* System partition: low addresses. *)
+let visor_code = { base = 0x0001_0000; size = mib 4 }
+let libos_code = { base = 0x0100_0000; size = mib 16 }
+let libos_heap = { base = 0x0800_0000; size = mib 1920 }
+
+(* User partition. *)
+let trampoline = { base = 0x8000_0000; size = 4096 * 4 }
+
+let slot_base = 0x9000_0000
+let slot_size = mib 768
+let function_slot_count = 64
+
+let function_slot i =
+  if i < 0 || i >= function_slot_count then
+    invalid_arg "Layout.function_slot: slot index out of range";
+  { base = slot_base + (i * slot_size); size = slot_size }
+
+let function_code i =
+  let s = function_slot i in
+  { base = s.base; size = mib 8 }
+
+let function_heap i =
+  let s = function_slot i in
+  { base = s.base + mib 8; size = mib 752 }
+
+let function_stack i =
+  let s = function_slot i in
+  { base = s.base + mib 760; size = mib 8 }
+
+let slot_of_addr addr =
+  if addr < slot_base then None
+  else begin
+    let i = (addr - slot_base) / slot_size in
+    if i < function_slot_count then Some i else None
+  end
+
+let in_system_partition addr =
+  contains visor_code addr || contains libos_code addr || contains libos_heap addr
+
+let in_user_partition addr =
+  contains trampoline addr || slot_of_addr addr <> None

@@ -1,0 +1,34 @@
+let size = 4096
+let shift = 12
+
+type perm = { read : bool; write : bool; exec : bool }
+
+let rw = { read = true; write = true; exec = false }
+let ro = { read = true; write = false; exec = false }
+let rx = { read = true; write = false; exec = true }
+let rwx = { read = true; write = true; exec = true }
+
+let pp_perm fmt p =
+  Format.fprintf fmt "%c%c%c"
+    (if p.read then 'r' else '-')
+    (if p.write then 'w' else '-')
+    (if p.exec then 'x' else '-')
+
+type t = {
+  data : Bytes.t;
+  mutable perm : perm;
+  mutable pkey : Prot.key;
+  mutable populated : bool;
+}
+
+let create ?(perm = rw) ?(pkey = Prot.default_key) () =
+  { data = Bytes.make size '\000'; perm; pkey; populated = false }
+
+let vpn_of_addr addr = addr lsr shift
+let offset_of_addr addr = addr land (size - 1)
+let addr_of_vpn vpn = vpn lsl shift
+
+let align_up addr = (addr + size - 1) land lnot (size - 1)
+let align_down addr = addr land lnot (size - 1)
+
+let count_for len = if len <= 0 then 0 else (len + size - 1) / size

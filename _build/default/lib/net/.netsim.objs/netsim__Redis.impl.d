@@ -1,0 +1,1 @@
+lib/net/redis.ml: Bytes Clock Hashtbl Link Printf Sim String Tcp Units

@@ -1,0 +1,1 @@
+lib/net/redis.mli: Link Sim

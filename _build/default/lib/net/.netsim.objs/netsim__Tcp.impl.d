@@ -1,0 +1,1 @@
+lib/net/tcp.ml: Buffer Bytes Clock Float Format Link Sim Stdlib Units

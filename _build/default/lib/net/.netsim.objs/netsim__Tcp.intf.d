@@ -1,0 +1,1 @@
+lib/net/tcp.mli: Format Link Sim

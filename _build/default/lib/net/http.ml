@@ -1,0 +1,107 @@
+type request = {
+  meth : string;
+  path : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type response = {
+  status : int;
+  reason : string;
+  resp_headers : (string * string) list;
+  resp_body : string;
+}
+
+let request ?(headers = []) ?(body = "") ~meth ~path () =
+  { meth; path; headers; body }
+
+let ok ?(headers = []) body =
+  { status = 200; reason = "OK"; resp_headers = headers; resp_body = body }
+
+let error_response status reason =
+  { status; reason; resp_headers = []; resp_body = reason }
+
+let encode_headers headers body =
+  let with_len = ("Content-Length", string_of_int (String.length body)) :: headers in
+  String.concat "" (List.map (fun (k, v) -> k ^ ": " ^ v ^ "\r\n") with_len)
+
+let encode_request r =
+  Printf.sprintf "%s %s HTTP/1.1\r\n%s\r\n%s" r.meth r.path
+    (encode_headers r.headers r.body)
+    r.body
+
+let encode_response r =
+  Printf.sprintf "HTTP/1.1 %d %s\r\n%s\r\n%s" r.status r.reason
+    (encode_headers r.resp_headers r.resp_body)
+    r.resp_body
+
+let split_head_body s =
+  match String.index_opt s '\r' with
+  | None -> Error "malformed: no CRLF"
+  | Some _ -> begin
+      let marker = "\r\n\r\n" in
+      let rec find i =
+        if i + 4 > String.length s then None
+        else if String.sub s i 4 = marker then Some i
+        else find (i + 1)
+      in
+      match find 0 with
+      | None -> Error "malformed: no header/body separator"
+      | Some i ->
+          Ok (String.sub s 0 i, String.sub s (i + 4) (String.length s - i - 4))
+    end
+
+let parse_headers lines =
+  List.filter_map
+    (fun line ->
+      match String.index_opt line ':' with
+      | None -> None
+      | Some i ->
+          let k = String.sub line 0 i in
+          let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+          Some (k, v))
+    lines
+
+let lines_of head = String.split_on_char '\n' head |> List.map (fun l -> String.trim l)
+
+let decode_request s =
+  match split_head_body s with
+  | Error _ as e -> e
+  | Ok (head, body) -> begin
+      match lines_of head with
+      | [] -> Error "malformed: empty request"
+      | start :: rest -> begin
+          match String.split_on_char ' ' start with
+          | meth :: path :: _ -> Ok { meth; path; headers = parse_headers rest; body }
+          | _ -> Error "malformed: bad request line"
+        end
+    end
+
+let decode_response s =
+  match split_head_body s with
+  | Error _ as e -> e
+  | Ok (head, body) -> begin
+      match lines_of head with
+      | [] -> Error "malformed: empty response"
+      | start :: rest -> begin
+          match String.split_on_char ' ' start with
+          | _http :: code :: reason_parts ->
+              (match int_of_string_opt code with
+              | Some status ->
+                  Ok
+                    {
+                      status;
+                      reason = String.concat " " reason_parts;
+                      resp_headers = parse_headers rest;
+                      resp_body = body;
+                    }
+              | None -> Error "malformed: bad status code")
+          | _ -> Error "malformed: bad status line"
+        end
+    end
+
+let header headers name =
+  let lower = String.lowercase_ascii name in
+  List.find_map
+    (fun (k, v) -> if String.lowercase_ascii k = lower then Some v else None)
+    headers

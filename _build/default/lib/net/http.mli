@@ -1,0 +1,30 @@
+(** Minimal HTTP/1.1 codec for the as-visor watchdog and the OpenFaaS
+    gateway model. *)
+
+type request = {
+  meth : string;
+  path : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type response = {
+  status : int;
+  reason : string;
+  resp_headers : (string * string) list;
+  resp_body : string;
+}
+
+val request : ?headers:(string * string) list -> ?body:string -> meth:string -> path:string -> unit -> request
+
+val ok : ?headers:(string * string) list -> string -> response
+val error_response : int -> string -> response
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+
+val encode_response : response -> string
+val decode_response : string -> (response, string) result
+
+val header : (string * string) list -> string -> string option
+(** Case-insensitive header lookup. *)

@@ -1,0 +1,17 @@
+open Sim
+
+type t = { bandwidth : float; latency : Units.time; per_packet : Units.time }
+
+let loopback =
+  { bandwidth = 38.0e9; latency = Units.ns 300; per_packet = Units.ns 80 }
+
+let inter_vm =
+  (* virtio-net queues plus a tap/bridge hop on the host. *)
+  { bandwidth = 3.1e9; latency = Units.us 18; per_packet = Units.ns 900 }
+
+let datacenter =
+  { bandwidth = 25.0e9 /. 8.0; latency = Units.us 25; per_packet = Units.ns 300 }
+
+let wire_time t len = Units.time_for_bytes ~bytes_per_sec:t.bandwidth len
+
+let rtt t = Units.scale t.latency 2.0

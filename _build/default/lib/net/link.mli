@@ -1,0 +1,21 @@
+(** Point-to-point transmission medium between two endpoints. *)
+
+type t = {
+  bandwidth : float;  (** bytes/s sustained. *)
+  latency : Sim.Units.time;  (** One-way propagation delay. *)
+  per_packet : Sim.Units.time;  (** Fixed cost per packet on the wire. *)
+}
+
+val loopback : t
+(** Same-host loopback: memory-bandwidth bound, sub-µs latency. *)
+
+val inter_vm : t
+(** Between two MicroVMs on one host: virtio-net + vswitch hop. *)
+
+val datacenter : t
+(** Cross-machine 25GbE with ~50µs RTT (for the Redis/S3 data plane). *)
+
+val wire_time : t -> int -> Sim.Units.time
+(** Serialisation time of a payload at the link bandwidth. *)
+
+val rtt : t -> Sim.Units.time

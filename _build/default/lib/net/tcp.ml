@@ -1,0 +1,198 @@
+open Sim
+
+type profile = {
+  name : string;
+  mss : int;
+  window : int;
+  tx_cost : Units.time;
+  rx_cost : Units.time;
+  handshake_extra : Units.time;
+}
+
+(* Calibration: per-segment CPU = MSS / throughput-from-Table-4.
+   smoltcp: 1.751 Gbit/s RX -> 6.67us/seg; 5.366 Gbit/s TX -> 2.18us/seg.
+   Linux:   27.76 Gbit/s RX -> 0.42us/seg; 28.56 Gbit/s TX -> 0.41us/seg. *)
+let smoltcp =
+  {
+    name = "smoltcp";
+    mss = 1460;
+    window = 256 * 1024;
+    tx_cost = Units.ns 2177;
+    rx_cost = Units.ns 6671;
+    handshake_extra = Units.us 22;
+  }
+
+let linux =
+  {
+    name = "linux";
+    mss = 1460;
+    window = 1024 * 1024;
+    tx_cost = Units.ns 409;
+    rx_cost = Units.ns 421;
+    handshake_extra = Units.us 11;
+  }
+
+let guest_linux =
+  (* Guest kernel inside a MicroVM: every segment crosses virtio, adding
+     exit/notify amortised cost. *)
+  {
+    name = "guest-linux";
+    mss = 1460;
+    window = 512 * 1024;
+    tx_cost = Units.ns (409 + 650);
+    rx_cost = Units.ns (421 + 650);
+    handshake_extra = Units.us 19;
+  }
+
+type state =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait
+  | Close_wait
+  | Time_wait
+
+let pp_state fmt s =
+  let name =
+    match s with
+    | Closed -> "CLOSED"
+    | Listen -> "LISTEN"
+    | Syn_sent -> "SYN_SENT"
+    | Syn_received -> "SYN_RECEIVED"
+    | Established -> "ESTABLISHED"
+    | Fin_wait -> "FIN_WAIT"
+    | Close_wait -> "CLOSE_WAIT"
+    | Time_wait -> "TIME_WAIT"
+  in
+  Format.pp_print_string fmt name
+
+type t = {
+  link : Link.t;
+  client_profile : profile;
+  server_profile : profile;
+  client_clock : Clock.t;
+  server_clock : Clock.t;
+  mutable client_state : state;
+  mutable server_state : state;
+  c2s : Buffer.t;  (** Bytes delivered to the server. *)
+  s2c : Buffer.t;  (** Bytes delivered to the client. *)
+  mutable segments : int;
+}
+
+let connect ~client ~server ~link ~client_profile ~server_profile =
+  let t =
+    {
+      link;
+      client_profile;
+      server_profile;
+      client_clock = client;
+      server_clock = server;
+      client_state = Closed;
+      server_state = Listen;
+      c2s = Buffer.create 256;
+      s2c = Buffer.create 256;
+      segments = 0;
+    }
+  in
+  (* Three-way handshake: SYN ->, <- SYN/ACK, ACK ->.  The connection is
+     established on the client after one RTT and on the server after
+     1.5 RTT (when the final ACK lands). *)
+  t.client_state <- Syn_sent;
+  let syn_arrive = Units.add (Clock.now client) t.link.Link.latency in
+  Clock.advance_to server syn_arrive;
+  Clock.advance server server_profile.handshake_extra;
+  t.server_state <- Syn_received;
+  let synack_arrive = Units.add (Clock.now server) t.link.Link.latency in
+  Clock.advance_to client synack_arrive;
+  Clock.advance client client_profile.handshake_extra;
+  t.client_state <- Established;
+  let ack_arrive = Units.add (Clock.now client) t.link.Link.latency in
+  Clock.advance_to server ack_arrive;
+  t.server_state <- Established;
+  t
+
+let state t = (t.client_state, t.server_state)
+
+let require_established t =
+  if t.client_state <> Established || t.server_state <> Established then
+    invalid_arg "Tcp: connection not established"
+
+(* Move [data] from [src_clock] to [dst_clock] in window-sized bursts.
+   Each burst's wall time is the max of wire serialisation and the
+   slower endpoint's per-segment CPU; window pacing adds one RTT of ack
+   wait between bursts. *)
+let stream t ~tx ~rx ~src_clock ~dst_clock ~sink data =
+  let len = Bytes.length data in
+  let mss = Stdlib.min tx.mss rx.mss in
+  let window = Stdlib.min tx.window rx.window in
+  let sent = ref 0 in
+  while !sent < len do
+    let burst = Stdlib.min window (len - !sent) in
+    let segs = (burst + mss - 1) / mss in
+    t.segments <- t.segments + segs;
+    let cpu_tx = Units.scale tx.tx_cost (float_of_int segs) in
+    let cpu_rx = Units.scale rx.rx_cost (float_of_int segs) in
+    let wire =
+      Units.add (Link.wire_time t.link burst)
+        (Units.scale t.link.Link.per_packet (float_of_int segs))
+    in
+    let start = Units.max (Clock.now src_clock) (Clock.now dst_clock) in
+    let burst_wall = Units.max wire (Units.max cpu_tx cpu_rx) in
+    let finish = Units.add start (Units.add burst_wall t.link.Link.latency) in
+    Clock.advance_to src_clock (Units.add start burst_wall);
+    Clock.advance_to dst_clock finish;
+    (* Ack for window opening: sender waits a further RTT before the
+       next burst (pipelining hides most of it for big windows). *)
+    if !sent + burst < len then
+      Clock.advance_to src_clock (Units.add finish t.link.Link.latency);
+    Buffer.add_subbytes sink data !sent burst;
+    sent := !sent + burst
+  done
+
+let send t ~from_client data =
+  require_established t;
+  if from_client then
+    stream t ~tx:t.client_profile ~rx:t.server_profile ~src_clock:t.client_clock
+      ~dst_clock:t.server_clock ~sink:t.c2s data
+  else
+    stream t ~tx:t.server_profile ~rx:t.client_profile ~src_clock:t.server_clock
+      ~dst_clock:t.client_clock ~sink:t.s2c data
+
+let take buf n =
+  let have = Buffer.length buf in
+  let take = Stdlib.min n have in
+  let out = Bytes.of_string (Buffer.sub buf 0 take) in
+  let rest = Buffer.sub buf take (have - take) in
+  Buffer.clear buf;
+  Buffer.add_string buf rest;
+  out
+
+let recv t ~at_client n = if at_client then take t.s2c n else take t.c2s n
+
+let available t ~at_client =
+  Buffer.length (if at_client then t.s2c else t.c2s)
+
+let close t =
+  (* FIN from client, ACK+FIN from server, final ACK. *)
+  t.client_state <- Fin_wait;
+  let fin_arrive = Units.add (Clock.now t.client_clock) t.link.Link.latency in
+  Clock.advance_to t.server_clock fin_arrive;
+  t.server_state <- Close_wait;
+  let finack_arrive = Units.add (Clock.now t.server_clock) t.link.Link.latency in
+  Clock.advance_to t.client_clock finack_arrive;
+  t.client_state <- Time_wait;
+  t.server_state <- Closed
+
+let segments_sent t = t.segments
+
+let throughput_estimate tx ~link ~rx =
+  let mss = float_of_int (Stdlib.min tx.mss rx.mss) in
+  let per_seg = Float.max 1e-12 (Units.to_sec (Units.max tx.tx_cost rx.rx_cost)) in
+  let cpu_bound = mss /. per_seg in
+  let wire_bound = link.Link.bandwidth in
+  let window = float_of_int (Stdlib.min tx.window rx.window) in
+  let rtt = Units.to_sec (Link.rtt link) in
+  let window_bound = if rtt <= 0.0 then infinity else window /. rtt in
+  Float.min (Float.min cpu_bound wire_bound) window_bound

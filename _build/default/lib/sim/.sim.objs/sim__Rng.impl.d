@@ -1,0 +1,1 @@
+lib/sim/rng.ml: Array Bytes Char Float Int64 Stdlib

@@ -1,0 +1,1 @@
+lib/sim/units.ml: Float Format Int64 Stdlib

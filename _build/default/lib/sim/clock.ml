@@ -1,0 +1,18 @@
+type t = { mutable now : Units.time }
+
+let create ?(at = Units.zero) () = { now = at }
+
+let now t = t.now
+
+let advance t d = t.now <- Units.add t.now d
+
+let advance_to t instant = t.now <- Units.max t.now instant
+
+let sync a b = advance_to a b.now
+
+let copy t = { now = t.now }
+
+let elapsed_since t start = Units.sub t.now start
+
+let makespan clocks =
+  List.fold_left (fun acc c -> Units.max acc c.now) Units.zero clocks

@@ -1,0 +1,33 @@
+(** Per-actor virtual clock.
+
+    Each simulated thread of execution owns a clock cursor that it
+    advances as it performs work.  Synchronisation points (barriers,
+    message receives) move a cursor forward to another cursor's
+    position.  The global makespan of a set of cursors is their
+    maximum. *)
+
+type t
+
+val create : ?at:Units.time -> unit -> t
+(** [create ~at ()] starts a clock at instant [at] (default zero). *)
+
+val now : t -> Units.time
+
+val advance : t -> Units.time -> unit
+(** [advance t d] moves the clock forward by duration [d]. *)
+
+val advance_to : t -> Units.time -> unit
+(** [advance_to t instant] moves the clock forward to [instant]; a no-op
+    if the clock is already past it. *)
+
+val sync : t -> t -> unit
+(** [sync a b] advances [a] to [max a b] — models [a] waiting for an
+    event that happens at [b]'s current instant. *)
+
+val copy : t -> t
+
+val elapsed_since : t -> Units.time -> Units.time
+(** [elapsed_since t start] is [now t - start]. *)
+
+val makespan : t list -> Units.time
+(** Latest instant among the clocks; zero for the empty list. *)

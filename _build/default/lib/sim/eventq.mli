@@ -1,0 +1,24 @@
+(** Time-ordered event queue (binary min-heap).
+
+    Drives the open-loop load generator and any component that needs
+    future-scheduled callbacks.  Ties are broken by insertion order so
+    simulation runs are fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> at:Units.time -> 'a -> unit
+(** Schedule a payload at the given instant. *)
+
+val pop : 'a t -> (Units.time * 'a) option
+(** Remove and return the earliest event. *)
+
+val peek : 'a t -> (Units.time * 'a) option
+
+val drain : 'a t -> (Units.time -> 'a -> unit) -> unit
+(** [drain t f] pops every event in time order and applies [f].  Events
+    pushed by [f] itself are processed too, so [f] must eventually stop
+    scheduling. *)

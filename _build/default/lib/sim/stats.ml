@@ -1,0 +1,77 @@
+type t = {
+  mutable samples : float array;
+  mutable len : int;
+  mutable sorted : bool;
+}
+
+let create () = { samples = Array.make 16 0.0; len = 0; sorted = true }
+
+let add t x =
+  if t.len = Array.length t.samples then begin
+    let bigger = Array.make (2 * t.len) 0.0 in
+    Array.blit t.samples 0 bigger 0 t.len;
+    t.samples <- bigger
+  end;
+  t.samples.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.sorted <- false
+
+let add_time t d = add t (Int64.to_float (Units.to_ns d))
+
+let count t = t.len
+let is_empty t = t.len = 0
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.samples.(i)
+  done;
+  !acc
+
+let sum t = fold ( +. ) 0.0 t
+
+let mean t = if t.len = 0 then 0.0 else sum t /. float_of_int t.len
+
+let min t = fold Stdlib.min infinity t
+let max t = fold Stdlib.max neg_infinity t
+
+let stddev t =
+  if t.len < 2 then 0.0
+  else begin
+    let m = mean t in
+    let ss = fold (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 t in
+    sqrt (ss /. float_of_int (t.len - 1))
+  end
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let live = Array.sub t.samples 0 t.len in
+    Array.sort Float.compare live;
+    Array.blit live 0 t.samples 0 t.len;
+    t.sorted <- true
+  end
+
+let percentile t p =
+  if t.len = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  ensure_sorted t;
+  let rank = p /. 100.0 *. float_of_int (t.len - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then t.samples.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    t.samples.(lo) +. (frac *. (t.samples.(hi) -. t.samples.(lo)))
+  end
+
+let p50 t = percentile t 50.0
+let p99 t = percentile t 99.0
+
+let percentile_time t p = Units.ns_f (percentile t p)
+let mean_time t = Units.ns_f (mean t)
+
+let clear t =
+  t.len <- 0;
+  t.sorted <- true
+
+let to_list t = Array.to_list (Array.sub t.samples 0 t.len)

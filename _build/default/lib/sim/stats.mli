@@ -1,0 +1,30 @@
+(** Latency / value sample collection with percentile queries. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val add_time : t -> Units.time -> unit
+(** Records the duration in nanoseconds. *)
+
+val count : t -> int
+val is_empty : t -> bool
+val mean : t -> float
+val min : t -> float
+val max : t -> float
+val sum : t -> float
+val stddev : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [0, 100], linear interpolation between
+    closest ranks.  Raises [Invalid_argument] on an empty collection. *)
+
+val p50 : t -> float
+val p99 : t -> float
+
+val percentile_time : t -> float -> Units.time
+(** Percentile of durations recorded with {!add_time}. *)
+
+val mean_time : t -> Units.time
+val clear : t -> unit
+val to_list : t -> float list

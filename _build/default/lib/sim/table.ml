@@ -1,0 +1,57 @@
+type row = Cells of string list | Separator
+
+type t = { title : string; columns : string list; mutable rows : row list }
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells = t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad cells n = cells @ List.init (Stdlib.max 0 (n - List.length cells)) (fun _ -> "")
+
+let render t =
+  let ncols = List.length t.columns in
+  let rows = List.rev t.rows in
+  let all_cell_rows =
+    t.columns :: List.filter_map (function Cells c -> Some (pad c ncols) | Separator -> None) rows
+  in
+  let widths = Array.make ncols 0 in
+  let record cells =
+    List.iteri (fun i c -> if i < ncols then widths.(i) <- Stdlib.max widths.(i) (String.length c)) cells
+  in
+  List.iter record all_cell_rows;
+  let buf = Buffer.create 1024 in
+  let line ch =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) ch);
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let render_cells cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        if i < ncols then begin
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf c;
+          Buffer.add_string buf (String.make (widths.(i) - String.length c + 1) ' ');
+          Buffer.add_char buf '|'
+        end)
+      (pad cells ncols);
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  line '-';
+  render_cells t.columns;
+  line '=';
+  List.iter (function Cells c -> render_cells c | Separator -> line '-') rows;
+  line '-';
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()

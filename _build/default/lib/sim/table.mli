@@ -1,0 +1,18 @@
+(** ASCII table rendering for the benchmark harness.
+
+    Every figure/table of the paper is rendered as a labelled grid so the
+    bench output can be compared side-by-side with the publication. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells. *)
+
+val add_separator : t -> unit
+
+val render : t -> string
+
+val print : t -> unit
+(** Render to stdout followed by a blank line. *)

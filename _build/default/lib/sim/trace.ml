@@ -1,0 +1,55 @@
+type event = { at : Units.time; category : string; label : string; detail : string }
+
+type t = {
+  ring : event option array;
+  mutable head : int;  (** Next write position. *)
+  mutable stored : int;
+  mutable dropped : int;
+  mutable on : bool;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { ring = Array.make capacity None; head = 0; stored = 0; dropped = 0; on = false }
+
+let enabled t = t.on
+let set_enabled t v = t.on <- v
+
+let record t ~at ~category ~label detail =
+  if t.on then begin
+    let cap = Array.length t.ring in
+    if t.stored = cap then t.dropped <- t.dropped + 1 else t.stored <- t.stored + 1;
+    t.ring.(t.head) <- Some { at; category; label; detail };
+    t.head <- (t.head + 1) mod cap
+  end
+
+let recordf t ~at ~category ~label fmt =
+  Format.kasprintf (fun detail -> record t ~at ~category ~label detail) fmt
+
+let events t =
+  let cap = Array.length t.ring in
+  let start = (t.head - t.stored + cap) mod cap in
+  List.init t.stored (fun i ->
+      match t.ring.((start + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let count t = t.stored
+let dropped t = t.dropped
+
+let filter t ~category =
+  List.filter (fun e -> String.equal e.category category) (events t)
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.head <- 0;
+  t.stored <- 0;
+  t.dropped <- 0
+
+let pp_event fmt e =
+  Format.fprintf fmt "[%a] %-10s %-20s %s" Units.pp e.at e.category e.label e.detail
+
+let dump t =
+  String.concat "\n" (List.map (Format.asprintf "%a" pp_event) (events t))
+
+let global = create ()

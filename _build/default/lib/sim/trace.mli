@@ -1,0 +1,51 @@
+(** Structured execution tracing.
+
+    A bounded ring of timestamped events.  Components record lifecycle
+    events (WFD creation, module loads, entry misses, stage
+    completions); tools dump or filter them.  Tracing is off by default
+    and costs one branch when disabled. *)
+
+type event = {
+  at : Units.time;
+  category : string;  (** e.g. "visor", "loader", "asbuffer". *)
+  label : string;
+  detail : string;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring capacity defaults to 4096 events; older events are dropped. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val record : t -> at:Units.time -> category:string -> label:string -> string -> unit
+(** No-op when disabled. *)
+
+val recordf :
+  t ->
+  at:Units.time ->
+  category:string ->
+  label:string ->
+  ('a, Format.formatter, unit, unit) format4 ->
+  'a
+(** Formatted detail; the format arguments are still evaluated when
+    disabled, so keep them cheap. *)
+
+val events : t -> event list
+(** Oldest first. *)
+
+val count : t -> int
+(** Events currently retained. *)
+
+val dropped : t -> int
+(** Events lost to ring overflow. *)
+
+val filter : t -> category:string -> event list
+val clear : t -> unit
+val pp_event : Format.formatter -> event -> unit
+val dump : t -> string
+
+val global : t
+(** Process-wide trace used by the core library; disabled by default. *)

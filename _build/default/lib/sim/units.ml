@@ -1,0 +1,67 @@
+type time = int64
+
+let zero = 0L
+
+let ns n = Int64.of_int n
+let us n = Int64.mul (Int64.of_int n) 1_000L
+let ms n = Int64.mul (Int64.of_int n) 1_000_000L
+let sec n = Int64.mul (Int64.of_int n) 1_000_000_000L
+
+let ns_f x = Int64.of_float (Float.round x)
+let us_f x = ns_f (x *. 1e3)
+let ms_f x = ns_f (x *. 1e6)
+
+let to_ns t = t
+let to_us t = Int64.to_float t /. 1e3
+let to_ms t = Int64.to_float t /. 1e6
+let to_sec t = Int64.to_float t /. 1e9
+
+let add = Int64.add
+
+let sub a b = if Int64.compare a b <= 0 then 0L else Int64.sub a b
+
+let diff a b = if Int64.compare a b >= 0 then Int64.sub a b else Int64.sub b a
+
+let scale t f = Int64.of_float (Int64.to_float t *. f)
+
+let max a b = if Int64.compare a b >= 0 then a else b
+let min a b = if Int64.compare a b <= 0 then a else b
+let compare = Int64.compare
+let equal = Int64.equal
+
+let ( + ) = add
+let ( - ) = sub
+let ( < ) a b = Int64.compare a b < 0
+let ( <= ) a b = Int64.compare a b <= 0
+let ( > ) a b = Int64.compare a b > 0
+let ( >= ) a b = Int64.compare a b >= 0
+
+let pp fmt t =
+  let f = Int64.to_float t in
+  if Stdlib.( < ) f 1e3 then Format.fprintf fmt "%.0fns" f
+  else if Stdlib.( < ) f 1e6 then Format.fprintf fmt "%.2fus" (f /. 1e3)
+  else if Stdlib.( < ) f 1e9 then Format.fprintf fmt "%.2fms" (f /. 1e6)
+  else Format.fprintf fmt "%.3fs" (f /. 1e9)
+
+let to_string t = Format.asprintf "%a" pp t
+
+let kib n = n * 1024
+let mib n = n * 1024 * 1024
+let gib n = n * 1024 * 1024 * 1024
+
+let pp_bytes fmt n =
+  let f = float_of_int n in
+  if Stdlib.( < ) f 1024. then Format.fprintf fmt "%dB" n
+  else if Stdlib.( < ) f (1024. *. 1024.) then Format.fprintf fmt "%.0fKB" (f /. 1024.)
+  else if Stdlib.( < ) f (1024. *. 1024. *. 1024.) then
+    Format.fprintf fmt "%.0fMB" (f /. 1024. /. 1024.)
+  else Format.fprintf fmt "%.2fGB" (f /. 1024. /. 1024. /. 1024.)
+
+let bytes_to_string n = Format.asprintf "%a" pp_bytes n
+
+let time_for_bytes ~bytes_per_sec n =
+  if Stdlib.( <= ) n 0 then zero
+  else ns_f (float_of_int n /. bytes_per_sec *. 1e9)
+
+let gbit_per_sec g = g *. 1e9 /. 8.
+let mb_per_sec m = m *. 1e6

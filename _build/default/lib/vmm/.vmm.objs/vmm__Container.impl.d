@@ -1,0 +1,1 @@
+lib/vmm/container.ml: Hostos Sandbox Sim Units

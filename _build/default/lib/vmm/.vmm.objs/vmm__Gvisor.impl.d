@@ -1,0 +1,1 @@
+lib/vmm/gvisor.ml: Hostos Sandbox Sim Units

@@ -1,0 +1,1 @@
+lib/vmm/gvisor.mli: Sandbox

@@ -1,0 +1,1 @@
+lib/vmm/microvm.ml: Hostos Sandbox Sim Units

@@ -1,0 +1,1 @@
+lib/vmm/sandbox.ml: Clock Format Hostos List Sim Units

@@ -1,0 +1,1 @@
+lib/vmm/sandbox.mli: Format Hostos Sim

@@ -1,0 +1,1 @@
+lib/vmm/unikraft.ml: Hostos Sandbox Sim Units

@@ -1,0 +1,1 @@
+lib/vmm/unikraft.mli: Sandbox Sim

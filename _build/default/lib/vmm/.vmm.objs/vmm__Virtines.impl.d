@@ -1,0 +1,1 @@
+lib/vmm/virtines.ml: Hostos Sandbox Sim Units

@@ -1,0 +1,1 @@
+lib/vmm/virtines.mli: Sandbox

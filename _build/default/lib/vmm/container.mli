@@ -1,0 +1,12 @@
+(** Plain OCI container (containerd + runc) and Kata Containers.
+
+    The container path backs the OpenFaaS baseline; the Kata path wraps
+    the container inside a Firecracker MicroVM (guest kernel + agent),
+    which is how the paper deploys Faastlane-kata. *)
+
+val runc : Sandbox.profile
+(** containerd + runc + of-watchdog: the OpenFaaS function sandbox. *)
+
+val kata_firecracker : Sandbox.profile
+(** Kata with the Firecracker hypervisor: MicroVM boot plus kata-agent
+    and a rootfs prepared over virtio-fs. *)

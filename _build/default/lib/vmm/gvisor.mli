@@ -1,0 +1,8 @@
+(** gVisor (runsc, ptrace platform) boot profile.
+
+    The paper (§8.2) attributes gVisor's slow start to (1) ptrace
+    interception during initialisation (~50% of runtime-process CPU in
+    kernel mode) and (2) Go runtime + OCI machinery (>20% of total).
+    Workload syscalls are intercepted via ptrace at runtime too. *)
+
+val profile : Sandbox.profile

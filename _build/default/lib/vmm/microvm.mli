@@ -1,0 +1,17 @@
+(** MicroVM (Firecracker) and full-QEMU boot profiles.
+
+    Calibrated to Fig. 2 of the paper: a full QEMU guest boots in
+    ~1817 ms; trimming the device model (no BIOS, no legacy devices, no
+    PCI) brings a MicroVM to ~1186 ms with the guest kernel and rootfs
+    intact.  A snapshot-less Firecracker used purely as a serverless
+    sandbox (minimal guest, as in the Firecracker paper) boots in
+    ~200 ms — that profile backs the Kata/OpenFaaS deployments. *)
+
+val qemu_full : Sandbox.profile
+(** Unmodified QEMU/KVM guest. *)
+
+val trimmed : Sandbox.profile
+(** MicroVM with trimmed device model, full guest Linux (Fig. 2). *)
+
+val firecracker_serverless : Sandbox.profile
+(** Firecracker with a minimal serverless guest (~200 ms, [63]). *)

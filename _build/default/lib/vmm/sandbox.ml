@@ -1,0 +1,36 @@
+open Sim
+
+type stage = { label : string; cost : Units.time }
+
+type profile = {
+  name : string;
+  stages : stage list;
+  mem_overhead : int;
+  cpu_tax : float;
+  syscall_via : Hostos.Syscall.interception;
+}
+
+let total p = List.fold_left (fun acc s -> Units.add acc s.cost) Units.zero p.stages
+
+type boot_report = {
+  profile_name : string;
+  stage_times : (string * Units.time) list;
+  total_time : Units.time;
+}
+
+let boot p clock =
+  let stage_times =
+    List.map
+      (fun s ->
+        Clock.advance clock s.cost;
+        (s.label, s.cost))
+      p.stages
+  in
+  { profile_name = p.name; stage_times; total_time = total p }
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v2>%s boot: %a@," r.profile_name Units.pp r.total_time;
+  List.iter
+    (fun (label, t) -> Format.fprintf fmt "%-24s %a@," label Units.pp t)
+    r.stage_times;
+  Format.fprintf fmt "@]"

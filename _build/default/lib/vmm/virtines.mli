@@ -1,0 +1,8 @@
+(** Virtines: KVM micro-contexts with no guest kernel.
+
+    Removing the guest kernel entirely brings start latency to ~23 ms
+    (Fig. 2; 22.8 ms in Fig. 10), but syscalls from the function are
+    serviced directly by the host kernel, so the host loses the extra
+    isolation layer — the security trade-off the paper points out. *)
+
+val profile : Sandbox.profile

@@ -1,0 +1,1 @@
+lib/wasm/aot.ml: Array Bytes Char Format Hashtbl Instr Int64 Isa List Printf String Validate Wmodule

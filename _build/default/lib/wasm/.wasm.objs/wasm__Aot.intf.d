@@ -1,0 +1,1 @@
+lib/wasm/aot.mli: Isa Wmodule

@@ -1,0 +1,1 @@
+lib/wasm/builder.ml: Instr Int64 Wmodule

@@ -1,0 +1,1 @@
+lib/wasm/builder.mli: Instr Wmodule

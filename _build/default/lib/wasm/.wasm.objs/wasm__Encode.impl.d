@@ -1,0 +1,1 @@
+lib/wasm/encode.ml: Buffer Bytes Char Format Instr Int64 List Printf String Wmodule

@@ -1,0 +1,1 @@
+lib/wasm/encode.mli: Buffer Wmodule

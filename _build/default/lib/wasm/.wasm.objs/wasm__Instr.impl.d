@@ -1,0 +1,1 @@
+lib/wasm/instr.ml: Format List

@@ -1,0 +1,1 @@
+lib/wasm/interp.ml: Array Bytes Char Format Hashtbl Instr Int64 List Printf String Validate Wmodule

@@ -1,0 +1,1 @@
+lib/wasm/runtime.ml: Aot Clock Int64 List Sim Units Wasi Wmodule

@@ -1,0 +1,1 @@
+lib/wasm/runtime.mli: Aot Isa Sim Wasi Wmodule

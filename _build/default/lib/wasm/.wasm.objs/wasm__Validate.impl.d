@@ -1,0 +1,1 @@
+lib/wasm/validate.ml: Format Instr List String Wmodule

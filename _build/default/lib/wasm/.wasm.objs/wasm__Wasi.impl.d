@@ -1,0 +1,1 @@
+lib/wasm/wasi.ml: Aot Array Bytes Int64 Interp List String

@@ -1,0 +1,1 @@
+lib/wasm/wasi.mli: Aot Interp

@@ -1,0 +1,1 @@
+lib/wasm/wat.ml: Buffer Char Format Instr Int64 List Printf String Wmodule

@@ -1,0 +1,1 @@
+lib/wasm/wat.mli: Wmodule

@@ -1,0 +1,1 @@
+lib/wasm/wmodule.ml: Instr List

@@ -1,0 +1,1 @@
+lib/wasm/wmodule.mli: Instr

@@ -1,0 +1,362 @@
+exception Trap of string
+
+type instance = {
+  mutable funcs : (int64 array -> int64) array;
+      (** Compiled local functions by slot. *)
+  imports : string list;
+  n_imports : int;
+  mutable memory : Bytes.t;
+  globals : int64 array;
+  hosts : (string, host_fn) Hashtbl.t;
+  mutable executed : int;
+  mutable fuel : int;
+  exports : (string * int) list;
+}
+
+and host_fn = instance -> int64 array -> int64
+
+type control = Fall | Branch of int | Ret
+
+(* A compiled body: given the instance and the frame's locals/stack,
+   run to a control outcome. *)
+type frame = { locals : int64 array; mutable stack : int64 list }
+
+type code = instance -> frame -> control
+
+type compiled = {
+  m : Wmodule.t;
+  bodies : (Wmodule.func * code) list;
+  instr_count : int;
+}
+
+let trap fmt = Format.kasprintf (fun s -> raise (Trap s)) fmt
+
+let pop fr =
+  match fr.stack with
+  | [] -> trap "value stack underflow"
+  | v :: rest ->
+      fr.stack <- rest;
+      v
+
+let push fr v = fr.stack <- v :: fr.stack
+
+let tick inst =
+  inst.executed <- inst.executed + 1;
+  inst.fuel <- inst.fuel - 1;
+  if inst.fuel < 0 then trap "out of fuel"
+
+let check_mem inst addr len =
+  if addr < 0 || len < 0 || addr + len > Bytes.length inst.memory then
+    trap "memory access out of bounds: %d (+%d) of %d" addr len (Bytes.length inst.memory)
+
+let binop_fn op =
+  let open Int64 in
+  let bool v = if v then 1L else 0L in
+  match op with
+  | Instr.Add -> add
+  | Instr.Sub -> sub
+  | Instr.Mul -> mul
+  | Instr.Div_s -> fun a b -> if b = 0L then trap "integer divide by zero" else div a b
+  | Instr.Rem_s -> fun a b -> if b = 0L then trap "integer divide by zero" else rem a b
+  | Instr.And -> logand
+  | Instr.Or -> logor
+  | Instr.Xor -> logxor
+  | Instr.Shl -> fun a b -> shift_left a (to_int (logand b 63L))
+  | Instr.Shr_s -> fun a b -> shift_right a (to_int (logand b 63L))
+  | Instr.Eq -> fun a b -> bool (equal a b)
+  | Instr.Ne -> fun a b -> bool (not (equal a b))
+  | Instr.Lt_s -> fun a b -> bool (compare a b < 0)
+  | Instr.Gt_s -> fun a b -> bool (compare a b > 0)
+  | Instr.Le_s -> fun a b -> bool (compare a b <= 0)
+  | Instr.Ge_s -> fun a b -> bool (compare a b >= 0)
+
+let rec call_slot inst idx args =
+  if idx < inst.n_imports then begin
+    let name = List.nth inst.imports idx in
+    let fn = Hashtbl.find inst.hosts name in
+    fn inst args
+  end
+  else inst.funcs.(idx - inst.n_imports) args
+
+(* Compile an instruction sequence into one closure. *)
+and compile_seq m callee_arity seq : code =
+  let compiled = List.map (compile_instr m callee_arity) seq in
+  fun inst fr ->
+    let rec run = function
+      | [] -> Fall
+      | c :: rest -> begin
+          match c inst fr with Fall -> run rest | (Branch _ | Ret) as ctl -> ctl
+        end
+    in
+    run compiled
+
+and compile_instr m callee_arity instr : code =
+  match instr with
+  | Instr.Nop ->
+      fun inst _ ->
+        tick inst;
+        Fall
+  | Instr.Unreachable ->
+      fun inst _ ->
+        tick inst;
+        trap "unreachable executed"
+  | Instr.Const v ->
+      fun inst fr ->
+        tick inst;
+        push fr v;
+        Fall
+  | Instr.Binop op ->
+      let f = binop_fn op in
+      fun inst fr ->
+        tick inst;
+        let b = pop fr in
+        let a = pop fr in
+        push fr (f a b);
+        Fall
+  | Instr.Eqz ->
+      fun inst fr ->
+        tick inst;
+        push fr (if Int64.equal (pop fr) 0L then 1L else 0L);
+        Fall
+  | Instr.Drop ->
+      fun inst fr ->
+        tick inst;
+        ignore (pop fr);
+        Fall
+  | Instr.Select ->
+      fun inst fr ->
+        tick inst;
+        let cond = pop fr in
+        let b = pop fr in
+        let a = pop fr in
+        push fr (if Int64.equal cond 0L then b else a);
+        Fall
+  | Instr.Local_get i ->
+      fun inst fr ->
+        tick inst;
+        push fr fr.locals.(i);
+        Fall
+  | Instr.Local_set i ->
+      fun inst fr ->
+        tick inst;
+        fr.locals.(i) <- pop fr;
+        Fall
+  | Instr.Local_tee i ->
+      fun inst fr ->
+        tick inst;
+        (match fr.stack with
+        | [] -> trap "value stack underflow"
+        | v :: _ -> fr.locals.(i) <- v);
+        Fall
+  | Instr.Global_get i ->
+      fun inst fr ->
+        tick inst;
+        push fr inst.globals.(i);
+        Fall
+  | Instr.Global_set i ->
+      fun inst fr ->
+        tick inst;
+        inst.globals.(i) <- pop fr;
+        Fall
+  | Instr.Load8 off ->
+      fun inst fr ->
+        tick inst;
+        let addr = Int64.to_int (pop fr) + off in
+        check_mem inst addr 1;
+        push fr (Int64.of_int (Char.code (Bytes.get inst.memory addr)));
+        Fall
+  | Instr.Load64 off ->
+      fun inst fr ->
+        tick inst;
+        let addr = Int64.to_int (pop fr) + off in
+        check_mem inst addr 8;
+        push fr (Bytes.get_int64_le inst.memory addr);
+        Fall
+  | Instr.Store8 off ->
+      fun inst fr ->
+        tick inst;
+        let v = pop fr in
+        let addr = Int64.to_int (pop fr) + off in
+        check_mem inst addr 1;
+        Bytes.set inst.memory addr (Char.chr (Int64.to_int (Int64.logand v 0xFFL)));
+        Fall
+  | Instr.Store64 off ->
+      fun inst fr ->
+        tick inst;
+        let v = pop fr in
+        let addr = Int64.to_int (pop fr) + off in
+        check_mem inst addr 8;
+        Bytes.set_int64_le inst.memory addr v;
+        Fall
+  | Instr.Memory_size ->
+      fun inst fr ->
+        tick inst;
+        push fr (Int64.of_int (Bytes.length inst.memory / Wmodule.page_size));
+        Fall
+  | Instr.Memory_grow ->
+      fun inst fr ->
+        tick inst;
+        let delta = Int64.to_int (pop fr) in
+        let old_pages = Bytes.length inst.memory / Wmodule.page_size in
+        if delta < 0 || old_pages + delta > 4096 then push fr (-1L)
+        else begin
+          let bigger = Bytes.make ((old_pages + delta) * Wmodule.page_size) '\000' in
+          Bytes.blit inst.memory 0 bigger 0 (Bytes.length inst.memory);
+          inst.memory <- bigger;
+          push fr (Int64.of_int old_pages)
+        end;
+        Fall
+  | Instr.Block body ->
+      let compiled = compile_seq m callee_arity body in
+      fun inst fr -> begin
+        tick inst;
+        match compiled inst fr with
+        | Fall | Branch 0 -> Fall
+        | Branch n -> Branch (n - 1)
+        | Ret -> Ret
+      end
+  | Instr.Loop body ->
+      let compiled = compile_seq m callee_arity body in
+      fun inst fr ->
+        tick inst;
+        let rec iterate () =
+          match compiled inst fr with
+          | Branch 0 -> iterate ()
+          | Fall -> Fall
+          | Branch n -> Branch (n - 1)
+          | Ret -> Ret
+        in
+        iterate ()
+  | Instr.If (then_, else_) ->
+      let cthen = compile_seq m callee_arity then_ in
+      let celse = compile_seq m callee_arity else_ in
+      fun inst fr -> begin
+        tick inst;
+        let body = if Int64.equal (pop fr) 0L then celse else cthen in
+        match body inst fr with
+        | Fall | Branch 0 -> Fall
+        | Branch n -> Branch (n - 1)
+        | Ret -> Ret
+      end
+  | Instr.Br n ->
+      fun inst _ ->
+        tick inst;
+        Branch n
+  | Instr.Br_if n ->
+      fun inst fr ->
+        tick inst;
+        if Int64.equal (pop fr) 0L then Fall else Branch n
+  | Instr.Return ->
+      fun inst _ ->
+        tick inst;
+        Ret
+  | Instr.Call idx ->
+      let arity = callee_arity idx in
+      fun inst fr ->
+        tick inst;
+        let args = Array.make arity 0L in
+        for i = arity - 1 downto 0 do
+          args.(i) <- pop fr
+        done;
+        push fr (call_slot inst idx args);
+        Fall
+
+let compile m =
+  Validate.validate_exn m;
+  let n_imports = List.length m.Wmodule.imports in
+  let callee_arity idx =
+    if idx < n_imports then 3 (* host-call convention, see Interp *)
+    else begin
+      match Wmodule.local_func m idx with
+      | Some f -> f.Wmodule.params
+      | None -> 0
+    end
+  in
+  let bodies =
+    List.map
+      (fun (f : Wmodule.func) -> (f, compile_seq m callee_arity f.Wmodule.body))
+      m.Wmodule.funcs
+  in
+  { m; bodies; instr_count = Wmodule.code_size m }
+
+let compiled_instr_count c = c.instr_count
+
+let to_image c =
+  (* AOT lowering never emits blacklisted opcodes: every instruction
+     becomes safe ALU/memory ops, and host access becomes calls into the
+     embedder's entry points. *)
+  let lower (f : Wmodule.func) =
+    let rec go = function
+      | [] -> []
+      | Instr.Call idx :: rest when Wmodule.is_import c.m idx ->
+          Isa.Inst.Call (List.nth c.m.Wmodule.imports idx) :: go rest
+      | Instr.Call _ :: rest -> Isa.Inst.Call "local" :: go rest
+      | Instr.Const v :: rest ->
+          Isa.Inst.Mov_imm (Int64.to_int32 v) :: go rest
+      | (Instr.Load8 _ | Instr.Load64 _) :: rest -> Isa.Inst.Load :: go rest
+      | (Instr.Store8 _ | Instr.Store64 _) :: rest -> Isa.Inst.Store :: go rest
+      | (Instr.Block b | Instr.Loop b) :: rest -> go b @ go rest
+      | Instr.If (a, b) :: rest -> go a @ go b @ go rest
+      | Instr.Return :: rest -> Isa.Inst.Ret :: go rest
+      | (Instr.Br _ | Instr.Br_if _) :: rest -> Isa.Inst.Jmp 0 :: go rest
+      | _ :: rest -> Isa.Inst.Add :: go rest
+    in
+    go f.Wmodule.body @ [ Isa.Inst.Ret ]
+  in
+  let insts = List.concat_map lower c.m.Wmodule.funcs in
+  Isa.Image.create ~name:(c.m.Wmodule.name ^ ".aot") ~toolchain:Isa.Image.Wasm_aot insts
+
+let instantiate ?(hosts = []) c =
+  let table = Hashtbl.create 8 in
+  List.iter (fun (name, fn) -> Hashtbl.replace table name fn) hosts;
+  List.iter
+    (fun name ->
+      if not (Hashtbl.mem table name) then
+        invalid_arg (Printf.sprintf "Wasm.Aot: missing host import %s" name))
+    c.m.Wmodule.imports;
+  let memory = Bytes.make (c.m.Wmodule.memory_pages * Wmodule.page_size) '\000' in
+  List.iter
+    (fun (off, data) -> Bytes.blit_string data 0 memory off (String.length data))
+    c.m.Wmodule.data;
+  let inst =
+    {
+      funcs = [||];
+      imports = c.m.Wmodule.imports;
+      n_imports = List.length c.m.Wmodule.imports;
+      memory;
+      globals = Array.of_list c.m.Wmodule.globals;
+      hosts = table;
+      executed = 0;
+      fuel = max_int;
+      exports = c.m.Wmodule.exports;
+    }
+  in
+  let make_callable ((f : Wmodule.func), code) args =
+    if Array.length args <> f.Wmodule.params then
+      trap "%s expects %d args, got %d" f.Wmodule.fname f.Wmodule.params
+        (Array.length args);
+    let locals = Array.make (f.Wmodule.params + f.Wmodule.locals) 0L in
+    Array.blit args 0 locals 0 (Array.length args);
+    let fr = { locals; stack = [] } in
+    let _ = code inst fr in
+    match fr.stack with [] -> 0L | top :: _ -> top
+  in
+  inst.funcs <- Array.of_list (List.map (fun b -> make_callable b) c.bodies);
+  inst
+
+let call ?(fuel = 200_000_000) inst name args =
+  match List.assoc_opt name inst.exports with
+  | None -> invalid_arg (Printf.sprintf "Wasm.Aot: no export %s" name)
+  | Some idx ->
+      inst.fuel <- fuel;
+      call_slot inst idx args
+
+let executed inst = inst.executed
+
+let read_memory inst addr len =
+  check_mem inst addr len;
+  Bytes.sub inst.memory addr len
+
+let write_memory inst addr data =
+  check_mem inst addr (Bytes.length data);
+  Bytes.blit data 0 inst.memory addr (Bytes.length data)

@@ -1,0 +1,283 @@
+let magic = "\000asm"
+let version = 1
+
+exception Malformed of { offset : int; message : string }
+
+(* --- LEB128 --- *)
+
+let uleb_encode buf n =
+  if n < 0 then invalid_arg "uleb_encode: negative";
+  let rec go n =
+    let byte = n land 0x7F in
+    let rest = n lsr 7 in
+    if rest = 0 then Buffer.add_char buf (Char.chr byte)
+    else begin
+      Buffer.add_char buf (Char.chr (byte lor 0x80));
+      go rest
+    end
+  in
+  go n
+
+let sleb_encode buf (v : int64) =
+  let rec go v =
+    let byte = Int64.to_int (Int64.logand v 0x7FL) in
+    let rest = Int64.shift_right v 7 in
+    let sign_clear = byte land 0x40 = 0 in
+    if (Int64.equal rest 0L && sign_clear) || (Int64.equal rest (-1L) && not sign_clear)
+    then Buffer.add_char buf (Char.chr byte)
+    else begin
+      Buffer.add_char buf (Char.chr (byte lor 0x80));
+      go rest
+    end
+  in
+  go v
+
+(* --- instruction opcodes (one byte each, ours not wasm's) --- *)
+
+let opcode = function
+  | Instr.Nop -> 0x01
+  | Instr.Unreachable -> 0x02
+  | Instr.Const _ -> 0x03
+  | Instr.Binop _ -> 0x04
+  | Instr.Eqz -> 0x05
+  | Instr.Drop -> 0x06
+  | Instr.Select -> 0x07
+  | Instr.Local_get _ -> 0x08
+  | Instr.Local_set _ -> 0x09
+  | Instr.Local_tee _ -> 0x0A
+  | Instr.Global_get _ -> 0x0B
+  | Instr.Global_set _ -> 0x0C
+  | Instr.Load8 _ -> 0x0D
+  | Instr.Load64 _ -> 0x0E
+  | Instr.Store8 _ -> 0x0F
+  | Instr.Store64 _ -> 0x10
+  | Instr.Memory_size -> 0x11
+  | Instr.Memory_grow -> 0x12
+  | Instr.Block _ -> 0x13
+  | Instr.Loop _ -> 0x14
+  | Instr.If _ -> 0x15
+  | Instr.Br _ -> 0x16
+  | Instr.Br_if _ -> 0x17
+  | Instr.Return -> 0x18
+  | Instr.Call _ -> 0x19
+
+let binop_code = function
+  | Instr.Add -> 0
+  | Instr.Sub -> 1
+  | Instr.Mul -> 2
+  | Instr.Div_s -> 3
+  | Instr.Rem_s -> 4
+  | Instr.And -> 5
+  | Instr.Or -> 6
+  | Instr.Xor -> 7
+  | Instr.Shl -> 8
+  | Instr.Shr_s -> 9
+  | Instr.Eq -> 10
+  | Instr.Ne -> 11
+  | Instr.Lt_s -> 12
+  | Instr.Gt_s -> 13
+  | Instr.Le_s -> 14
+  | Instr.Ge_s -> 15
+
+let binop_of_code = function
+  | 0 -> Instr.Add
+  | 1 -> Instr.Sub
+  | 2 -> Instr.Mul
+  | 3 -> Instr.Div_s
+  | 4 -> Instr.Rem_s
+  | 5 -> Instr.And
+  | 6 -> Instr.Or
+  | 7 -> Instr.Xor
+  | 8 -> Instr.Shl
+  | 9 -> Instr.Shr_s
+  | 10 -> Instr.Eq
+  | 11 -> Instr.Ne
+  | 12 -> Instr.Lt_s
+  | 13 -> Instr.Gt_s
+  | 14 -> Instr.Le_s
+  | 15 -> Instr.Ge_s
+  | c -> raise (Malformed { offset = -1; message = Printf.sprintf "bad binop %d" c })
+
+let add_string buf s =
+  uleb_encode buf (String.length s);
+  Buffer.add_string buf s
+
+let rec encode_instr buf i =
+  Buffer.add_char buf (Char.chr (opcode i));
+  match i with
+  | Instr.Const v -> sleb_encode buf v
+  | Instr.Binop op -> uleb_encode buf (binop_code op)
+  | Instr.Local_get n | Instr.Local_set n | Instr.Local_tee n
+  | Instr.Global_get n | Instr.Global_set n
+  | Instr.Load8 n | Instr.Load64 n | Instr.Store8 n | Instr.Store64 n
+  | Instr.Br n | Instr.Br_if n | Instr.Call n ->
+      uleb_encode buf n
+  | Instr.Block body | Instr.Loop body -> encode_body buf body
+  | Instr.If (a, b) ->
+      encode_body buf a;
+      encode_body buf b
+  | Instr.Nop | Instr.Unreachable | Instr.Eqz | Instr.Drop | Instr.Select
+  | Instr.Memory_size | Instr.Memory_grow | Instr.Return ->
+      ()
+
+and encode_body buf body =
+  uleb_encode buf (List.length body);
+  List.iter (encode_instr buf) body
+
+let encode (m : Wmodule.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf magic;
+  uleb_encode buf version;
+  add_string buf m.Wmodule.name;
+  (* imports *)
+  uleb_encode buf (List.length m.Wmodule.imports);
+  List.iter (add_string buf) m.Wmodule.imports;
+  (* functions *)
+  uleb_encode buf (List.length m.Wmodule.funcs);
+  List.iter
+    (fun (f : Wmodule.func) ->
+      add_string buf f.Wmodule.fname;
+      uleb_encode buf f.Wmodule.params;
+      uleb_encode buf f.Wmodule.locals;
+      encode_body buf f.Wmodule.body)
+    m.Wmodule.funcs;
+  (* memory *)
+  uleb_encode buf m.Wmodule.memory_pages;
+  (* globals *)
+  uleb_encode buf (List.length m.Wmodule.globals);
+  List.iter (sleb_encode buf) m.Wmodule.globals;
+  (* data *)
+  uleb_encode buf (List.length m.Wmodule.data);
+  List.iter
+    (fun (off, d) ->
+      uleb_encode buf off;
+      add_string buf d)
+    m.Wmodule.data;
+  (* exports *)
+  uleb_encode buf (List.length m.Wmodule.exports);
+  List.iter
+    (fun (name, idx) ->
+      add_string buf name;
+      uleb_encode buf idx)
+    m.Wmodule.exports;
+  Buffer.to_bytes buf
+
+(* --- decoding --- *)
+
+type cursor = { data : bytes; mutable pos : int }
+
+let fail c fmt =
+  Format.kasprintf (fun message -> raise (Malformed { offset = c.pos; message })) fmt
+
+let byte c =
+  if c.pos >= Bytes.length c.data then fail c "unexpected end of input";
+  let b = Char.code (Bytes.get c.data c.pos) in
+  c.pos <- c.pos + 1;
+  b
+
+let uleb_decode c =
+  let rec go shift acc =
+    if shift > 56 then fail c "uleb too long";
+    let b = byte c in
+    let acc = acc lor ((b land 0x7F) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let sleb_decode c =
+  let rec go shift acc =
+    if shift > 63 then fail c "sleb too long";
+    let b = byte c in
+    let acc = Int64.logor acc (Int64.shift_left (Int64.of_int (b land 0x7F)) shift) in
+    if b land 0x80 <> 0 then go (shift + 7) acc
+    else if shift + 7 < 64 && b land 0x40 <> 0 then
+      (* sign extend *)
+      Int64.logor acc (Int64.shift_left (-1L) (shift + 7))
+    else acc
+  in
+  go 0 0L
+
+let read_string c =
+  let n = uleb_decode c in
+  if c.pos + n > Bytes.length c.data then fail c "string runs past end";
+  let s = Bytes.sub_string c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let rec decode_instr c =
+  let op = byte c in
+  match op with
+  | 0x01 -> Instr.Nop
+  | 0x02 -> Instr.Unreachable
+  | 0x03 -> Instr.Const (sleb_decode c)
+  | 0x04 -> Instr.Binop (binop_of_code (uleb_decode c))
+  | 0x05 -> Instr.Eqz
+  | 0x06 -> Instr.Drop
+  | 0x07 -> Instr.Select
+  | 0x08 -> Instr.Local_get (uleb_decode c)
+  | 0x09 -> Instr.Local_set (uleb_decode c)
+  | 0x0A -> Instr.Local_tee (uleb_decode c)
+  | 0x0B -> Instr.Global_get (uleb_decode c)
+  | 0x0C -> Instr.Global_set (uleb_decode c)
+  | 0x0D -> Instr.Load8 (uleb_decode c)
+  | 0x0E -> Instr.Load64 (uleb_decode c)
+  | 0x0F -> Instr.Store8 (uleb_decode c)
+  | 0x10 -> Instr.Store64 (uleb_decode c)
+  | 0x11 -> Instr.Memory_size
+  | 0x12 -> Instr.Memory_grow
+  | 0x13 -> Instr.Block (decode_body c)
+  | 0x14 -> Instr.Loop (decode_body c)
+  | 0x15 ->
+      let a = decode_body c in
+      let b = decode_body c in
+      Instr.If (a, b)
+  | 0x16 -> Instr.Br (uleb_decode c)
+  | 0x17 -> Instr.Br_if (uleb_decode c)
+  | 0x18 -> Instr.Return
+  | 0x19 -> Instr.Call (uleb_decode c)
+  | op -> fail c "unknown opcode 0x%02x" op
+
+and decode_body c =
+  let n = uleb_decode c in
+  if n > Bytes.length c.data then fail c "body length %d implausible" n;
+  List.init n (fun _ -> decode_instr c)
+
+let decode data =
+  let c = { data; pos = 0 } in
+  if Bytes.length data < 4 || Bytes.sub_string data 0 4 <> magic then
+    raise (Malformed { offset = 0; message = "bad magic" });
+  c.pos <- 4;
+  let v = uleb_decode c in
+  if v <> version then fail c "unsupported version %d" v;
+  let name = read_string c in
+  let imports = List.init (uleb_decode c) (fun _ -> read_string c) in
+  let funcs =
+    List.init (uleb_decode c) (fun _ ->
+        let fname = read_string c in
+        let params = uleb_decode c in
+        let locals = uleb_decode c in
+        let body = decode_body c in
+        { Wmodule.fname; params; locals; body })
+  in
+  let memory_pages = uleb_decode c in
+  let globals = List.init (uleb_decode c) (fun _ -> sleb_decode c) in
+  let data_segs =
+    List.init (uleb_decode c) (fun _ ->
+        let off = uleb_decode c in
+        let d = read_string c in
+        (off, d))
+  in
+  let exports =
+    List.init (uleb_decode c) (fun _ ->
+        let n = read_string c in
+        let idx = uleb_decode c in
+        (n, idx))
+  in
+  if c.pos <> Bytes.length data then fail c "trailing bytes";
+  Wmodule.create ~imports ~globals ~memory_pages ~data:data_segs ~exports ~name funcs
+
+let decode_result data =
+  match decode data with
+  | m -> Ok m
+  | exception Malformed { offset; message } ->
+      Error (Printf.sprintf "at offset %d: %s" offset message)

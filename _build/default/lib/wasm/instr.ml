@@ -1,0 +1,107 @@
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div_s
+  | Rem_s
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr_s
+  | Eq
+  | Ne
+  | Lt_s
+  | Gt_s
+  | Le_s
+  | Ge_s
+
+type t =
+  | Nop
+  | Unreachable
+  | Const of int64
+  | Binop of binop
+  | Eqz
+  | Drop
+  | Select
+  | Local_get of int
+  | Local_set of int
+  | Local_tee of int
+  | Global_get of int
+  | Global_set of int
+  | Load8 of int
+  | Load64 of int
+  | Store8 of int
+  | Store64 of int
+  | Memory_size
+  | Memory_grow
+  | Block of t list
+  | Loop of t list
+  | If of t list * t list
+  | Br of int
+  | Br_if of int
+  | Return
+  | Call of int
+
+let pp_binop fmt op =
+  let s =
+    match op with
+    | Add -> "add"
+    | Sub -> "sub"
+    | Mul -> "mul"
+    | Div_s -> "div_s"
+    | Rem_s -> "rem_s"
+    | And -> "and"
+    | Or -> "or"
+    | Xor -> "xor"
+    | Shl -> "shl"
+    | Shr_s -> "shr_s"
+    | Eq -> "eq"
+    | Ne -> "ne"
+    | Lt_s -> "lt_s"
+    | Gt_s -> "gt_s"
+    | Le_s -> "le_s"
+    | Ge_s -> "ge_s"
+  in
+  Format.pp_print_string fmt s
+
+let rec pp fmt = function
+  | Nop -> Format.pp_print_string fmt "nop"
+  | Unreachable -> Format.pp_print_string fmt "unreachable"
+  | Const v -> Format.fprintf fmt "const %Ld" v
+  | Binop op -> pp_binop fmt op
+  | Eqz -> Format.pp_print_string fmt "eqz"
+  | Drop -> Format.pp_print_string fmt "drop"
+  | Select -> Format.pp_print_string fmt "select"
+  | Local_get i -> Format.fprintf fmt "local.get %d" i
+  | Local_set i -> Format.fprintf fmt "local.set %d" i
+  | Local_tee i -> Format.fprintf fmt "local.tee %d" i
+  | Global_get i -> Format.fprintf fmt "global.get %d" i
+  | Global_set i -> Format.fprintf fmt "global.set %d" i
+  | Load8 o -> Format.fprintf fmt "load8 +%d" o
+  | Load64 o -> Format.fprintf fmt "load64 +%d" o
+  | Store8 o -> Format.fprintf fmt "store8 +%d" o
+  | Store64 o -> Format.fprintf fmt "store64 +%d" o
+  | Memory_size -> Format.pp_print_string fmt "memory.size"
+  | Memory_grow -> Format.pp_print_string fmt "memory.grow"
+  | Block body -> Format.fprintf fmt "@[<v2>block@,%a@]" pp_list body
+  | Loop body -> Format.fprintf fmt "@[<v2>loop@,%a@]" pp_list body
+  | If (a, b) -> Format.fprintf fmt "@[<v2>if@,%a@;<0 -2>else@,%a@]" pp_list a pp_list b
+  | Br n -> Format.fprintf fmt "br %d" n
+  | Br_if n -> Format.fprintf fmt "br_if %d" n
+  | Return -> Format.pp_print_string fmt "return"
+  | Call i -> Format.fprintf fmt "call %d" i
+
+and pp_list fmt l =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp fmt l
+
+let rec count_one = function
+  | Block body | Loop body -> 1 + count body
+  | If (a, b) -> 1 + count a + count b
+  | Nop | Unreachable | Const _ | Binop _ | Eqz | Drop | Select | Local_get _
+  | Local_set _ | Local_tee _ | Global_get _ | Global_set _ | Load8 _ | Load64 _
+  | Store8 _ | Store64 _ | Memory_size | Memory_grow | Br _ | Br_if _ | Return
+  | Call _ ->
+      1
+
+and count body = List.fold_left (fun acc i -> acc + count_one i) 0 body

@@ -1,0 +1,58 @@
+(** Instruction set of the simulated WASM-style stack machine.
+
+    A single 64-bit value type keeps the machine small while preserving
+    everything the reproduction needs: structured control flow,
+    linear-memory loads/stores, locals/globals, intra-module calls and
+    host (WASI) calls.  Semantics follow WebAssembly: [Br n] targets the
+    n-th enclosing block, [Loop] branches restart the loop body. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div_s  (** Traps on division by zero. *)
+  | Rem_s  (** Traps on division by zero. *)
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr_s
+  | Eq
+  | Ne
+  | Lt_s
+  | Gt_s
+  | Le_s
+  | Ge_s
+
+type t =
+  | Nop
+  | Unreachable  (** Always traps. *)
+  | Const of int64
+  | Binop of binop
+  | Eqz  (** 1 if top is zero, else 0. *)
+  | Drop
+  | Select  (** [cond :: b :: a] -> if cond<>0 then a else b. *)
+  | Local_get of int
+  | Local_set of int
+  | Local_tee of int
+  | Global_get of int
+  | Global_set of int
+  | Load8 of int  (** Static offset added to the popped address. *)
+  | Load64 of int
+  | Store8 of int
+  | Store64 of int
+  | Memory_size  (** Pages (64 KiB). *)
+  | Memory_grow
+  | Block of t list
+  | Loop of t list
+  | If of t list * t list
+  | Br of int
+  | Br_if of int
+  | Return
+  | Call of int  (** Function index (imports first, then local funcs). *)
+
+val pp_binop : Format.formatter -> binop -> unit
+val pp : Format.formatter -> t -> unit
+
+val count : t list -> int
+(** Static instruction count including nested bodies. *)

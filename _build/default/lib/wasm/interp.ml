@@ -1,0 +1,262 @@
+exception Trap of string
+
+type t = {
+  m : Wmodule.t;
+  mutable memory : Bytes.t;
+  globals : int64 array;
+  hosts : (string, host_fn) Hashtbl.t;
+  mutable executed : int;
+  mutable host_calls : int;
+  mutable fuel : int;
+}
+
+and host_fn = t -> int64 array -> int64
+
+let max_pages = 4096 (* 256 MiB of linear memory *)
+
+let instantiate ?(hosts = []) m =
+  Validate.validate_exn m;
+  let table = Hashtbl.create 8 in
+  List.iter (fun (name, fn) -> Hashtbl.replace table name fn) hosts;
+  List.iter
+    (fun name ->
+      if not (Hashtbl.mem table name) then
+        invalid_arg (Printf.sprintf "Wasm.Interp: missing host import %s" name))
+    m.Wmodule.imports;
+  let memory = Bytes.make (m.Wmodule.memory_pages * Wmodule.page_size) '\000' in
+  List.iter
+    (fun (off, data) -> Bytes.blit_string data 0 memory off (String.length data))
+    m.Wmodule.data;
+  {
+    m;
+    memory;
+    globals = Array.of_list m.Wmodule.globals;
+    hosts = table;
+    executed = 0;
+    host_calls = 0;
+    fuel = max_int;
+  }
+
+(* Control-flow outcome of executing a block body. *)
+type control = Fall | Branch of int | Ret
+
+let trap fmt = Format.kasprintf (fun s -> raise (Trap s)) fmt
+
+let check_mem t addr len =
+  if addr < 0 || len < 0 || addr + len > Bytes.length t.memory then
+    trap "memory access out of bounds: %d (+%d) of %d" addr len (Bytes.length t.memory)
+
+let apply_binop op a b =
+  let open Int64 in
+  let bool v = if v then 1L else 0L in
+  match op with
+  | Instr.Add -> add a b
+  | Instr.Sub -> sub a b
+  | Instr.Mul -> mul a b
+  | Instr.Div_s -> if b = 0L then trap "integer divide by zero" else div a b
+  | Instr.Rem_s -> if b = 0L then trap "integer divide by zero" else rem a b
+  | Instr.And -> logand a b
+  | Instr.Or -> logor a b
+  | Instr.Xor -> logxor a b
+  | Instr.Shl -> shift_left a (to_int (logand b 63L))
+  | Instr.Shr_s -> shift_right a (to_int (logand b 63L))
+  | Instr.Eq -> bool (equal a b)
+  | Instr.Ne -> bool (not (equal a b))
+  | Instr.Lt_s -> bool (compare a b < 0)
+  | Instr.Gt_s -> bool (compare a b > 0)
+  | Instr.Le_s -> bool (compare a b <= 0)
+  | Instr.Ge_s -> bool (compare a b >= 0)
+
+let rec call_function t idx args =
+  if Wmodule.is_import t.m idx then begin
+    let name = List.nth t.m.Wmodule.imports idx in
+    let fn = Hashtbl.find t.hosts name in
+    t.host_calls <- t.host_calls + 1;
+    fn t args
+  end
+  else begin
+    match Wmodule.local_func t.m idx with
+    | None -> trap "call to undefined function %d" idx
+    | Some f ->
+        if Array.length args <> f.Wmodule.params then
+          trap "%s expects %d args, got %d" f.Wmodule.fname f.Wmodule.params
+            (Array.length args);
+        let locals = Array.make (f.Wmodule.params + f.Wmodule.locals) 0L in
+        Array.blit args 0 locals 0 (Array.length args);
+        let stack = ref [] in
+        let _ = exec_body t locals stack f.Wmodule.body in
+        (match !stack with [] -> 0L | top :: _ -> top)
+  end
+
+and exec_body t locals stack body =
+  let rec exec_seq = function
+    | [] -> Fall
+    | instr :: rest -> begin
+        match exec_instr instr with
+        | Fall -> exec_seq rest
+        | (Branch _ | Ret) as c -> c
+      end
+  and pop () =
+    match !stack with
+    | [] -> trap "value stack underflow"
+    | v :: rest ->
+        stack := rest;
+        v
+  and push v = stack := v :: !stack
+  and exec_instr instr =
+    t.executed <- t.executed + 1;
+    t.fuel <- t.fuel - 1;
+    if t.fuel < 0 then trap "out of fuel";
+    match instr with
+    | Instr.Nop -> Fall
+    | Instr.Unreachable -> trap "unreachable executed"
+    | Instr.Const v ->
+        push v;
+        Fall
+    | Instr.Binop op ->
+        let b = pop () in
+        let a = pop () in
+        push (apply_binop op a b);
+        Fall
+    | Instr.Eqz ->
+        let v = pop () in
+        push (if Int64.equal v 0L then 1L else 0L);
+        Fall
+    | Instr.Drop ->
+        ignore (pop ());
+        Fall
+    | Instr.Select ->
+        let cond = pop () in
+        let b = pop () in
+        let a = pop () in
+        push (if Int64.equal cond 0L then b else a);
+        Fall
+    | Instr.Local_get i ->
+        push locals.(i);
+        Fall
+    | Instr.Local_set i ->
+        locals.(i) <- pop ();
+        Fall
+    | Instr.Local_tee i ->
+        (match !stack with
+        | [] -> trap "value stack underflow"
+        | v :: _ -> locals.(i) <- v);
+        Fall
+    | Instr.Global_get i ->
+        push t.globals.(i);
+        Fall
+    | Instr.Global_set i ->
+        t.globals.(i) <- pop ();
+        Fall
+    | Instr.Load8 off ->
+        let addr = Int64.to_int (pop ()) + off in
+        check_mem t addr 1;
+        push (Int64.of_int (Char.code (Bytes.get t.memory addr)));
+        Fall
+    | Instr.Load64 off ->
+        let addr = Int64.to_int (pop ()) + off in
+        check_mem t addr 8;
+        push (Bytes.get_int64_le t.memory addr);
+        Fall
+    | Instr.Store8 off ->
+        let v = pop () in
+        let addr = Int64.to_int (pop ()) + off in
+        check_mem t addr 1;
+        Bytes.set t.memory addr (Char.chr (Int64.to_int (Int64.logand v 0xFFL)));
+        Fall
+    | Instr.Store64 off ->
+        let v = pop () in
+        let addr = Int64.to_int (pop ()) + off in
+        check_mem t addr 8;
+        Bytes.set_int64_le t.memory addr v;
+        Fall
+    | Instr.Memory_size ->
+        push (Int64.of_int (Bytes.length t.memory / Wmodule.page_size));
+        Fall
+    | Instr.Memory_grow ->
+        let delta = Int64.to_int (pop ()) in
+        let old_pages = Bytes.length t.memory / Wmodule.page_size in
+        if delta < 0 || old_pages + delta > max_pages then push (-1L)
+        else begin
+          let bigger = Bytes.make ((old_pages + delta) * Wmodule.page_size) '\000' in
+          Bytes.blit t.memory 0 bigger 0 (Bytes.length t.memory);
+          t.memory <- bigger;
+          push (Int64.of_int old_pages)
+        end;
+        Fall
+    | Instr.Block body -> begin
+        match exec_seq body with
+        | Fall | Branch 0 -> Fall
+        | Branch n -> Branch (n - 1)
+        | Ret -> Ret
+      end
+    | Instr.Loop body -> exec_loop body
+    | Instr.If (then_, else_) -> begin
+        let cond = pop () in
+        let body = if Int64.equal cond 0L then else_ else then_ in
+        match exec_seq body with
+        | Fall | Branch 0 -> Fall
+        | Branch n -> Branch (n - 1)
+        | Ret -> Ret
+      end
+    | Instr.Br n -> Branch n
+    | Instr.Br_if n ->
+        let cond = pop () in
+        if Int64.equal cond 0L then Fall else Branch n
+    | Instr.Return -> Ret
+    | Instr.Call idx ->
+        let callee_params =
+          if Wmodule.is_import t.m idx then begin
+            (* Host imports in this machine take their arity from the
+               stack contract: we pass the whole accessible frame.  To
+               keep arity explicit we adopt the convention that host
+               functions receive 3 arguments. *)
+            3
+          end
+          else begin
+            match Wmodule.local_func t.m idx with
+            | Some f -> f.Wmodule.params
+            | None -> trap "call to undefined function %d" idx
+          end
+        in
+        let args = Array.make callee_params 0L in
+        for i = callee_params - 1 downto 0 do
+          args.(i) <- pop ()
+        done;
+        push (call_function t idx args);
+        Fall
+  and exec_loop body =
+    match exec_seq body with
+    | Branch 0 -> exec_loop body (* br to a loop label restarts it *)
+    | Fall -> Fall
+    | Branch n -> Branch (n - 1)
+    | Ret -> Ret
+  in
+  exec_seq body
+
+let call ?(fuel = 200_000_000) t name args =
+  match Wmodule.lookup_export t.m name with
+  | None -> invalid_arg (Printf.sprintf "Wasm.Interp: no export %s" name)
+  | Some idx ->
+      t.fuel <- fuel;
+      call_function t idx args
+
+let call_index ?(fuel = 200_000_000) t idx args =
+  t.fuel <- fuel;
+  call_function t idx args
+
+let memory_size t = Bytes.length t.memory
+
+let read_memory t addr len =
+  check_mem t addr len;
+  Bytes.sub t.memory addr len
+
+let write_memory t addr data =
+  check_mem t addr (Bytes.length data);
+  Bytes.blit data 0 t.memory addr (Bytes.length data)
+
+let read_global t i = t.globals.(i)
+
+let executed t = t.executed
+let host_calls t = t.host_calls
+let module_of t = t.m

@@ -1,0 +1,69 @@
+type error = { func : string option; message : string }
+
+let pp_error fmt e =
+  match e.func with
+  | Some f -> Format.fprintf fmt "in %s: %s" f e.message
+  | None -> Format.fprintf fmt "%s" e.message
+
+let validate m =
+  let errors = ref [] in
+  let err ?func fmt =
+    Format.kasprintf (fun message -> errors := { func; message } :: !errors) fmt
+  in
+  let n_funcs = Wmodule.func_count m in
+  let n_globals = List.length m.Wmodule.globals in
+  (* Per-function body check. *)
+  let check_func (f : Wmodule.func) =
+    let n_locals = f.params + f.locals in
+    let rec walk depth instrs =
+      List.iter (check_instr depth) instrs
+    and check_instr depth = function
+      | Instr.Local_get i | Instr.Local_set i | Instr.Local_tee i ->
+          if i < 0 || i >= n_locals then
+            err ~func:f.fname "local index %d out of range (have %d)" i n_locals
+      | Instr.Global_get i | Instr.Global_set i ->
+          if i < 0 || i >= n_globals then
+            err ~func:f.fname "global index %d out of range (have %d)" i n_globals
+      | Instr.Call i ->
+          if i < 0 || i >= n_funcs then
+            err ~func:f.fname "call target %d out of range (have %d)" i n_funcs
+      | Instr.Br n | Instr.Br_if n ->
+          if n < 0 || n >= depth then
+            err ~func:f.fname "branch depth %d exceeds nesting %d" n depth
+      | Instr.Block body | Instr.Loop body -> walk (depth + 1) body
+      | Instr.If (a, b) ->
+          walk (depth + 1) a;
+          walk (depth + 1) b
+      | Instr.Load8 o | Instr.Load64 o | Instr.Store8 o | Instr.Store64 o ->
+          if o < 0 then err ~func:f.fname "negative memory offset %d" o
+      | Instr.Nop | Instr.Unreachable | Instr.Const _ | Instr.Binop _ | Instr.Eqz
+      | Instr.Drop | Instr.Select | Instr.Memory_size | Instr.Memory_grow
+      | Instr.Return ->
+          ()
+    in
+    if f.params < 0 || f.locals < 0 then
+      err ~func:f.fname "negative params/locals";
+    walk 0 f.body
+  in
+  List.iter check_func m.Wmodule.funcs;
+  (* Exports. *)
+  List.iter
+    (fun (name, idx) ->
+      if idx < 0 || idx >= n_funcs then err "export %s targets bad index %d" name idx)
+    m.Wmodule.exports;
+  (* Data initialisers must fit. *)
+  let mem_bytes = m.Wmodule.memory_pages * Wmodule.page_size in
+  List.iter
+    (fun (off, bytes) ->
+      if off < 0 || off + String.length bytes > mem_bytes then
+        err "data initialiser at %d (+%d) exceeds memory of %d bytes" off
+          (String.length bytes) mem_bytes)
+    m.Wmodule.data;
+  if m.Wmodule.memory_pages < 0 then err "negative memory size";
+  match List.rev !errors with [] -> Ok () | es -> Error es
+
+let validate_exn m =
+  match validate m with
+  | Ok () -> ()
+  | Error (e :: _) -> invalid_arg (Format.asprintf "Wasm.Validate: %a" pp_error e)
+  | Error [] -> assert false

@@ -1,0 +1,335 @@
+(* S-expression reader/printer for modules. *)
+
+exception Parse_error of { line : int; message : string }
+
+(* --- s-expressions --- *)
+
+type sexp = Atom of string | Str of string | List of sexp list
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* Tokenizer: parens, quoted strings with backslash escapes, atoms;
+   double-semicolon comments run to end of line. *)
+type token = Lparen | Rparen | Tatom of string | Tstr of string
+
+let tokenize input =
+  let tokens = ref [] in
+  let line = ref 1 in
+  let n = String.length input in
+  let i = ref 0 in
+  let push t = tokens := (t, !line) :: !tokens in
+  while !i < n do
+    (match input.[!i] with
+    | '\n' ->
+        incr line;
+        incr i
+    | ' ' | '\t' | '\r' -> incr i
+    | ';' when !i + 1 < n && input.[!i + 1] = ';' ->
+        while !i < n && input.[!i] <> '\n' do
+          incr i
+        done
+    | '(' ->
+        push Lparen;
+        incr i
+    | ')' ->
+        push Rparen;
+        incr i
+    | '"' ->
+        let buf = Buffer.create 8 in
+        incr i;
+        let closed = ref false in
+        while (not !closed) && !i < n do
+          (match input.[!i] with
+          | '"' -> closed := true
+          | '\\' when !i + 1 < n ->
+              incr i;
+              Buffer.add_char buf
+                (match input.[!i] with
+                | 'n' -> '\n'
+                | 't' -> '\t'
+                | '"' -> '"'
+                | '\\' -> '\\'
+                | '0' -> '\000'
+                | c -> c)
+          | c -> Buffer.add_char buf c);
+          incr i
+        done;
+        if not !closed then fail !line "unterminated string";
+        push (Tstr (Buffer.contents buf))
+    | _ ->
+        let start = !i in
+        let stop c = c = '(' || c = ')' || c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = '"' in
+        while !i < n && not (stop input.[!i]) do
+          incr i
+        done;
+        push (Tatom (String.sub input start (!i - start))));
+    ()
+  done;
+  List.rev !tokens
+
+let parse_sexps tokens =
+  let rec one = function
+    | [] -> fail 0 "unexpected end of input"
+    | (Lparen, _) :: rest ->
+        let items, rest = many rest in
+        (List items, rest)
+    | (Rparen, line) :: _ -> fail line "unexpected ')'"
+    | (Tatom a, _) :: rest -> (Atom a, rest)
+    | (Tstr s, _) :: rest -> (Str s, rest)
+  and many tokens =
+    match tokens with
+    | (Rparen, _) :: rest -> ([], rest)
+    | [] -> fail 0 "missing ')'"
+    | _ ->
+        let item, rest = one tokens in
+        let items, rest = many rest in
+        (item :: items, rest)
+  in
+  let sexp, rest = one tokens in
+  (match rest with
+  | [] -> ()
+  | (_, line) :: _ -> fail line "trailing content");
+  sexp
+
+(* --- printing --- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\000' -> Buffer.add_string buf "\\0"
+      | c when Char.code c < 32 || Char.code c > 126 ->
+          Buffer.add_string buf (Printf.sprintf "\\%c" c)
+      | c -> Buffer.add_char buf c)
+    s;
+  "\"" ^ Buffer.contents buf ^ "\""
+
+let binop_name = function
+  | Instr.Add -> "add"
+  | Instr.Sub -> "sub"
+  | Instr.Mul -> "mul"
+  | Instr.Div_s -> "div_s"
+  | Instr.Rem_s -> "rem_s"
+  | Instr.And -> "and"
+  | Instr.Or -> "or"
+  | Instr.Xor -> "xor"
+  | Instr.Shl -> "shl"
+  | Instr.Shr_s -> "shr_s"
+  | Instr.Eq -> "eq"
+  | Instr.Ne -> "ne"
+  | Instr.Lt_s -> "lt_s"
+  | Instr.Gt_s -> "gt_s"
+  | Instr.Le_s -> "le_s"
+  | Instr.Ge_s -> "ge_s"
+
+let binop_of_name line = function
+  | "add" -> Instr.Add
+  | "sub" -> Instr.Sub
+  | "mul" -> Instr.Mul
+  | "div_s" -> Instr.Div_s
+  | "rem_s" -> Instr.Rem_s
+  | "and" -> Instr.And
+  | "or" -> Instr.Or
+  | "xor" -> Instr.Xor
+  | "shl" -> Instr.Shl
+  | "shr_s" -> Instr.Shr_s
+  | "eq" -> Instr.Eq
+  | "ne" -> Instr.Ne
+  | "lt_s" -> Instr.Lt_s
+  | "gt_s" -> Instr.Gt_s
+  | "le_s" -> Instr.Le_s
+  | "ge_s" -> Instr.Ge_s
+  | other -> fail line "unknown binop %s" other
+
+let rec instr_sexp = function
+  | Instr.Nop -> List [ Atom "nop" ]
+  | Instr.Unreachable -> List [ Atom "unreachable" ]
+  | Instr.Const v -> List [ Atom "const"; Atom (Int64.to_string v) ]
+  | Instr.Binop op -> List [ Atom (binop_name op) ]
+  | Instr.Eqz -> List [ Atom "eqz" ]
+  | Instr.Drop -> List [ Atom "drop" ]
+  | Instr.Select -> List [ Atom "select" ]
+  | Instr.Local_get n -> List [ Atom "local.get"; Atom (string_of_int n) ]
+  | Instr.Local_set n -> List [ Atom "local.set"; Atom (string_of_int n) ]
+  | Instr.Local_tee n -> List [ Atom "local.tee"; Atom (string_of_int n) ]
+  | Instr.Global_get n -> List [ Atom "global.get"; Atom (string_of_int n) ]
+  | Instr.Global_set n -> List [ Atom "global.set"; Atom (string_of_int n) ]
+  | Instr.Load8 n -> List [ Atom "load8"; Atom (string_of_int n) ]
+  | Instr.Load64 n -> List [ Atom "load64"; Atom (string_of_int n) ]
+  | Instr.Store8 n -> List [ Atom "store8"; Atom (string_of_int n) ]
+  | Instr.Store64 n -> List [ Atom "store64"; Atom (string_of_int n) ]
+  | Instr.Memory_size -> List [ Atom "memory.size" ]
+  | Instr.Memory_grow -> List [ Atom "memory.grow" ]
+  | Instr.Block body -> List (Atom "block" :: List.map instr_sexp body)
+  | Instr.Loop body -> List (Atom "loop" :: List.map instr_sexp body)
+  | Instr.If (a, b) ->
+      List
+        [
+          Atom "if";
+          List (Atom "then" :: List.map instr_sexp a);
+          List (Atom "else" :: List.map instr_sexp b);
+        ]
+  | Instr.Br n -> List [ Atom "br"; Atom (string_of_int n) ]
+  | Instr.Br_if n -> List [ Atom "br_if"; Atom (string_of_int n) ]
+  | Instr.Return -> List [ Atom "return" ]
+  | Instr.Call n -> List [ Atom "call"; Atom (string_of_int n) ]
+
+let module_sexp (m : Wmodule.t) =
+  let fields =
+    List.concat
+      [
+        List.map (fun i -> List [ Atom "import"; Str i ]) m.Wmodule.imports;
+        [ List [ Atom "memory"; Atom (string_of_int m.Wmodule.memory_pages) ] ];
+        List.map (fun g -> List [ Atom "global"; Atom (Int64.to_string g) ]) m.Wmodule.globals;
+        List.map
+          (fun (off, d) -> List [ Atom "data"; Atom (string_of_int off); Str d ])
+          m.Wmodule.data;
+        List.map
+          (fun (f : Wmodule.func) ->
+            List
+              (Atom "func" :: Str f.Wmodule.fname
+              :: List [ Atom "param"; Atom (string_of_int f.Wmodule.params) ]
+              :: List [ Atom "local"; Atom (string_of_int f.Wmodule.locals) ]
+              :: List.map instr_sexp f.Wmodule.body))
+          m.Wmodule.funcs;
+        List.map
+          (fun (name, idx) -> List [ Atom "export"; Str name; Atom (string_of_int idx) ])
+          m.Wmodule.exports;
+      ]
+  in
+  List (Atom "module" :: Str m.Wmodule.name :: fields)
+
+let rec render_sexp buf indent = function
+  | Atom a -> Buffer.add_string buf a
+  | Str s -> Buffer.add_string buf (escape s)
+  | List items ->
+      Buffer.add_char buf '(';
+      let nested = List.exists (function List _ -> true | Atom _ | Str _ -> false) items in
+      List.iteri
+        (fun i item ->
+          if i > 0 then
+            if nested && (match item with List _ -> true | _ -> false) then begin
+              Buffer.add_char buf '\n';
+              Buffer.add_string buf (String.make (indent + 2) ' ')
+            end
+            else Buffer.add_char buf ' ';
+          render_sexp buf (indent + 2) item)
+        items;
+      Buffer.add_char buf ')'
+
+let print m =
+  let buf = Buffer.create 512 in
+  render_sexp buf 0 (module_sexp m);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* --- reading --- *)
+
+let int_atom = function
+  | Atom a -> begin
+      match int_of_string_opt a with
+      | Some v -> v
+      | None -> fail 0 "expected integer, got %s" a
+    end
+  | Str _ | List _ -> fail 0 "expected integer"
+
+let int64_atom = function
+  | Atom a -> begin
+      match Int64.of_string_opt a with
+      | Some v -> v
+      | None -> fail 0 "expected int64, got %s" a
+    end
+  | Str _ | List _ -> fail 0 "expected int64"
+
+let str_atom = function
+  | Str s -> s
+  | Atom a -> fail 0 "expected string, got atom %s" a
+  | List _ -> fail 0 "expected string"
+
+let rec instr_of_sexp = function
+  | List (Atom op :: args) -> begin
+      match (op, args) with
+      | "nop", [] -> Instr.Nop
+      | "unreachable", [] -> Instr.Unreachable
+      | "const", [ v ] -> Instr.Const (int64_atom v)
+      | "eqz", [] -> Instr.Eqz
+      | "drop", [] -> Instr.Drop
+      | "select", [] -> Instr.Select
+      | "local.get", [ n ] -> Instr.Local_get (int_atom n)
+      | "local.set", [ n ] -> Instr.Local_set (int_atom n)
+      | "local.tee", [ n ] -> Instr.Local_tee (int_atom n)
+      | "global.get", [ n ] -> Instr.Global_get (int_atom n)
+      | "global.set", [ n ] -> Instr.Global_set (int_atom n)
+      | "load8", [ n ] -> Instr.Load8 (int_atom n)
+      | "load64", [ n ] -> Instr.Load64 (int_atom n)
+      | "store8", [ n ] -> Instr.Store8 (int_atom n)
+      | "store64", [ n ] -> Instr.Store64 (int_atom n)
+      | "memory.size", [] -> Instr.Memory_size
+      | "memory.grow", [] -> Instr.Memory_grow
+      | "block", body -> Instr.Block (List.map instr_of_sexp body)
+      | "loop", body -> Instr.Loop (List.map instr_of_sexp body)
+      | "if", [ List (Atom "then" :: a); List (Atom "else" :: b) ] ->
+          Instr.If (List.map instr_of_sexp a, List.map instr_of_sexp b)
+      | "br", [ n ] -> Instr.Br (int_atom n)
+      | "br_if", [ n ] -> Instr.Br_if (int_atom n)
+      | "return", [] -> Instr.Return
+      | "call", [ n ] -> Instr.Call (int_atom n)
+      | op, [] -> Instr.Binop (binop_of_name 0 op)
+      | op, _ -> fail 0 "malformed instruction (%s ...)" op
+    end
+  | Atom a -> fail 0 "bare atom %s where instruction expected" a
+  | Str _ -> fail 0 "string where instruction expected"
+  | List _ -> fail 0 "malformed instruction"
+
+let func_of_sexp = function
+  | List (Atom "func" :: name :: List [ Atom "param"; p ] :: List [ Atom "local"; l ] :: body)
+    ->
+      {
+        Wmodule.fname = str_atom name;
+        params = int_atom p;
+        locals = int_atom l;
+        body = List.map instr_of_sexp body;
+      }
+  | _ -> fail 0 "malformed (func ...) — expected (func \"name\" (param N) (local N) instr...)"
+
+let parse input =
+  let tokens = tokenize input in
+  if tokens = [] then fail 0 "empty input";
+  match parse_sexps tokens with
+  | List (Atom "module" :: name :: fields) ->
+      let name = str_atom name in
+      let imports = ref [] in
+      let memory = ref 1 in
+      let globals = ref [] in
+      let data = ref [] in
+      let funcs = ref [] in
+      let exports = ref [] in
+      List.iter
+        (fun field ->
+          match field with
+          | List [ Atom "import"; s ] -> imports := str_atom s :: !imports
+          | List [ Atom "memory"; n ] -> memory := int_atom n
+          | List [ Atom "global"; v ] -> globals := int64_atom v :: !globals
+          | List [ Atom "data"; off; d ] -> data := (int_atom off, str_atom d) :: !data
+          | List (Atom "func" :: _) -> funcs := func_of_sexp field :: !funcs
+          | List [ Atom "export"; n; idx ] ->
+              exports := (str_atom n, int_atom idx) :: !exports
+          | List (Atom f :: _) -> fail 0 "unknown module field %s" f
+          | _ -> fail 0 "malformed module field")
+        fields;
+      Wmodule.create ~imports:(List.rev !imports) ~globals:(List.rev !globals)
+        ~memory_pages:!memory ~data:(List.rev !data) ~exports:(List.rev !exports) ~name
+        (List.rev !funcs)
+  | _ -> fail 0 "expected (module ...)"
+
+let parse_result input =
+  match parse input with
+  | m -> Ok m
+  | exception Parse_error { line; message } ->
+      Error (Printf.sprintf "line %d: %s" line message)

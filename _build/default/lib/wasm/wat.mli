@@ -1,0 +1,25 @@
+(** Text format for modules (a WAT-style s-expression dialect).
+
+    Useful for debugging, golden tests and writing small modules by
+    hand without the {!Builder} combinators:
+
+    {v
+    (module "sum_to_n"
+      (memory 1)
+      (export "sum" 0)
+      (func "sum" (param 1) (local 2)
+        (block (loop ...))
+        (local.get 2)))
+    v}
+
+    [parse] accepts everything [print] emits (round-trip identity), plus
+    arbitrary whitespace and line comments starting with [;;]. *)
+
+val print : Wmodule.t -> string
+
+exception Parse_error of { line : int; message : string }
+
+val parse : string -> Wmodule.t
+(** Raises {!Parse_error}. *)
+
+val parse_result : string -> (Wmodule.t, string) result

@@ -1,0 +1,30 @@
+type func = { fname : string; params : int; locals : int; body : Instr.t list }
+
+type t = {
+  name : string;
+  imports : string list;
+  funcs : func list;
+  globals : int64 list;
+  memory_pages : int;
+  data : (int * string) list;
+  exports : (string * int) list;
+}
+
+let page_size = 65536
+
+let create ?(imports = []) ?(globals = []) ?(memory_pages = 1) ?(data = [])
+    ?(exports = []) ~name funcs =
+  { name; imports; funcs; globals; memory_pages; data; exports }
+
+let func_count t = List.length t.imports + List.length t.funcs
+
+let lookup_export t name = List.assoc_opt name t.exports
+
+let local_func t idx =
+  let n_imports = List.length t.imports in
+  if idx < n_imports then None else List.nth_opt t.funcs (idx - n_imports)
+
+let is_import t idx = idx >= 0 && idx < List.length t.imports
+
+let code_size t =
+  List.fold_left (fun acc f -> acc + Instr.count f.body) 0 t.funcs

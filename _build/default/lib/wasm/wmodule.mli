@@ -1,0 +1,44 @@
+(** A WASM-style module: imports, functions, globals, linear memory and
+    named exports. *)
+
+type func = {
+  fname : string;
+  params : int;  (** Number of parameters (become locals 0..params-1). *)
+  locals : int;  (** Extra zero-initialised locals. *)
+  body : Instr.t list;
+}
+
+type t = {
+  name : string;
+  imports : string list;
+      (** Host function names; occupy function indices 0..n-1. *)
+  funcs : func list;  (** Local functions at indices n.. *)
+  globals : int64 list;  (** Initial global values. *)
+  memory_pages : int;  (** Initial linear memory size, 64 KiB pages. *)
+  data : (int * string) list;  (** (offset, bytes) memory initialisers. *)
+  exports : (string * int) list;  (** Export name -> function index. *)
+}
+
+val page_size : int
+(** 65536. *)
+
+val create :
+  ?imports:string list ->
+  ?globals:int64 list ->
+  ?memory_pages:int ->
+  ?data:(int * string) list ->
+  ?exports:(string * int) list ->
+  name:string ->
+  func list ->
+  t
+
+val func_count : t -> int
+(** Imports + local functions. *)
+
+val lookup_export : t -> string -> int option
+val local_func : t -> int -> func option
+(** Function at an absolute index, [None] for imports/out of range. *)
+
+val is_import : t -> int -> bool
+val code_size : t -> int
+(** Total static instruction count of local functions. *)

@@ -1,0 +1,1 @@
+lib/workloads/compile_app.ml: Bytes Fctx Int64 Isa Printf Sim String Wasm

@@ -1,0 +1,1 @@
+lib/workloads/compile_app.mli: Fctx

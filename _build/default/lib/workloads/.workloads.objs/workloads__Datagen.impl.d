@@ -1,0 +1,1 @@
+lib/workloads/datagen.ml: Array Buffer Bytes Char Int64 Printf Sim String

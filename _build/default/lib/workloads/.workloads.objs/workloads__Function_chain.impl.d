@@ -1,0 +1,1 @@
+lib/workloads/function_chain.ml: Bytes Char Datagen Fctx Int64 List Printf

@@ -1,0 +1,1 @@
+lib/workloads/function_chain.mli: Fctx

@@ -1,0 +1,1 @@
+lib/workloads/image_meta.ml: Bytes Char Datagen Fctx Int32 List Printf Sim String

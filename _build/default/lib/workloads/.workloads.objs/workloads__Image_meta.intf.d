@@ -1,0 +1,1 @@
+lib/workloads/image_meta.mli: Fctx

@@ -1,0 +1,1 @@
+lib/workloads/parallel_sorting.ml: Array Buffer Bytes Datagen Fctx Int32 Printf Sim Stdlib

@@ -1,0 +1,1 @@
+lib/workloads/parallel_sorting.mli: Fctx

@@ -1,0 +1,1 @@
+lib/workloads/pipe_app.ml: Bytes Datagen Fctx Function_chain Int64

@@ -1,0 +1,1 @@
+lib/workloads/pipe_app.mli: Fctx

@@ -1,0 +1,1 @@
+lib/workloads/wordcount.ml: Array Buffer Bytes Datagen Fctx Hashtbl Lazy List Printf String

@@ -1,0 +1,59 @@
+let result_path = "/output/compiled-result.txt"
+
+let module_slot = "oc.module"
+let result_slot = "oc.result"
+
+let fetch_kernel encoded (ctx : Fctx.t) =
+  ctx.Fctx.phase Fctx.phase_transfer (fun () -> ctx.Fctx.send ~slot:module_slot encoded)
+
+let compile_and_run_kernel ~n (ctx : Fctx.t) =
+  let encoded = ref Bytes.empty in
+  ctx.Fctx.phase Fctx.phase_transfer (fun () ->
+      encoded := ctx.Fctx.recv ~slot:module_slot);
+  let result = ref 0L in
+  ctx.Fctx.phase Fctx.phase_compute (fun () ->
+      let m = Wasm.Encode.decode !encoded in
+      (* Admission: the AOT image must pass the blacklist scanner. *)
+      let compiled = Wasm.Aot.compile m in
+      (match Isa.Scanner.verdict (Wasm.Aot.to_image compiled) with
+      | Isa.Scanner.Clean -> ()
+      | _ -> failwith "online-compiling: module rejected by the scanner");
+      (* Compile + execute under a private clock, then charge the
+         retired work through the platform's compute hook. *)
+      let clock = Sim.Clock.create () in
+      let loaded = Wasm.Runtime.load Wasm.Runtime.wasmtime ~clock m in
+      let inst = Wasm.Runtime.instantiate loaded ~clock ~system:Wasm.Wasi.null_system in
+      result := Wasm.Runtime.run loaded ~clock ~instance:inst "sum" [| Int64.of_int n |];
+      ctx.Fctx.compute (Sim.Clock.now clock));
+  ctx.Fctx.phase Fctx.phase_transfer (fun () ->
+      ctx.Fctx.send ~slot:result_slot (Bytes.of_string (Int64.to_string !result)))
+
+let store_kernel (ctx : Fctx.t) =
+  let result = ref Bytes.empty in
+  ctx.Fctx.phase Fctx.phase_transfer (fun () -> result := ctx.Fctx.recv ~slot:result_slot);
+  ctx.Fctx.write_output result_path !result;
+  ctx.Fctx.println ("compiled result: " ^ Bytes.to_string !result)
+
+let app ?(n = 50_000) ~seed () =
+  ignore seed;
+  let encoded = Wasm.Encode.encode Wasm.Builder.sum_to_n in
+  let expected = Int64.div (Int64.mul (Int64.of_int n) (Int64.of_int (n + 1))) 2L in
+  {
+    Fctx.app_name = "online-compiling";
+    stages =
+      [
+        ("fetch", 1, fetch_kernel encoded);
+        ("compile", 1, compile_and_run_kernel ~n);
+        ("store", 1, store_kernel);
+      ];
+    inputs = [];
+    validate =
+      (fun ~read_output ->
+        match read_output result_path with
+        | None -> Error "no compiled result"
+        | Some data ->
+            let got = Bytes.to_string data in
+            if String.equal got (Int64.to_string expected) then Ok ()
+            else Error (Printf.sprintf "sum(%d) = %s, expected %Ld" n got expected));
+    modules = [ "mm"; "fdtab"; "stdio"; "time"; "fatfs" ];
+  }

@@ -1,0 +1,28 @@
+type t = {
+  instance : int;
+  total : int;
+  read_input : string -> bytes;
+  write_output : string -> bytes -> unit;
+  send : slot:string -> bytes -> unit;
+  recv : slot:string -> bytes;
+  println : string -> unit;
+  compute : Sim.Units.time -> unit;
+  phase : string -> (unit -> unit) -> unit;
+}
+
+let phase_read = "read-input"
+let phase_compute = "compute"
+let phase_transfer = "transfer"
+
+let compute_bytes t ~ns_per_byte n =
+  t.compute (Sim.Units.ns_f (ns_per_byte *. float_of_int n))
+
+type kernel = t -> unit
+
+type app = {
+  app_name : string;
+  stages : (string * int * kernel) list;
+  inputs : (string * bytes) list;
+  validate : read_output:(string -> bytes option) -> (unit, string) result;
+  modules : string list;
+}

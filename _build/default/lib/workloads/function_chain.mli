@@ -1,0 +1,12 @@
+(** FunctionChain (from ServerlessBench): a sequential chain of N
+    functions, each receiving the intermediate data, touching it and
+    forwarding it.  Long workflows, pure data-plane stress — no file
+    input. *)
+
+val app : seed:int -> payload:int -> length:int -> Fctx.app
+(** The head function fabricates [payload] bytes; every link verifies a
+    rolling checksum and forwards; the tail publishes the checksum as
+    its output line. *)
+
+val checksum : bytes -> int64
+(** The rolling checksum every link maintains (exposed for tests). *)

@@ -1,0 +1,177 @@
+let image_input_path = "/input/photo.img"
+let thumbnail_output_path = "/output/thumb.img"
+let metadata_output_path = "/output/meta.json"
+
+(* A toy image format: 16-byte header (magic, width, height, depth as
+   4-byte LE fields) followed by width*height pixel bytes. *)
+let magic = 0x534d4721l (* "!GMS" *)
+
+let make_image ~seed ~width ~height =
+  let body = Datagen.payload ~seed (width * height) in
+  let b = Bytes.create (16 + Bytes.length body) in
+  Bytes.set_int32_le b 0 magic;
+  Bytes.set_int32_le b 4 (Int32.of_int width);
+  Bytes.set_int32_le b 8 (Int32.of_int height);
+  Bytes.set_int32_le b 12 1l;
+  Bytes.blit body 0 b 16 (Bytes.length body);
+  b
+
+let parse_header data =
+  if Bytes.length data < 16 || Bytes.get_int32_le data 0 <> magic then
+    failwith "image-meta: bad image";
+  ( Int32.to_int (Bytes.get_int32_le data 4),
+    Int32.to_int (Bytes.get_int32_le data 8) )
+
+(* 2x2 box downscale of the pixel plane — a real (small) image kernel. *)
+let downscale data =
+  let w, h = parse_header data in
+  let nw = w / 2 and nh = h / 2 in
+  let out = Bytes.create (16 + (nw * nh)) in
+  Bytes.set_int32_le out 0 magic;
+  Bytes.set_int32_le out 4 (Int32.of_int nw);
+  Bytes.set_int32_le out 8 (Int32.of_int nh);
+  Bytes.set_int32_le out 12 1l;
+  let px x y = Char.code (Bytes.get data (16 + (y * w) + x)) in
+  for y = 0 to nh - 1 do
+    for x = 0 to nw - 1 do
+      let v =
+        (px (2 * x) (2 * y) + px ((2 * x) + 1) (2 * y) + px (2 * x) ((2 * y) + 1)
+        + px ((2 * x) + 1) ((2 * y) + 1))
+        / 4
+      in
+      Bytes.set out (16 + (y * nw) + x) (Char.chr v)
+    done
+  done;
+  out
+
+type entry = { fn_name : string; components : string list; kernel : Fctx.kernel }
+
+let charge ctx ns_per_byte n = Fctx.compute_bytes ctx ~ns_per_byte n
+
+(* Table 1 of the paper, verbatim component lists.  Kernels are small
+   but real so the pipeline produces checkable outputs. *)
+let alu_kernel (ctx : Fctx.t) =
+  ctx.Fctx.phase Fctx.phase_compute (fun () ->
+      let acc = ref 1 in
+      for i = 1 to 100_000 do
+        acc := (!acc * 31) + i
+      done;
+      ignore !acc;
+      ctx.Fctx.compute (Sim.Units.us 85))
+
+let long_chain_kernel (ctx : Fctx.t) = ctx.Fctx.compute (Sim.Units.us 10)
+
+let extract_kernel (ctx : Fctx.t) =
+  let img = ref Bytes.empty in
+  ctx.Fctx.phase Fctx.phase_read (fun () -> img := ctx.Fctx.read_input image_input_path);
+  let w, h = parse_header !img in
+  ctx.Fctx.phase Fctx.phase_compute (fun () -> charge ctx 0.4 (Bytes.length !img));
+  ctx.Fctx.phase Fctx.phase_transfer (fun () ->
+      ctx.Fctx.send ~slot:"img.meta"
+        (Bytes.of_string (Printf.sprintf "{\"width\": %d, \"height\": %d}" w h));
+      ctx.Fctx.send ~slot:"img.data" !img)
+
+let transform_kernel (ctx : Fctx.t) =
+  let meta = ctx.Fctx.recv ~slot:"img.meta" in
+  ctx.Fctx.phase Fctx.phase_compute (fun () -> charge ctx 2.0 (Bytes.length meta));
+  ctx.Fctx.send ~slot:"img.meta2"
+    (Bytes.of_string (Bytes.to_string meta ^ " /*transformed*/"))
+
+let handler_kernel (ctx : Fctx.t) =
+  let meta = ctx.Fctx.recv ~slot:"img.meta2" in
+  ctx.Fctx.phase Fctx.phase_compute (fun () -> charge ctx 1.0 (Bytes.length meta));
+  ctx.Fctx.send ~slot:"img.meta3" meta
+
+let thumbnail_kernel (ctx : Fctx.t) =
+  let img = ctx.Fctx.recv ~slot:"img.data" in
+  let thumb = ref Bytes.empty in
+  ctx.Fctx.phase Fctx.phase_compute (fun () ->
+      thumb := downscale img;
+      charge ctx 1.6 (Bytes.length img));
+  ctx.Fctx.write_output thumbnail_output_path !thumb
+
+let store_kernel (ctx : Fctx.t) =
+  let meta = ctx.Fctx.recv ~slot:"img.meta3" in
+  ctx.Fctx.phase Fctx.phase_compute (fun () -> charge ctx 0.8 (Bytes.length meta));
+  ctx.Fctx.write_output metadata_output_path meta;
+  ctx.Fctx.println "metadata stored"
+
+let table =
+  [
+    { fn_name = "alu"; components = [ "mm" ]; kernel = alu_kernel };
+    {
+      fn_name = "parallel-alu";
+      components = [ "time"; "irq"; "sched"; "locking"; "mm" ];
+      kernel = alu_kernel;
+    };
+    { fn_name = "long-chain"; components = [ "mm" ]; kernel = long_chain_kernel };
+    {
+      fn_name = "extract-image-metadata";
+      components = [ "time"; "mm"; "block"; "fs"; "net" ];
+      kernel = extract_kernel;
+    };
+    {
+      fn_name = "transform-metadata";
+      components = [ "time"; "mm" ];
+      kernel = transform_kernel;
+    };
+    { fn_name = "handler"; components = [ "time"; "mm"; "net" ]; kernel = handler_kernel };
+    {
+      fn_name = "thumbnail";
+      components = [ "time"; "mm"; "block"; "fs"; "net" ];
+      kernel = thumbnail_kernel;
+    };
+    {
+      fn_name = "store-image-metadata";
+      components = [ "time"; "mm"; "net" ];
+      kernel = store_kernel;
+    };
+    {
+      fn_name = "online-compiling";
+      components = [ "time"; "irq"; "sched"; "locking"; "mm"; "ipc"; "block"; "fs"; "net" ];
+      kernel = alu_kernel;
+    };
+  ]
+
+let find name = List.find (fun e -> String.equal e.fn_name name) table
+
+let image_pipeline ~seed =
+  let width = 512 and height = 512 in
+  let input = make_image ~seed ~width ~height in
+  {
+    Fctx.app_name = "image-pipeline";
+    stages =
+      [
+        ("extract-image-metadata", 1, extract_kernel);
+        ("thumbnail", 1, thumbnail_kernel);
+        ("transform-metadata", 1, transform_kernel);
+        ("handler", 1, handler_kernel);
+        ("store-image-metadata", 1, store_kernel);
+      ];
+    inputs = [ (image_input_path, input) ];
+    validate =
+      (fun ~read_output ->
+        match read_output metadata_output_path with
+        | None -> Error "no metadata output"
+        | Some meta ->
+            let text = Bytes.to_string meta in
+            let contains_sub s sub =
+              let n = String.length s and m = String.length sub in
+              let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+              m = 0 || go 0
+            in
+            if
+              not
+                (contains_sub text (Printf.sprintf "\"width\": %d" width)
+                && contains_sub text "transformed")
+            then Error ("unexpected metadata: " ^ text)
+            else begin
+              match read_output thumbnail_output_path with
+              | None -> Error "no thumbnail output"
+              | Some thumb ->
+                  let w, h = parse_header thumb in
+                  if w = width / 2 && h = height / 2 then Ok ()
+                  else Error (Printf.sprintf "thumbnail is %dx%d" w h)
+            end);
+    modules = [ "mm"; "fdtab"; "stdio"; "time"; "fatfs" ];
+  }

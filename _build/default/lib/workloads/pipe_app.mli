@@ -1,0 +1,15 @@
+(** pipe: the two-function intermediate-data microbenchmark (Fig. 11).
+    Function A writes [size] bytes; function B reads and checksums
+    them.  The platform's transfer latency is exactly what this app
+    measures. *)
+
+val app : seed:int -> size:int -> Fctx.app
+
+(** no-ops: an empty function that returns immediately (cold-start
+    benchmark, Fig. 10). *)
+val noops : Fctx.app
+
+(** http-server: binds a port and returns a fixed response. *)
+val http_server : Fctx.app
+
+val fixed_response : string

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Alloystack_core Bytes Cost Errno Ext Fndata Format Fun Hashtbl Int64 Jsonlite Libos List Printf QCheck QCheck_alcotest Sim String Workflow

@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Blockdev Bytes Char Clock Extfs Fat Fsim Gen Hashtbl List Mem_free Option Printf QCheck QCheck_alcotest Ramfs Sim Units Vfs

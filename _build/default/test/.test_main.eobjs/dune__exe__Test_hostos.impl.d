@@ -1,0 +1,1 @@
+test/test_hostos.ml: Alcotest Bytes Cgroup Char Clock Gen Hashtbl Hostos List Pipe Printf Process QCheck QCheck_alcotest Sched Shm Sim Syscall Tap Units

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Bytes Elf Format Image Inst Int32 Isa List Printf QCheck QCheck_alcotest Rewriter Scanner

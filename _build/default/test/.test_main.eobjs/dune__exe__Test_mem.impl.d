@@ -1,0 +1,1 @@
+test/test_mem.ml: Address_space Alcotest Alloc Bytes Char Gen Layout List Mem Option Page Prot QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Bytes Char Clock Gen Http Link List Netsim QCheck QCheck_alcotest Redis Sim String Tcp Units

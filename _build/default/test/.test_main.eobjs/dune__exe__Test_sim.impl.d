@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Clock Eventq Fun List Rng Sim Stats String Table Trace Units

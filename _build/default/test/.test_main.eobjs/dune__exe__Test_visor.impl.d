@@ -1,0 +1,1 @@
+test/test_visor.ml: Alcotest Alloystack_core Asbuffer Asstd Bytes Fun Gateway Isa Jsonlite List Netsim Printf Sim Units Visor Wfd Workflow

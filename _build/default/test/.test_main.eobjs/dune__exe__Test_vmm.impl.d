@@ -1,0 +1,1 @@
+test/test_vmm.ml: Alcotest Clock Container Gvisor Hostos List Microvm Printf Sandbox Sim Unikraft Units Virtines Vmm

@@ -1,0 +1,1 @@
+test/test_wasm.ml: Alcotest Aot Array Buffer Builder Bytes Char Encode Format Hashtbl Instr Int64 Interp Isa List QCheck QCheck_alcotest Runtime Sim Validate Wasi Wasm Wat Wmodule

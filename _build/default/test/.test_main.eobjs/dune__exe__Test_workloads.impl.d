@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Baselines Bytes Compile_app Datagen Fctx Function_chain Gen Hashtbl Image_meta Int32 List Parallel_sorting Pipe_app QCheck QCheck_alcotest String Wordcount Workloads

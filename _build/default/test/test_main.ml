@@ -1,0 +1,22 @@
+(* Top-level alcotest runner aggregating every suite. *)
+
+let () =
+  Alcotest.run "alloystack"
+    [
+      ("sim", Test_sim.suite);
+      ("mem", Test_mem.suite);
+      ("isa", Test_isa.suite);
+      ("hostos", Test_hostos.suite);
+      ("net", Test_net.suite);
+      ("fs", Test_fs.suite);
+      ("wasm", Test_wasm.suite);
+      ("vmm", Test_vmm.suite);
+      ("core", Test_core.suite);
+      ("wfd", Test_wfd.suite);
+      ("asbuffer", Test_asbuffer.suite);
+      ("visor", Test_visor.suite);
+      ("workloads", Test_workloads.suite);
+      ("platforms", Test_platforms.suite);
+      ("resilience", Test_resilience.suite);
+      ("multilang", Test_multilang.suite);
+    ]
