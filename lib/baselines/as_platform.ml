@@ -84,13 +84,11 @@ let make ?(options = default_options) () =
     in
     let config =
       {
+        Visor.default_config with
         Visor.cores;
         features = options.features;
         vfs = Some vfs;
         wasm_runtime = options.wasm_runtime;
-        dispatch_latency = Visor.default_config.Visor.dispatch_latency;
-        retry = Visor.default_config.Visor.retry;
-        cpu_quota = None;
       }
     in
     let report = Visor.run ~config ~workflow ~bindings () in

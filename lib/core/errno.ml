@@ -1,4 +1,4 @@
-type t = Enoent | Eexist | Ebadf | Einval | Enomem | Enotconn | Enosys
+type t = Enoent | Eexist | Ebadf | Einval | Enomem | Enotconn | Enosys | Eio
 
 let to_string = function
   | Enoent -> "ENOENT"
@@ -8,6 +8,7 @@ let to_string = function
   | Enomem -> "ENOMEM"
   | Enotconn -> "ENOTCONN"
   | Enosys -> "ENOSYS"
+  | Eio -> "EIO"
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 

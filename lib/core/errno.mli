@@ -9,6 +9,7 @@ type t =
   | Enomem  (** Buffer heap exhausted. *)
   | Enotconn  (** Socket not connected. *)
   | Enosys  (** Module not loaded and loading disabled. *)
+  | Eio  (** Transient device I/O error (fault injection). *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

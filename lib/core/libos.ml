@@ -73,6 +73,15 @@ let rec load_module (wfd : Wfd.t) ~clock name =
     (* dlmopen the module into the WFD's namespace, then run its
        constructor. *)
     Clock.advance clock Cost.dlmopen_namespace;
+    (* A fired loader fault models a transient dlmopen failure: the
+       namespace load is discarded and as-visor falls back to repeating
+       the slow path for this module. *)
+    (match wfd.Wfd.fault with
+    | Some plan when Fault.check ~at:(Clock.now clock) plan ~site:Fault.site_loader_load ->
+        Clock.advance clock Cost.dlmopen_namespace;
+        Fault.record_recovery plan ~at:(Clock.now clock) ~site:Fault.site_loader_load
+          ("slow-path reload of module " ^ name)
+    | _ -> ());
     Clock.advance clock (Cost.module_load name);
     m.init wfd ~clock;
     Hashtbl.replace wfd.Wfd.loaded_modules name ();

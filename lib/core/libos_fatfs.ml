@@ -9,10 +9,12 @@ let fatfs_read (wfd : Wfd.t) ~clock path =
   match wfd.Wfd.vfs.Fsim.Vfs.read_file ~clock path with
   | data -> Ok data
   | exception Not_found -> Error Errno.Enoent
+  | exception Fsim.Vfs.Io_error _ -> Error Errno.Eio
 
 let fatfs_write (wfd : Wfd.t) ~clock path data =
-  wfd.Wfd.vfs.Fsim.Vfs.write_file ~clock path data;
-  Ok (Bytes.length data)
+  match wfd.Wfd.vfs.Fsim.Vfs.write_file ~clock path data with
+  | () -> Ok (Bytes.length data)
+  | exception Fsim.Vfs.Io_error _ -> Error Errno.Eio
 
 let fatfs_exists (wfd : Wfd.t) path = wfd.Wfd.vfs.Fsim.Vfs.exists path
 

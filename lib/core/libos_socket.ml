@@ -47,14 +47,14 @@ let smol_bind (wfd : Wfd.t) ~clock ~port =
         Ok listener
       end
 
-let smol_connect (_wfd : Wfd.t) ~clock ~ip ~port =
+let smol_connect (wfd : Wfd.t) ~clock ~ip ~port =
   match Hashtbl.find_opt listeners (ip, port) with
   | None -> Error Errno.Enotconn
   | Some listener ->
       let conn =
-        Netsim.Tcp.connect ~client:clock ~server:listener.clock
+        Netsim.Tcp.connect ?fault:wfd.Wfd.fault ~client:clock ~server:listener.clock
           ~link:Netsim.Link.loopback ~client_profile:Netsim.Tcp.smoltcp
-          ~server_profile:Netsim.Tcp.smoltcp
+          ~server_profile:Netsim.Tcp.smoltcp ()
       in
       listener.pending <- listener.pending @ [ conn ];
       Ok conn

@@ -8,6 +8,18 @@ let bind ?image kernel = { kernel; image }
 
 type retry_policy = No_retry | Retry_function of int | Retry_workflow of int
 
+type backoff =
+  | No_backoff
+  | Exponential of { base : Units.time; factor : float; limit : Units.time }
+
+let backoff_delay backoff ~attempt =
+  if attempt <= 1 then Units.zero
+  else
+    match backoff with
+    | No_backoff -> Units.zero
+    | Exponential { base; factor; limit } ->
+        Units.min limit (Units.scale base (factor ** float_of_int (attempt - 2)))
+
 type config = {
   cores : int;
   features : Wfd.features;
@@ -16,6 +28,9 @@ type config = {
   dispatch_latency : Units.time;
   retry : retry_policy;
   cpu_quota : float option;
+  fault : Fault.t option;
+  timeout : Units.time option;
+  backoff : backoff;
 }
 
 let default_config =
@@ -27,6 +42,9 @@ let default_config =
     dispatch_latency = Units.us 15;
     retry = No_retry;
     cpu_quota = None;
+    fault = None;
+    timeout = None;
+    backoff = No_backoff;
   }
 
 type stage_report = {
@@ -54,6 +72,10 @@ type report = {
 exception Admission_failed of string
 
 exception Function_failed of { fn : string; attempts : int; error : exn }
+
+exception Function_hung of { fn : string }
+
+exception Timed_out of { fn : string; after : Units.time }
 
 (* Recovering a crashed function: discard its heap-unit allocations
    (linked_list_allocator recovery, 7.1), unmap its slot and restart
@@ -155,8 +177,8 @@ let run_once ~config ~workflow ~bindings () =
   Clock.advance clock Cost.visor_dispatch;
   (* as-visor instantiates the WFD for the workflow. *)
   let wfd =
-    Wfd.create ~features:config.features ?vfs:config.vfs ~proc_table ~clock
-      ~workflow_name:workflow.Workflow.wf_name ()
+    Wfd.create ~features:config.features ?vfs:config.vfs ?fault:config.fault
+      ~proc_table ~clock ~workflow_name:workflow.Workflow.wf_name ()
   in
   Clock.advance clock Cost.entry_table_init;
   Trace.recordf Trace.global ~at:(Clock.now clock) ~category:"visor" ~label:"wfd-created"
@@ -205,15 +227,52 @@ let run_once ~config ~workflow ~bindings () =
             | Retry_function n -> Stdlib.max 1 n
             | No_retry | Retry_workflow _ -> 1
           in
+          let fn = node.Workflow.node_id in
+          let record_recovery ~at detail =
+            match config.fault with
+            | Some plan -> Fault.record_recovery plan ~at ~site:"visor.retry" detail
+            | None ->
+                Trace.recordf Trace.global ~at ~category:"fault" ~label:"visor.retry"
+                  "recovered: %s" detail
+          in
           let rec attempt thread n =
             let ctx = make_fn_ctx config wfd thread node.Workflow.language in
-            match b.kernel ctx ~instance:i ~total:node.Workflow.instances with
+            let attempt_start = Clock.now thread.Wfd.clock in
+            let execute () =
+              (match config.fault with
+              | Some plan ->
+                  if Fault.check ~at:attempt_start plan ~site:Fault.site_fn_crash then
+                    raise (Fault.Injected { site = Fault.site_fn_crash });
+                  if Fault.check ~at:attempt_start plan ~site:Fault.site_fn_hang then begin
+                    match config.timeout with
+                    | None ->
+                        (* No watchdog timeout configured: a wedged
+                           function thread is undetectable. *)
+                        raise (Function_hung { fn })
+                    | Some limit ->
+                        (* The thread wedges; the watchdog kills it when
+                           the per-function timeout expires. *)
+                        Clock.advance thread.Wfd.clock limit;
+                        raise (Timed_out { fn; after = limit })
+                  end
+              | None -> ());
+              b.kernel ctx ~instance:i ~total:node.Workflow.instances;
+              match config.timeout with
+              | Some limit
+                when Units.( > ) (Clock.elapsed_since thread.Wfd.clock attempt_start)
+                       limit ->
+                  (* The kernel ran past its budget: the watchdog killed
+                     it at the deadline, the visor observes the kill at
+                     the next scheduling tick. *)
+                  raise (Timed_out { fn; after = limit })
+              | _ -> ()
+            in
+            match execute () with
             | () -> (thread, ctx)
+            | exception (Function_hung _ as e) -> raise e
             | exception error ->
                 if n >= max_attempts then
-                  raise
-                    (Function_failed
-                       { fn = node.Workflow.node_id; attempts = n; error })
+                  raise (Function_failed { fn; attempts = n; error })
                 else begin
                   incr retries;
                   (* Recover the crashed function's heap unit and
@@ -223,6 +282,11 @@ let run_once ~config ~workflow ~bindings () =
                       ~clock:thread.Wfd.clock
                   in
                   Clock.advance fresh.Wfd.clock function_restart_cost;
+                  let wait = backoff_delay config.backoff ~attempt:(n + 1) in
+                  Clock.advance fresh.Wfd.clock wait;
+                  record_recovery ~at:(Clock.now fresh.Wfd.clock)
+                    (Printf.sprintf "restart %s attempt %d (backoff %s)" fn (n + 1)
+                       (Units.to_string wait));
                   attempt fresh (n + 1)
                 end
           in

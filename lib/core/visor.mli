@@ -26,6 +26,16 @@ type retry_policy =
       (** Restart the whole workflow in a fresh WFD, up to n attempts
           total (idempotent functions). *)
 
+type backoff =
+  | No_backoff
+  | Exponential of { base : Sim.Units.time; factor : float; limit : Sim.Units.time }
+      (** Attempt [k] (k >= 2) waits [min limit (base * factor^(k-2))]
+          of virtual time before restarting. *)
+
+val backoff_delay : backoff -> attempt:int -> Sim.Units.time
+(** The wait charged before the given attempt number (zero for the
+    first attempt) — exposed so tests can assert the exact schedule. *)
+
 type config = {
   cores : int;  (** Host CPUs available to this WFD. *)
   features : Wfd.features;
@@ -37,6 +47,14 @@ type config = {
   cpu_quota : float option;
       (** §9 resource allocation: cgroup CPU bandwidth per function
           thread (0 < q <= 1); [None] = unlimited. *)
+  fault : Sim.Fault.t option;
+      (** Deterministic fault plan armed across the WFD's substrate
+          (disk, buffer heap, loader, network, function threads). *)
+  timeout : Sim.Units.time option;
+      (** Per-function virtual-time watchdog: an attempt running (or
+          hanging) past this budget is killed and counts as a failed
+          attempt under the retry policy. *)
+  backoff : backoff;  (** Wait between retry attempts. *)
 }
 
 val default_config : config
@@ -73,6 +91,15 @@ exception Function_failed of { fn : string; attempts : int; error : exn }
 (** A user function kept failing after the configured retries.  The
     failure never escapes the WFD: MPK fault isolation means other
     WFDs (and the visor itself) are unaffected. *)
+
+exception Function_hung of { fn : string }
+(** An injected hang wedged a function thread and no [config.timeout]
+    watchdog was armed: the hang is undetectable and the workflow never
+    completes.  Not retried — configure a timeout to recover. *)
+
+exception Timed_out of { fn : string; after : Sim.Units.time }
+(** The [error] payload inside {!Function_failed} when an attempt was
+    killed by the per-function watchdog timeout. *)
 
 val run :
   ?config:config ->

@@ -22,6 +22,7 @@ type t = {
   entry_table : (string, string) Hashtbl.t;
   ext : Ext.t;
   vfs : Fsim.Vfs.t;
+  fault : Fault.t option;
   mutable tap : Hostos.Tap.device option;
   stdout : Buffer.t;
   pid : Hostos.Process.pid;
@@ -53,7 +54,7 @@ let user_pkru_for t slot =
 
 let next_id = ref 0
 
-let create ?(features = default_features) ?vfs ~proc_table ~clock ~workflow_name () =
+let create ?(features = default_features) ?vfs ?fault ~proc_table ~clock ~workflow_name () =
   incr next_id;
   let aspace = Address_space.create () in
   (* System partition: visor and libos code, both on the system key.
@@ -68,6 +69,9 @@ let create ?(features = default_features) ?vfs ~proc_table ~clock ~workflow_name
   Address_space.map aspace ~addr:Layout.trampoline.Layout.base
     ~len:Layout.trampoline.Layout.size ~perm:Page.rx ~pkey:Prot.default_key ();
   let vfs = match vfs with Some v -> v | None -> Fsim.Vfs.fresh_fat () in
+  (* Under a fault plan the WFD's disk and buffer heap both become
+     injection points; a plan-free WFD pays nothing. *)
+  let vfs = match fault with Some plan -> Fsim.Vfs.with_faults plan vfs | None -> vfs in
   let pid = Hostos.Process.spawn_process proc_table ~at:(Clock.now clock) ~name:workflow_name () in
   (* The mapped system partition (visor + libos code, trampolines) is
      resident from the start. *)
@@ -83,11 +87,13 @@ let create ?(features = default_features) ?vfs ~proc_table ~clock ~workflow_name
     features;
     aspace;
     buffer_alloc =
-      Alloc.create ~base:Layout.libos_heap.Layout.base ~size:Layout.libos_heap.Layout.size ();
+      Alloc.create ?fault ~base:Layout.libos_heap.Layout.base
+        ~size:Layout.libos_heap.Layout.size ();
     loaded_modules = Hashtbl.create 8;
     entry_table = Hashtbl.create 16;
     ext = Ext.create ();
     vfs;
+    fault;
     tap = None;
     stdout = Buffer.create 256;
     pid;

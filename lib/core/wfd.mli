@@ -33,6 +33,7 @@ type t = {
   entry_table : (string, string) Hashtbl.t;  (** entry name -> module. *)
   ext : Ext.t;  (** Per-module state (fd tables, slot maps, ...). *)
   vfs : Fsim.Vfs.t;  (** The WFD's virtual disk image. *)
+  fault : Sim.Fault.t option;  (** Fault plan consulted by substrate layers. *)
   mutable tap : Hostos.Tap.device option;
   stdout : Buffer.t;  (** Host console output of this WFD. *)
   pid : Hostos.Process.pid;
@@ -67,6 +68,7 @@ val user_pkru_for : t -> int -> Mem.Prot.pkru
 val create :
   ?features:features ->
   ?vfs:Fsim.Vfs.t ->
+  ?fault:Sim.Fault.t ->
   proc_table:Hostos.Process.t ->
   clock:Sim.Clock.t ->
   workflow_name:string ->
@@ -74,7 +76,10 @@ val create :
   t
 (** Builds the address space (system regions + trampoline), allocates
     protection keys and charges {!Cost.wfd_create} to [clock].  The
-    default disk is a fresh FAT image. *)
+    default disk is a fresh FAT image.  Passing a fault plan arms the
+    WFD's injection points: the disk ([vfs.read]/[vfs.write]), the
+    buffer heap ([mem.alloc]) and, via the loader and visor, module
+    loads and function threads. *)
 
 val spawn_function_thread : t -> clock:Sim.Clock.t -> thread
 (** Clone a thread into the next free function slot, map its code,

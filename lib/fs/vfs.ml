@@ -41,6 +41,25 @@ let of_ramfs fs =
     list_files = (fun () -> Ramfs.list_files fs);
   }
 
+exception Io_error of { op : string; path : string }
+
+let with_faults plan t =
+  let guard op site clock path =
+    let at = match clock with Some c -> Sim.Clock.now c | None -> Sim.Units.zero in
+    if Sim.Fault.check ~at plan ~site then raise (Io_error { op; path })
+  in
+  {
+    t with
+    read_file =
+      (fun ?clock path ->
+        guard "read" Sim.Fault.site_vfs_read clock path;
+        t.read_file ?clock path);
+    write_file =
+      (fun ?clock path data ->
+        guard "write" Sim.Fault.site_vfs_write clock path;
+        t.write_file ?clock path data);
+  }
+
 let sectors_of_mib mib = mib * 1024 * 1024 / Blockdev.sector_size
 
 let fresh_fat ?(mib = 2048) () = of_fat (Fat.format (Blockdev.create ~sectors:(sectors_of_mib mib)))

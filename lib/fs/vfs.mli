@@ -15,6 +15,15 @@ type t = {
   list_files : unit -> string list;
 }
 
+exception Io_error of { op : string; path : string }
+(** A transient device error injected by a fault plan. *)
+
+val with_faults : Sim.Fault.t -> t -> t
+(** Wrap a filesystem so that every [read_file] / [write_file] consults
+    the plan's [vfs.read] / [vfs.write] injection sites first; a fired
+    fault raises {!Io_error} instead of touching the backing store
+    (the operation is transient — retrying consults the plan again). *)
+
 val of_fat : Fat.t -> t
 val of_extfs : Extfs.t -> t
 val of_ramfs : Ramfs.t -> t

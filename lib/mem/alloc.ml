@@ -8,11 +8,19 @@ type t = {
   size : int;
   mutable holes : hole list;  (** Address-ordered, non-adjacent. *)
   live : (int, int) Hashtbl.t;  (** addr -> size *)
+  fault : Sim.Fault.t option;
 }
 
-let create ?(policy = First_fit) ~base ~size () =
+let create ?(policy = First_fit) ?fault ~base ~size () =
   if size <= 0 then invalid_arg "Alloc.create: size must be positive";
-  { policy; base; size; holes = [ { addr = base; size } ]; live = Hashtbl.create 64 }
+  {
+    policy;
+    base;
+    size;
+    holes = [ { addr = base; size } ];
+    live = Hashtbl.create 64;
+    fault;
+  }
 
 let align_up addr align = (addr + align - 1) land lnot (align - 1)
 
@@ -23,10 +31,17 @@ let fit hole ~size ~align =
   let padding = aligned - hole.addr in
   if padding + size <= hole.size then Some padding else None
 
+let injected_failure t =
+  match t.fault with
+  | Some plan -> Sim.Fault.check plan ~site:Sim.Fault.site_mem_alloc
+  | None -> false
+
 let alloc t ~size ~align =
   if size <= 0 then invalid_arg "Alloc.alloc: size must be positive";
   if align <= 0 || align land (align - 1) <> 0 then
     invalid_arg "Alloc.alloc: align must be a positive power of two";
+  if injected_failure t then None
+  else
   let candidates =
     List.filter_map
       (fun h -> match fit h ~size ~align with Some pad -> Some (h, pad) | None -> None)

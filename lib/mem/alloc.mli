@@ -11,13 +11,15 @@ type policy = First_fit | Best_fit
 
 type t
 
-val create : ?policy:policy -> base:int -> size:int -> unit -> t
-(** Manage the range [base, base+size). *)
+val create : ?policy:policy -> ?fault:Sim.Fault.t -> base:int -> size:int -> unit -> t
+(** Manage the range [base, base+size).  When a fault plan is given,
+    every {!alloc} consults the [mem.alloc] injection site first. *)
 
 val alloc : t -> size:int -> align:int -> int option
 (** Allocated block address, or [None] when no hole fits.  [align] must
     be a power of two; blocks never overlap and are fully inside the
-    managed range. *)
+    managed range.  An injected [mem.alloc] fault also yields [None]
+    (a transient exhaustion — the next call consults the plan again). *)
 
 val free : t -> int -> unit
 (** Free a block previously returned by {!alloc}.  Raises

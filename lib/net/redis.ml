@@ -21,7 +21,7 @@ type client = { server : t; conn : Tcp.t; clock : Clock.t }
 let connect server clock =
   let conn =
     Tcp.connect ~client:clock ~server:server.server_clock ~link:server.link
-      ~client_profile:Tcp.linux ~server_profile:Tcp.linux
+      ~client_profile:Tcp.linux ~server_profile:Tcp.linux ()
   in
   { server; conn; clock }
 

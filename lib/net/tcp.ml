@@ -79,9 +79,11 @@ type t = {
   c2s : Buffer.t;  (** Bytes delivered to the server. *)
   s2c : Buffer.t;  (** Bytes delivered to the client. *)
   mutable segments : int;
+  fault : Fault.t option;
+  mutable retransmits : int;
 }
 
-let connect ~client ~server ~link ~client_profile ~server_profile =
+let connect ?fault ~client ~server ~link ~client_profile ~server_profile () =
   let t =
     {
       link;
@@ -94,6 +96,8 @@ let connect ~client ~server ~link ~client_profile ~server_profile =
       c2s = Buffer.create 256;
       s2c = Buffer.create 256;
       segments = 0;
+      fault;
+      retransmits = 0;
     }
   in
   (* Three-way handshake: SYN ->, <- SYN/ACK, ACK ->.  The connection is
@@ -119,6 +123,33 @@ let require_established t =
   if t.client_state <> Established || t.server_state <> Established then
     invalid_arg "Tcp: connection not established"
 
+(* Retransmission timeout charged when an injected drop or corruption
+   loses a burst: the sender's RTO fires, then the burst is resent. *)
+let rto t = Units.max (Units.scale t.link.Link.latency 8.0) (Units.us 200)
+
+(* One retransmission round per fired injection: the lost burst costs
+   its wall time, an RTO wait, then the full resend. *)
+let fault_penalty t ~at ~burst_wall =
+  match t.fault with
+  | None -> Units.zero
+  | Some plan ->
+      let delay =
+        if Fault.check ~at plan ~site:Fault.site_link_delay then
+          Units.scale t.link.Link.latency 10.0
+        else Units.zero
+      in
+      let dropped = Fault.check ~at plan ~site:Fault.site_link_tx in
+      let corrupted = Fault.check ~at plan ~site:Fault.site_link_corrupt in
+      if dropped || corrupted then begin
+        t.retransmits <- t.retransmits + 1;
+        let resend_at = Units.add at (Units.add burst_wall (rto t)) in
+        Fault.record_recovery plan ~at:resend_at
+          ~site:(if dropped then Fault.site_link_tx else Fault.site_link_corrupt)
+          "retransmitted burst after RTO";
+        Units.add delay (Units.add (rto t) burst_wall)
+      end
+      else delay
+
 (* Move [data] from [src_clock] to [dst_clock] in window-sized bursts.
    Each burst's wall time is the max of wire serialisation and the
    slower endpoint's per-segment CPU; window pacing adds one RTT of ack
@@ -139,7 +170,10 @@ let stream t ~tx ~rx ~src_clock ~dst_clock ~sink data =
         (Units.scale t.link.Link.per_packet (float_of_int segs))
     in
     let start = Units.max (Clock.now src_clock) (Clock.now dst_clock) in
-    let burst_wall = Units.max wire (Units.max cpu_tx cpu_rx) in
+    let burst_wall =
+      let nominal = Units.max wire (Units.max cpu_tx cpu_rx) in
+      Units.add nominal (fault_penalty t ~at:start ~burst_wall:nominal)
+    in
     let finish = Units.add start (Units.add burst_wall t.link.Link.latency) in
     Clock.advance_to src_clock (Units.add start burst_wall);
     Clock.advance_to dst_clock finish;
@@ -186,6 +220,8 @@ let close t =
   t.server_state <- Closed
 
 let segments_sent t = t.segments
+
+let retransmits t = t.retransmits
 
 let throughput_estimate tx ~link ~rx =
   let mss = float_of_int (Stdlib.min tx.mss rx.mss) in

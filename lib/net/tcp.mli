@@ -45,13 +45,21 @@ type t
 (** One direction-agnostic connection between two simulated threads. *)
 
 val connect :
+  ?fault:Sim.Fault.t ->
   client:Sim.Clock.t ->
   server:Sim.Clock.t ->
   link:Link.t ->
   client_profile:profile ->
   server_profile:profile ->
+  unit ->
   t
-(** Performs the three-way handshake, advancing both clocks. *)
+(** Performs the three-way handshake, advancing both clocks.  When a
+    fault plan is given, every data burst consults the
+    [net.link.delay], [net.link.tx] (drop) and [net.link.corrupt]
+    sites: a fired drop or corruption loses the burst and forces a
+    retransmission (RTO wait plus a full resend); a fired delay adds
+    extra queueing latency.  Payload delivery is unaffected — faults
+    only cost virtual time. *)
 
 val state : t -> state * state
 (** (client state, server state). *)
@@ -70,6 +78,10 @@ val close : t -> unit
 
 val segments_sent : t -> int
 (** Total data segments across both directions (tests/inspection). *)
+
+val retransmits : t -> int
+(** Bursts retransmitted because an injected fault dropped or corrupted
+    them. *)
 
 val throughput_estimate : profile -> link:Link.t -> rx:profile -> float
 (** Steady-state bytes/s the model yields for bulk transfer from a

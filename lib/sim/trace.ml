@@ -24,7 +24,8 @@ let record t ~at ~category ~label detail =
   end
 
 let recordf t ~at ~category ~label fmt =
-  Format.kasprintf (fun detail -> record t ~at ~category ~label detail) fmt
+  if t.on then Format.kasprintf (fun detail -> record t ~at ~category ~label detail) fmt
+  else Format.ikfprintf ignore Format.str_formatter fmt
 
 let events t =
   let cap = Array.length t.ring in

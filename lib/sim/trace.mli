@@ -30,8 +30,9 @@ val recordf :
   label:string ->
   ('a, Format.formatter, unit, unit) format4 ->
   'a
-(** Formatted detail; the format arguments are still evaluated when
-    disabled, so keep them cheap. *)
+(** Formatted detail.  When tracing is disabled no detail string is
+    built and custom [%a] printers are never invoked; only the argument
+    expressions themselves are evaluated at the call site. *)
 
 val events : t -> event list
 (** Oldest first. *)

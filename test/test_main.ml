@@ -18,5 +18,6 @@ let () =
       ("workloads", Test_workloads.suite);
       ("platforms", Test_platforms.suite);
       ("resilience", Test_resilience.suite);
+      ("fault", Test_fault.suite);
       ("multilang", Test_multilang.suite);
     ]

@@ -7,7 +7,7 @@ open Netsim
 let connect ?(link = Link.loopback) ?(cp = Tcp.linux) ?(sp = Tcp.linux) () =
   let client = Clock.create () and server = Clock.create () in
   let conn =
-    Tcp.connect ~client ~server ~link ~client_profile:cp ~server_profile:sp
+    Tcp.connect ~client ~server ~link ~client_profile:cp ~server_profile:sp ()
   in
   (conn, client, server)
 

@@ -21,12 +21,19 @@ let flaky_kernel ~failures =
 let config_with retry = { Visor.default_config with Visor.retry }
 
 let test_function_retry_recovers () =
-  let bindings = [ ("f", Visor.bind (flaky_kernel ~failures:2)) ] in
-  let report =
-    Visor.run ~config:(config_with (Visor.Retry_function 3)) ~workflow:single ~bindings ()
+  (* Plan-driven flavour of the flaky kernel: the first two attempts
+     crash via injected visor.fn.crash faults instead of a hand-rolled
+     failure counter, so the fault schedule is part of the seed. *)
+  let plan = Fault.create ~seed:31 () in
+  Fault.inject plan ~site:Fault.site_fn_crash (Fault.First 2);
+  let ok (ctx : Asstd.ctx) ~instance:_ ~total:_ = Asstd.println ctx "survived" in
+  let config =
+    { Visor.default_config with Visor.retry = Visor.Retry_function 3; fault = Some plan }
   in
+  let report = Visor.run ~config ~workflow:single ~bindings:[ ("f", Visor.bind ok) ] () in
   Alcotest.(check string) "completed" "survived\n" report.Visor.stdout;
-  Alcotest.(check int) "two restarts" 2 report.Visor.retries
+  Alcotest.(check int) "two restarts" 2 report.Visor.retries;
+  Alcotest.(check int) "both injections fired" 2 (Fault.fired plan ~site:Fault.site_fn_crash)
 
 let test_function_retry_exhausted () =
   let bindings = [ ("f", Visor.bind (flaky_kernel ~failures:99)) ] in
@@ -116,6 +123,34 @@ let test_retry_preserves_intermediate_data () =
       ()
   in
   Alcotest.(check string) "data intact across restart" "precious\n" report.Visor.stdout
+
+let test_injected_crash_preserves_intermediate_data () =
+  (* Same §3.1 claim, driven by a fault plan: visor.fn.crash occurrence
+     1 is the producer (no fire), occurrence 2 is the consumer's first
+     attempt, which crashes.  The producer's AsBuffer slot lives in the
+     libos heap and must survive the consumer's respawn. *)
+  let plan = Fault.create ~seed:33 () in
+  Fault.inject plan ~site:Fault.site_fn_crash (Fault.Nth 2);
+  let produce (ctx : Asstd.ctx) ~instance:_ ~total:_ =
+    ignore (Asbuffer.with_slot_raw ctx ~slot:"d" (Bytes.of_string "precious"))
+  in
+  let consume (ctx : Asstd.ctx) ~instance:_ ~total:_ =
+    Asstd.println ctx (Bytes.to_string (Asbuffer.from_slot_raw ctx ~slot:"d"))
+  in
+  let wf =
+    Workflow.create_exn ~name:"w" ~nodes:[ node "p"; node "c" ] ~edges:[ ("p", "c") ]
+  in
+  let config =
+    { Visor.default_config with Visor.retry = Visor.Retry_function 2; fault = Some plan }
+  in
+  let report =
+    Visor.run ~config ~workflow:wf
+      ~bindings:[ ("p", Visor.bind produce); ("c", Visor.bind consume) ]
+      ()
+  in
+  Alcotest.(check string) "buffer survives injected crash" "precious\n" report.Visor.stdout;
+  Alcotest.(check int) "one restart" 1 report.Visor.retries;
+  Alcotest.(check int) "the planned crash fired" 1 (Fault.fired plan ~site:Fault.site_fn_crash)
 
 let test_fault_isolation_between_wfds () =
   (* One WFD crashing leaves the visor able to run other WFDs. *)
@@ -233,6 +268,8 @@ let suite =
     Alcotest.test_case "retry reuses slot" `Quick test_retry_reuses_slot;
     Alcotest.test_case "respawn gives fresh heap" `Quick test_respawn_gives_fresh_heap;
     Alcotest.test_case "retry preserves intermediate data" `Quick test_retry_preserves_intermediate_data;
+    Alcotest.test_case "injected crash preserves intermediate data" `Quick
+      test_injected_crash_preserves_intermediate_data;
     Alcotest.test_case "fault isolation between WFDs" `Quick test_fault_isolation_between_wfds;
     Alcotest.test_case "retry costs time" `Quick test_retry_costs_time;
     Alcotest.test_case "split_stages shape" `Quick test_split_stages_shape;

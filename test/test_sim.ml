@@ -97,6 +97,24 @@ let test_stats_after_add () =
     (Invalid_argument "Stats.percentile: empty") (fun () ->
       ignore (Stats.percentile s 50.0))
 
+let test_stats_percentile_edges () =
+  let s = Stats.create () in
+  Stats.add s 42.0;
+  (* A single sample is every percentile. *)
+  Alcotest.(check (float 1e-9)) "p0 of singleton" 42.0 (Stats.percentile s 0.0);
+  Alcotest.(check (float 1e-9)) "p50 of singleton" 42.0 (Stats.percentile s 50.0);
+  Alcotest.(check (float 1e-9)) "p100 of singleton" 42.0 (Stats.percentile s 100.0);
+  Alcotest.check_raises "p below range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile s (-0.5)));
+  Alcotest.check_raises "p above range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile s 100.5));
+  let empty = Stats.create () in
+  Alcotest.check_raises "empty raises even at valid p"
+    (Invalid_argument "Stats.percentile: empty") (fun () ->
+      ignore (Stats.percentile empty 50.0))
+
 let test_stats_time () =
   let s = Stats.create () in
   Stats.add_time s (Units.us 10);
@@ -224,6 +242,44 @@ let test_trace_ring_overflow () =
   | e :: _ -> Alcotest.fail ("expected label 7, got " ^ e.Trace.label)
   | [] -> Alcotest.fail "empty"
 
+let test_trace_ring_boundaries () =
+  (* Filling to exactly capacity drops nothing; wrap-around keeps the
+     newest events in order and clear resets the drop counter. *)
+  let t = Trace.create ~capacity:3 () in
+  Trace.set_enabled t true;
+  for i = 1 to 3 do
+    Trace.record t ~at:(Units.us i) ~category:"c" ~label:(string_of_int i) ""
+  done;
+  Alcotest.(check int) "full, nothing dropped" 0 (Trace.dropped t);
+  Alcotest.(check (list string)) "all retained in order" [ "1"; "2"; "3" ]
+    (List.map (fun (e : Trace.event) -> e.Trace.label) (Trace.events t));
+  Trace.record t ~at:(Units.us 4) ~category:"c" ~label:"4" "";
+  Alcotest.(check int) "one dropped past capacity" 1 (Trace.dropped t);
+  Alcotest.(check (list string)) "oldest evicted" [ "2"; "3"; "4" ]
+    (List.map (fun (e : Trace.event) -> e.Trace.label) (Trace.events t));
+  Trace.clear t;
+  Alcotest.(check int) "clear resets count" 0 (Trace.count t);
+  Alcotest.(check int) "clear resets dropped" 0 (Trace.dropped t)
+
+let test_recordf_disabled_builds_nothing () =
+  (* Regression: with tracing disabled, recordf must not run the
+     formatter — a custom %a printer is never invoked. *)
+  let t = Trace.create () in
+  let invoked = ref false in
+  let pp fmt () =
+    invoked := true;
+    Format.pp_print_string fmt "x"
+  in
+  Trace.recordf t ~at:Units.zero ~category:"c" ~label:"l" "%a" pp ();
+  Alcotest.(check bool) "printer skipped when disabled" false !invoked;
+  Alcotest.(check int) "nothing recorded" 0 (Trace.count t);
+  Trace.set_enabled t true;
+  Trace.recordf t ~at:Units.zero ~category:"c" ~label:"l" "%a" pp ();
+  Alcotest.(check bool) "printer runs when enabled" true !invoked;
+  (match Trace.events t with
+  | [ e ] -> Alcotest.(check string) "detail built when enabled" "x" e.Trace.detail
+  | _ -> Alcotest.fail "expected exactly one event")
+
 let suite =
   [
     Alcotest.test_case "units construction" `Quick test_units_construction;
@@ -236,6 +292,7 @@ let suite =
     Alcotest.test_case "stats basics" `Quick test_stats_basics;
     Alcotest.test_case "stats percentile interpolation" `Quick test_stats_percentile_interp;
     Alcotest.test_case "stats resort after add" `Quick test_stats_after_add;
+    Alcotest.test_case "stats percentile edges" `Quick test_stats_percentile_edges;
     Alcotest.test_case "stats time helpers" `Quick test_stats_time;
     Alcotest.test_case "eventq ordering" `Quick test_eventq_ordering;
     Alcotest.test_case "eventq FIFO ties" `Quick test_eventq_fifo_ties;
@@ -249,4 +306,7 @@ let suite =
     Alcotest.test_case "trace disabled noop" `Quick test_trace_disabled_noop;
     Alcotest.test_case "trace record/filter" `Quick test_trace_records_and_filters;
     Alcotest.test_case "trace ring overflow" `Quick test_trace_ring_overflow;
+    Alcotest.test_case "trace ring boundaries" `Quick test_trace_ring_boundaries;
+    Alcotest.test_case "recordf disabled builds nothing" `Quick
+      test_recordf_disabled_builds_nothing;
   ]
