@@ -759,6 +759,176 @@ let chaos () =
      unit and restarts the function, so most runs still complete\n"
 
 (* ------------------------------------------------------------------ *)
+(* Serving: the multi-tenant warm-pool server under seeded open-loop
+   load.  Two identically seeded runs are bit-identical (the CI smoke
+   job diffs them); emits BENCH_serving.json next to the table.        *)
+
+let serving () =
+  let open Alloystack_core in
+  let node ?(instances = 1) ?(language = Workflow.Rust) ?(modules = []) id =
+    { Workflow.node_id = id; language; instances; required_modules = modules }
+  in
+  (* Small admitted images so the content-hash admission cache has real
+     work: one scan per distinct image, then cache hits. *)
+  let image name =
+    Isa.Image.create ~name ~toolchain:Isa.Image.Rust_as_std
+      (List.init 160 (fun i ->
+           if i mod 5 = 0 then Isa.Inst.Mov_imm (Int32.of_int i) else Isa.Inst.Add))
+  in
+  let io_kernel path ms (ctx : Asstd.ctx) ~instance:_ ~total:_ =
+    Asstd.write_whole_file ctx path (Bytes.make (kib 32) 'd');
+    Asstd.compute ctx (Units.ms ms);
+    ignore (Asstd.read_whole_file ctx path)
+  in
+  let compute_kernel ms (ctx : Asstd.ctx) ~instance:_ ~total:_ =
+    Asstd.compute ctx (Units.ms ms)
+  in
+  (* Three tenants: a Rust chain, a Rust fan-out and a Python endpoint
+     (the one that gains most from a warm CPython template). *)
+  let chain_wf =
+    Workflow.create_exn ~name:"thumb"
+      ~nodes:[ node ~modules:[ "fdtab" ] "extract"; node "render" ]
+      ~edges:[ ("extract", "render") ]
+  in
+  let chain_bindings =
+    [
+      ("extract", Visor.bind ~image:(image "extract") (io_kernel "/thumb" 6));
+      ("render", Visor.bind ~image:(image "render") (compute_kernel 8));
+    ]
+  in
+  let fanout_wf =
+    Workflow.create_exn ~name:"etl"
+      ~nodes:[ node ~instances:8 ~modules:[ "mm" ] "shard" ]
+      ~edges:[]
+  in
+  let fanout_bindings =
+    [ ("shard", Visor.bind ~image:(image "shard") (compute_kernel 12)) ]
+  in
+  let py_wf =
+    Workflow.create_exn ~name:"mlinf"
+      ~nodes:[ node ~language:Workflow.Python "infer" ]
+      ~edges:[]
+  in
+  let py_bindings =
+    [ ("infer", Visor.bind ~image:(image "infer") (compute_kernel 10)) ]
+  in
+  let endpoints_spec =
+    [
+      ("thumb", chain_wf, chain_bindings);
+      ("etl", fanout_wf, fanout_bindings);
+      ("mlinf", py_wf, py_bindings);
+    ]
+  in
+  let seed = 42 in
+  let qps = 900.0 in
+  let count = if !quick then 150 else 400 in
+  let requests =
+    let rng = Rng.create seed in
+    let eps = Array.of_list (List.map (fun (e, _, _) -> e) endpoints_spec) in
+    let t = ref 0.0 in
+    List.init count (fun _ ->
+        t := !t +. Rng.exponential rng ~mean:(1.0 /. qps);
+        {
+          Visor.Server.endpoint = Rng.pick rng eps;
+          arrival = Units.ns_f (!t *. 1e9);
+        })
+  in
+  let run_mode ~warm =
+    let server = Visor.Server.create ~warm () in
+    List.iter
+      (fun (endpoint, workflow, bindings) ->
+        Visor.Server.register server ~endpoint ~workflow ~bindings ())
+      endpoints_spec;
+    let report = Visor.Server.serve server requests in
+    Visor.Server.shutdown server;
+    report
+  in
+  let warm_r = run_mode ~warm:true in
+  let cold_r = run_mode ~warm:false in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "Serving: %d requests, 3 tenants, seeded open loop (seed %d)"
+           count seed)
+      ~columns:
+        [ "Pool"; "done"; "req/s"; "p50"; "p99"; "max inflight"; "warm/cold";
+          "adm hit/scan" ]
+  in
+  let row label (r : Visor.Server.serve_report) =
+    Table.add_row t
+      [
+        label;
+        string_of_int r.Visor.Server.completed;
+        Printf.sprintf "%.0f" r.Visor.Server.throughput_rps;
+        pp_t r.Visor.Server.p50_latency;
+        pp_t r.Visor.Server.p99_latency;
+        string_of_int r.Visor.Server.max_inflight;
+        Printf.sprintf "%d/%d" r.Visor.Server.warm_starts r.Visor.Server.cold_starts;
+        Printf.sprintf "%d/%d" r.Visor.Server.adm_hits r.Visor.Server.adm_scans;
+      ]
+  in
+  row "warm (template clone)" warm_r;
+  row "cold (no pool)" cold_r;
+  Table.print t;
+  (* Single-request boot comparison: the substitution the warm pool
+     makes on the critical path. *)
+  let one ~warm ~prewarm =
+    let server = Visor.Server.create ~warm () in
+    Visor.Server.register server ~endpoint:"mlinf" ~workflow:py_wf
+      ~bindings:py_bindings ();
+    if prewarm then ignore (Visor.Server.prewarm server ~endpoint:"mlinf");
+    let r =
+      Visor.Server.serve server
+        [ { Visor.Server.endpoint = "mlinf"; arrival = Units.zero } ]
+    in
+    Visor.Server.shutdown server;
+    match r.Visor.Server.responses with
+    | [ resp ] -> resp.Visor.Server.r_latency
+    | _ -> Units.zero
+  in
+  let warm_one = one ~warm:true ~prewarm:true in
+  let cold_one = one ~warm:false ~prewarm:false in
+  Printf.printf
+    "single Python request: cold boot %s vs warm clone %s (%.1fx)\n\n" (pp_t cold_one)
+    (pp_t warm_one)
+    (Units.to_us cold_one /. Float.max 1e-9 (Units.to_us warm_one));
+  let mode_json (r : Visor.Server.serve_report) =
+    Jsonlite.Obj
+      [
+        ("completed", Jsonlite.Int r.Visor.Server.completed);
+        ("failed", Jsonlite.Int r.Visor.Server.failed);
+        ("throughput_rps", Jsonlite.Float r.Visor.Server.throughput_rps);
+        ("mean_us", Jsonlite.Float (Units.to_us r.Visor.Server.mean_latency));
+        ("p50_us", Jsonlite.Float (Units.to_us r.Visor.Server.p50_latency));
+        ("p99_us", Jsonlite.Float (Units.to_us r.Visor.Server.p99_latency));
+        ("max_inflight", Jsonlite.Int r.Visor.Server.max_inflight);
+        ("warm_starts", Jsonlite.Int r.Visor.Server.warm_starts);
+        ("cold_starts", Jsonlite.Int r.Visor.Server.cold_starts);
+        ("admission_hits", Jsonlite.Int r.Visor.Server.adm_hits);
+        ("admission_scans", Jsonlite.Int r.Visor.Server.adm_scans);
+        ("evictions", Jsonlite.Int r.Visor.Server.evictions);
+        ("peak_rss", Jsonlite.Int r.Visor.Server.machine_peak_rss);
+      ]
+  in
+  let json =
+    Jsonlite.Obj
+      [
+        ("seed", Jsonlite.Int seed);
+        ("requests", Jsonlite.Int count);
+        ("qps", Jsonlite.Float qps);
+        ("warm", mode_json warm_r);
+        ("cold", mode_json cold_r);
+        ("single_cold_us", Jsonlite.Float (Units.to_us cold_one));
+        ("single_warm_us", Jsonlite.Float (Units.to_us warm_one));
+      ]
+  in
+  let oc = open_out "BENCH_serving.json" in
+  output_string oc (Jsonlite.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  print_endline "wrote BENCH_serving.json"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -777,6 +947,7 @@ let experiments =
     ("micro", micro);
     ("ext", ext);
     ("chaos", chaos);
+    ("serving", serving);
   ]
 
 let () =

@@ -131,6 +131,36 @@ let check_cmd dot file =
           0
     end
 
+(* Serve a synthetic open-loop request trace against the warm-pool
+   server and print the latency/throughput summary. *)
+let serve_cmd requests qps seed cold =
+  let open Alloystack_core in
+  let wf = Workflow.chain ~name:"serve-chain" 3 in
+  let kernel (ctx : Asstd.ctx) ~instance:_ ~total:_ = Asstd.compute ctx (Sim.Units.ms 5) in
+  let bindings =
+    List.map (fun (n : Workflow.node) -> (n.Workflow.node_id, Visor.bind kernel)) wf.Workflow.nodes
+  in
+  let server = Visor.Server.create ~warm:(not cold) () in
+  Visor.Server.register server ~endpoint:"chain" ~workflow:wf ~bindings ();
+  let rng = Sim.Rng.create seed in
+  let t = ref 0.0 in
+  let trace =
+    List.init requests (fun _ ->
+        t := !t +. Sim.Rng.exponential rng ~mean:(1.0 /. qps);
+        { Visor.Server.endpoint = "chain"; arrival = Sim.Units.ns_f (!t *. 1e9) })
+  in
+  let r = Visor.Server.serve server trace in
+  Visor.Server.shutdown server;
+  Format.printf "requests:     %d (%d ok, %d failed)@." requests
+    r.Visor.Server.completed r.Visor.Server.failed;
+  Format.printf "throughput:   %.1f req/s@." r.Visor.Server.throughput_rps;
+  Format.printf "latency:      p50 %a  p99 %a@." Sim.Units.pp r.Visor.Server.p50_latency
+    Sim.Units.pp r.Visor.Server.p99_latency;
+  Format.printf "max inflight: %d@." r.Visor.Server.max_inflight;
+  Format.printf "starts:       %d warm / %d cold@." r.Visor.Server.warm_starts
+    r.Visor.Server.cold_starts;
+  0
+
 let app_arg =
   Arg.(value & opt string "pipe"
        & info [ "app"; "a" ] ~doc:"Workload: wordcount, sorting, chain, pipe, image, noops.")
@@ -170,12 +200,28 @@ let file_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
 let dot_arg =
   Arg.(value & flag & info [ "dot" ] ~doc:"Also print the DAG in Graphviz format.")
 
+let requests_arg =
+  Arg.(value & opt int 100 & info [ "requests"; "n" ] ~doc:"Number of requests to serve.")
+
+let qps_arg =
+  Arg.(value & opt float 500.0 & info [ "qps" ] ~doc:"Mean open-loop arrival rate.")
+
+let cold_arg =
+  Arg.(value & flag & info [ "cold" ] ~doc:"Disable the warm template pool.")
+
+let serve_info =
+  Cmd.info "serve"
+    ~doc:"Serve a seeded open-loop load through the warm-pool server and report latency."
+
+let serve_term = Term.(const serve_cmd $ requests_arg $ qps_arg $ seed_arg $ cold_arg)
+
 let main =
   Cmd.group (Cmd.info "alloystack" ~doc:"AlloyStack reproduction CLI")
     [
       Cmd.v run_info run_term;
       Cmd.v coldstart_info Term.(const coldstart_cmd $ const ());
       Cmd.v check_info Term.(const check_cmd $ dot_arg $ file_arg);
+      Cmd.v serve_info serve_term;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -29,6 +29,29 @@ let entry_table_init = Units.us 200
 
 let image_scan_per_kb = Units.us 3
 
+(* --- Warm serving (template WFD pool) --- *)
+
+(* Cloning a warm template WFD: CoW-duplicate its page tables and pkey
+   assignments and re-point the namespace list, instead of building the
+   address space, allocating keys and binding as-std from scratch.
+   Calibrated well under the 872us wfd_create + 200us entry-table init
+   it substitutes for (a fork of a prepared process image). *)
+let wfd_clone = Units.us 180
+
+(* Re-attaching one already-linked as-libos module to a cloned WFD:
+   the namespace and its relocations are shared CoW with the template;
+   only the per-WFD module state is re-initialised. *)
+let warm_module_attach = Units.us 15
+
+(* Resuming an already-booted WASM engine (and CPython heap) captured
+   in the template: the JIT code cache and interpreter state come along
+   with the clone; only thread-local glue is rebuilt. *)
+let warm_runtime_resume = Units.us 250
+
+(* Admission-cache lookup by image content hash (skips the blacklist
+   re-scan for a previously admitted image). *)
+let admission_cache_hit = Units.us 2
+
 (* --- as-libos module loading --- *)
 
 let dlmopen_namespace = Units.us 380

@@ -40,6 +40,25 @@ val image_scan_per_kb : Sim.Units.time
 (** Blacklist scanning rate (performed before workflow start, not on
     the critical path; reported separately). *)
 
+(** {1 Warm serving (template WFD pool)} *)
+
+val wfd_clone : Sim.Units.time
+(** CoW-cloning a warm template WFD per request instead of building a
+    fresh address space: substitutes for {!wfd_create} +
+    {!entry_table_init}. *)
+
+val warm_module_attach : Sim.Units.time
+(** Re-attaching one already-linked as-libos module to a cloned WFD
+    (per-WFD state re-init only; the namespace is shared CoW). *)
+
+val warm_runtime_resume : Sim.Units.time
+(** Resuming the template's booted WASM engine / CPython state in a
+    clone instead of paying the full runtime startup. *)
+
+val admission_cache_hit : Sim.Units.time
+(** Content-hash lookup that replaces a blacklist re-scan for an
+    already-admitted image. *)
+
 (** {1 as-libos module loading (§4, Fig. 10 "AS-load-all")} *)
 
 val dlmopen_namespace : Sim.Units.time

@@ -11,6 +11,9 @@ type registration = {
 type t = {
   nodes : node array;
   table : (string, registration) Hashtbl.t;
+  admission : Visor.admission_cache;
+      (* Shared across endpoints: re-registered or re-invoked images
+         skip the blacklist scan (verdicts are pure over content). *)
   mutable rr : int;
   mutable invocations : int;
   mutable last_node : string option;
@@ -21,6 +24,7 @@ let create ?(nodes = [ { node_name = "node0"; cores = 64 } ]) () =
   {
     nodes = Array.of_list nodes;
     table = Hashtbl.create 8;
+    admission = Visor.admission_cache ();
     rr = 0;
     invocations = 0;
     last_node = None;
@@ -40,6 +44,15 @@ let register_json t ~endpoint ~config_json ~bindings () =
 
 let endpoints t = Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] |> List.sort compare
 
+(* Node-local visor config: the node's core count, and the gateway's
+   shared admission cache unless the registration pinned its own. *)
+let node_config t reg ~cores =
+  let base = match reg.config with Some c -> c | None -> Visor.default_config in
+  let admission =
+    match base.Visor.admission with Some _ as a -> a | None -> Some t.admission
+  in
+  { base with Visor.cores; Visor.admission }
+
 let invoke t ~endpoint =
   match Hashtbl.find_opt t.table endpoint with
   | None -> raise Not_found
@@ -48,11 +61,7 @@ let invoke t ~endpoint =
       t.rr <- t.rr + 1;
       t.invocations <- t.invocations + 1;
       t.last_node <- Some node.node_name;
-      let config =
-        match reg.config with
-        | Some c -> { c with Visor.cores = node.cores }
-        | None -> { Visor.default_config with Visor.cores = node.cores }
-      in
+      let config = node_config t reg ~cores:node.cores in
       Visor.run ~config ~workflow:reg.workflow ~bindings:reg.bindings ()
 
 let response_body (report : Visor.report) =
@@ -126,11 +135,7 @@ let invoke_burst t ~endpoint ~count =
             let scale_cost =
               if per_node.(node) > 1 then Cost.dlmopen_namespace else Units.zero
             in
-            let config =
-              match reg.config with
-              | Some c -> { c with Visor.cores = t.nodes.(node).cores }
-              | None -> { Visor.default_config with Visor.cores = t.nodes.(node).cores }
-            in
+            let config = node_config t reg ~cores:t.nodes.(node).cores in
             let report = Visor.run ~config ~workflow:reg.workflow ~bindings:reg.bindings () in
             t.invocations <- t.invocations + 1;
             let busy = List.sort Units.compare inflight.(node) in
@@ -158,3 +163,4 @@ let invoke_burst t ~endpoint ~count =
 
 let invocations t = t.invocations
 let last_node t = t.last_node
+let admission t = t.admission

@@ -66,3 +66,6 @@ val invoke_burst : t -> endpoint:string -> count:int -> burst_report
 
 val invocations : t -> int
 val last_node : t -> string option
+
+val admission : t -> Visor.admission_cache
+(** The gateway's shared admission cache (hit/scan counters). *)

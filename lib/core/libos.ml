@@ -104,6 +104,23 @@ let ensure_entry (wfd : Wfd.t) ~clock entry =
     `Slow
   end
 
+let attach_warm (wfd : Wfd.t) ~clock =
+  (* A cloned WFD inherits the template's linked namespaces and entry
+     table; only the per-WFD module state (fd tables, slot maps, mount
+     cursors) must be rebuilt.  The modules' full init cost was paid
+     once on the template — the clone charges the small CoW-attach cost
+     per module and runs init against a scratch clock. *)
+  let scratch = Clock.create ~at:(Clock.now clock) () in
+  List.iter
+    (fun m ->
+      if Wfd.is_loaded wfd m.mod_name then begin
+        Clock.advance clock Cost.warm_module_attach;
+        m.init wfd ~clock:scratch;
+        Trace.recordf Trace.global ~at:(Clock.now clock) ~category:"loader"
+          ~label:"module-attached" "wfd%d %s (warm)" wfd.Wfd.id m.mod_name
+      end)
+    registry
+
 let load_all (wfd : Wfd.t) ~clock =
   List.iter (fun m -> load_module wfd ~clock m.mod_name) registry;
   Clock.advance clock Cost.load_all_binding

@@ -33,6 +33,13 @@ val load_module : Wfd.t -> clock:Sim.Clock.t -> string -> unit
     dlmopen + per-module load cost, runs init, binds entries.
     Idempotent — already-loaded modules cost nothing. *)
 
+val attach_warm : Wfd.t -> clock:Sim.Clock.t -> unit
+(** Rebuild the per-WFD state of every module a cloned WFD inherited
+    from its warm template (registry order, so dependencies init
+    first), charging {!Cost.warm_module_attach} per module instead of
+    the dlmopen + load slow path.  Used by the warm-pool serving
+    layer. *)
+
 val ensure_entry : Wfd.t -> clock:Sim.Clock.t -> string -> [ `Fast | `Slow ]
 (** The check every as-std call performs: fast path when the entry is
     bound, slow path (module load via as-visor) otherwise.  Updates the

@@ -20,6 +20,17 @@ let backoff_delay backoff ~attempt =
     | Exponential { base; factor; limit } ->
         Units.min limit (Units.scale base (factor ** float_of_int (attempt - 2)))
 
+type admission_cache = {
+  verdicts : (string, (unit, string) result) Hashtbl.t;
+  mutable cache_hits : int;
+  mutable cache_scans : int;
+}
+
+let admission_cache () = { verdicts = Hashtbl.create 16; cache_hits = 0; cache_scans = 0 }
+
+let admission_hits c = c.cache_hits
+let admission_scans c = c.cache_scans
+
 type config = {
   cores : int;
   features : Wfd.features;
@@ -31,6 +42,7 @@ type config = {
   fault : Fault.t option;
   timeout : Units.time option;
   backoff : backoff;
+  admission : admission_cache option;
 }
 
 let default_config =
@@ -45,6 +57,7 @@ let default_config =
     fault = None;
     timeout = None;
     backoff = No_backoff;
+    admission = None;
   }
 
 type stage_report = {
@@ -84,19 +97,43 @@ let function_restart_cost = Units.us 260
 
 (* Blacklist admission: scan (and if needed rewrite) every provided
    image.  This runs before the workflow is triggered (§6), so its cost
-   is reported separately from the critical path. *)
-let admit_images bindings =
+   is reported separately from the critical path.  With a cache, an
+   image whose content hash was already scanned skips the re-scan and
+   replays the recorded verdict. *)
+let admit_images ?cache bindings =
   let clock = Clock.create () in
   List.iter
     (fun (_, b) ->
       match b.image with
       | None -> ()
       | Some image ->
-          let kb = (Isa.Image.code_size image + 1023) / 1024 in
-          Clock.advance clock (Units.scale Cost.image_scan_per_kb (float_of_int kb));
-          (match Isa.Rewriter.admit image with
-          | Ok _ -> ()
-          | Error reason -> raise (Admission_failed reason)))
+          let scan () =
+            let kb = (Isa.Image.code_size image + 1023) / 1024 in
+            Clock.advance clock (Units.scale Cost.image_scan_per_kb (float_of_int kb));
+            match Isa.Rewriter.admit image with
+            | Ok _ -> Ok ()
+            | Error reason -> Error reason
+          in
+          let verdict =
+            match cache with
+            | None -> scan ()
+            | Some c -> begin
+                let key = Isa.Image.content_hash image in
+                match Hashtbl.find_opt c.verdicts key with
+                | Some v ->
+                    c.cache_hits <- c.cache_hits + 1;
+                    Clock.advance clock Cost.admission_cache_hit;
+                    v
+                | None ->
+                    c.cache_scans <- c.cache_scans + 1;
+                    let v = scan () in
+                    Hashtbl.replace c.verdicts key v;
+                    v
+              end
+          in
+          match verdict with
+          | Ok () -> ()
+          | Error reason -> raise (Admission_failed reason))
     bindings;
   Clock.now clock
 
@@ -136,7 +173,8 @@ type runtime_state = {
 (* Runtime init charged before a WASM-hosted function's first
    instruction.  The engine (and for Python the CPython runtime) lives
    in the WFD and is shared: only the first function pays the full
-   boot. *)
+   boot.  A warm-pool clone inherits the template's already-booted
+   flags, so it never pays the boot at all. *)
 let runtime_init_cost config state language ~instance =
   let runtime =
     match config.wasm_runtime with Some r -> r | None -> Wasm.Runtime.wasmtime
@@ -164,12 +202,208 @@ let runtime_init_cost config state language ~instance =
       in
       Units.add engine (Units.add wasm_instantiate_cost python)
 
-let run_once ~config ~workflow ~bindings () =
+(* --- Stage execution engine -------------------------------------- *)
+
+(* State of one workflow execution in one WFD.  [run_once] drives it
+   stage by stage to completion on a private machine; [Server] drives
+   many of them interleaved over a shared core pool, advancing each at
+   its stage boundaries in virtual time. *)
+type exec_ctx = {
+  ecfg : config;
+  ebindings : (string * binding) list;
+  ewfd : Wfd.t;
+  rt : runtime_state;
+  eretries : int ref;
+  cold_start_mark : Units.time option ref;
+  ephase_totals : (string, Units.time) Hashtbl.t;
+  epeak_rss : int ref;
+  estage_reports : stage_report list ref;
+  et0 : Units.time;
+}
+
+let make_exec_ctx ~config ~bindings ~wfd ~rt ~retries ~t0 =
+  {
+    ecfg = config;
+    ebindings = bindings;
+    ewfd = wfd;
+    rt;
+    eretries = retries;
+    cold_start_mark = ref None;
+    ephase_totals = Hashtbl.create 8;
+    epeak_rss = ref 0;
+    estage_reports = ref [];
+    et0 = t0;
+  }
+
+(* Run every instance of every node of one stage: spawn the function
+   threads, execute the kernels (with per-function retry/timeout under
+   the configured policy) and return each task's on-CPU duration.  The
+   caller places the durations on cores — a private core set for
+   [run_once], the machine-shared pool for [Server]. *)
+let exec_stage ectx ~ready nodes =
+  let config = ectx.ecfg in
+  let wfd = ectx.ewfd in
+  let tasks =
+    List.concat_map
+      (fun node ->
+        let b = lookup_binding ectx.ebindings node.Workflow.node_id in
+        List.init node.Workflow.instances (fun i -> (node, b, i)))
+      nodes
+  in
+  let dispatch = ref ready in
+  List.map
+    (fun ((node : Workflow.node), b, i) ->
+      dispatch := Units.add !dispatch config.dispatch_latency;
+      let start = !dispatch in
+      let spawn_clock = Clock.create ~at:start () in
+      (match config.cpu_quota with
+      | Some _ -> Clock.advance spawn_clock Hostos.Cgroup.setup_cost
+      | None -> ());
+      let thread = Wfd.spawn_function_thread wfd ~clock:spawn_clock in
+      Clock.sync thread.Wfd.clock spawn_clock;
+      Clock.advance thread.Wfd.clock
+        (runtime_init_cost config ectx.rt node.Workflow.language ~instance:i);
+      (match !(ectx.cold_start_mark) with
+      | None -> ectx.cold_start_mark := Some (Clock.now thread.Wfd.clock)
+      | Some _ -> ());
+      (* Run the kernel; a crash is contained by MPK fault isolation,
+         so under Retry_function the orchestrator recovers the
+         function's heap and restarts just this function (3.1). *)
+      let max_attempts =
+        match config.retry with
+        | Retry_function n -> Stdlib.max 1 n
+        | No_retry | Retry_workflow _ -> 1
+      in
+      let fn = node.Workflow.node_id in
+      let record_recovery ~at detail =
+        match config.fault with
+        | Some plan -> Fault.record_recovery plan ~at ~site:"visor.retry" detail
+        | None ->
+            Trace.recordf Trace.global ~at ~category:"fault" ~label:"visor.retry"
+              "recovered: %s" detail
+      in
+      let rec attempt thread n =
+        let ctx = make_fn_ctx config wfd thread node.Workflow.language in
+        let attempt_start = Clock.now thread.Wfd.clock in
+        let execute () =
+          (match config.fault with
+          | Some plan ->
+              if Fault.check ~at:attempt_start plan ~site:Fault.site_fn_crash then
+                raise (Fault.Injected { site = Fault.site_fn_crash });
+              if Fault.check ~at:attempt_start plan ~site:Fault.site_fn_hang then begin
+                match config.timeout with
+                | None ->
+                    (* No watchdog timeout configured: a wedged
+                       function thread is undetectable. *)
+                    raise (Function_hung { fn })
+                | Some limit ->
+                    (* The thread wedges; the watchdog kills it when
+                       the per-function timeout expires. *)
+                    Clock.advance thread.Wfd.clock limit;
+                    raise (Timed_out { fn; after = limit })
+              end
+          | None -> ());
+          b.kernel ctx ~instance:i ~total:node.Workflow.instances;
+          match config.timeout with
+          | Some limit
+            when Units.( > ) (Clock.elapsed_since thread.Wfd.clock attempt_start) limit
+            ->
+              (* The kernel ran past its budget: the watchdog killed
+                 it at the deadline, the visor observes the kill at
+                 the next scheduling tick. *)
+              raise (Timed_out { fn; after = limit })
+          | _ -> ()
+        in
+        match execute () with
+        | () -> (thread, ctx)
+        | exception (Function_hung _ as e) -> raise e
+        | exception error ->
+            if n >= max_attempts then
+              raise (Function_failed { fn; attempts = n; error })
+            else begin
+              incr ectx.eretries;
+              (* Recover the crashed function's heap unit and
+                 restart it in the same slot. *)
+              let fresh =
+                Wfd.respawn_function_thread wfd ~slot:thread.Wfd.fn_slot
+                  ~clock:thread.Wfd.clock
+              in
+              Clock.advance fresh.Wfd.clock function_restart_cost;
+              let wait = backoff_delay config.backoff ~attempt:(n + 1) in
+              Clock.advance fresh.Wfd.clock wait;
+              record_recovery ~at:(Clock.now fresh.Wfd.clock)
+                (Printf.sprintf "restart %s attempt %d (backoff %s)" fn (n + 1)
+                   (Units.to_string wait));
+              attempt fresh (n + 1)
+            end
+      in
+      let final_thread, ctx = attempt thread 1 in
+      Hashtbl.iter
+        (fun name t ->
+          let prev =
+            match Hashtbl.find_opt ectx.ephase_totals name with
+            | Some v -> v
+            | None -> Units.zero
+          in
+          Hashtbl.replace ectx.ephase_totals name (Units.add prev t))
+        ctx.Asstd.phases;
+      let on_cpu = Clock.elapsed_since final_thread.Wfd.clock start in
+      match config.cpu_quota with
+      | Some q -> Hostos.Cgroup.stretch (Hostos.Cgroup.create ~quota:q) on_cpu
+      | None -> on_cpu)
+    tasks
+
+(* Record a scheduled stage's report and return its makespan — the next
+   stage's ready time. *)
+let record_stage ectx ~stage_index ~ready ~durations ~placements =
+  let makespan = Hostos.Sched.makespan placements in
+  ectx.epeak_rss :=
+    Stdlib.max !(ectx.epeak_rss) (Hostos.Process.total_rss ectx.ewfd.Wfd.proc_table);
+  ectx.estage_reports :=
+    {
+      stage_index;
+      instance_durations = durations;
+      stage_makespan = Units.sub makespan ready;
+      fan_in_waits = Hostos.Sched.fan_in_wait placements;
+    }
+    :: !(ectx.estage_reports);
+  Trace.recordf Trace.global ~at:makespan ~category:"visor" ~label:"stage-done"
+    "wfd%d stage %d (%d instances)" ectx.ewfd.Wfd.id stage_index (List.length durations);
+  makespan
+
+let build_report ectx ~finish ~cold_fallback ~admission =
+  let wfd = ectx.ewfd in
+  let stdout = Libos_stdio.output wfd in
+  let loaded_modules =
+    Hashtbl.fold (fun k () acc -> k :: acc) wfd.Wfd.loaded_modules []
+    |> List.sort compare
+  in
+  {
+    e2e = Units.sub finish ectx.et0;
+    cold_start =
+      (match !(ectx.cold_start_mark) with
+      | Some m -> Units.sub m ectx.et0
+      | None -> Units.sub cold_fallback ectx.et0);
+    admission;
+    stage_reports = List.rev !(ectx.estage_reports);
+    phase_totals =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) ectx.ephase_totals []
+      |> List.sort compare;
+    entry_misses = wfd.Wfd.entry_misses;
+    entry_hits = wfd.Wfd.entry_hits;
+    trampoline_crossings = wfd.Wfd.trampoline_crossings;
+    peak_rss = !(ectx.epeak_rss);
+    stdout;
+    loaded_modules;
+    retries = !(ectx.eretries);
+  }
+
+let run_once ?retries ~(config : config) ~workflow ~bindings () =
   (* Check bindings exist up front. *)
   List.iter
     (fun n -> ignore (lookup_binding bindings n.Workflow.node_id))
     workflow.Workflow.nodes;
-  let admission = admit_images bindings in
+  let admission = admit_images ?cache:config.admission bindings in
   let proc_table = Hostos.Process.create_table () in
   let clock = Clock.create () in
   let t0 = Clock.now clock in
@@ -180,184 +414,35 @@ let run_once ~config ~workflow ~bindings () =
     Wfd.create ~features:config.features ?vfs:config.vfs ?fault:config.fault
       ~proc_table ~clock ~workflow_name:workflow.Workflow.wf_name ()
   in
-  Clock.advance clock Cost.entry_table_init;
-  Trace.recordf Trace.global ~at:(Clock.now clock) ~category:"visor" ~label:"wfd-created"
-    "wfd%d for %s" wfd.Wfd.id workflow.Workflow.wf_name;
-  if not config.features.Wfd.on_demand then Libos.load_all wfd ~clock;
-  let runtime_state = { engine_started = false; python_booted = false } in
-  let retries = ref 0 in
-  let cold_start_mark = ref None in
-  let phase_totals : (string, Units.time) Hashtbl.t = Hashtbl.create 8 in
-  let peak_rss = ref 0 in
-  let stage_reports = ref [] in
-  let stage_ready = ref (Clock.now clock) in
-  let run_stage stage_index nodes =
-    (* The orchestrator dispatches every instance of every node of the
-       stage as parallel threads. *)
-    let tasks =
-      List.concat_map
-        (fun node ->
-          let b = lookup_binding bindings node.Workflow.node_id in
-          List.init node.Workflow.instances (fun i -> (node, b, i)))
-        nodes
-    in
-    let dispatch = ref !stage_ready in
-    let durations =
-      List.map
-        (fun ((node : Workflow.node), b, i) ->
-          dispatch := Units.add !dispatch config.dispatch_latency;
-          let start = !dispatch in
-          let spawn_clock = Clock.create ~at:start () in
-          (match config.cpu_quota with
-          | Some _ -> Clock.advance spawn_clock Hostos.Cgroup.setup_cost
-          | None -> ());
-          let thread = Wfd.spawn_function_thread wfd ~clock:spawn_clock in
-          Clock.sync thread.Wfd.clock spawn_clock;
-          Clock.advance thread.Wfd.clock
-            (runtime_init_cost config runtime_state node.Workflow.language ~instance:i);
-          (match !cold_start_mark with
-          | None -> cold_start_mark := Some (Clock.now thread.Wfd.clock)
-          | Some _ -> ());
-          (* Run the kernel; a crash is contained by MPK fault
-             isolation, so under Retry_function the orchestrator
-             recovers the function's heap and restarts just this
-             function (3.1). *)
-          let max_attempts =
-            match config.retry with
-            | Retry_function n -> Stdlib.max 1 n
-            | No_retry | Retry_workflow _ -> 1
+  (* The WFD (and its proc-table entry) must be reclaimed on every exit
+     path: a terminal function failure in a long-lived server or a
+     Retry_workflow loop must not accumulate live WFDs. *)
+  Fun.protect
+    ~finally:(fun () -> Wfd.destroy wfd)
+    (fun () ->
+      Clock.advance clock Cost.entry_table_init;
+      Trace.recordf Trace.global ~at:(Clock.now clock) ~category:"visor"
+        ~label:"wfd-created" "wfd%d for %s" wfd.Wfd.id workflow.Workflow.wf_name;
+      if not config.features.Wfd.on_demand then Libos.load_all wfd ~clock;
+      let rt = { engine_started = false; python_booted = false } in
+      let retries = match retries with Some r -> r | None -> ref 0 in
+      let ectx = make_exec_ctx ~config ~bindings ~wfd ~rt ~retries ~t0 in
+      let ready = ref (Clock.now clock) in
+      List.iteri
+        (fun stage_index nodes ->
+          let durations = exec_stage ectx ~ready:!ready nodes in
+          let placements =
+            Hostos.Sched.schedule ~cores:config.cores ~ready:!ready
+              ~dispatch_latency:config.dispatch_latency durations
           in
-          let fn = node.Workflow.node_id in
-          let record_recovery ~at detail =
-            match config.fault with
-            | Some plan -> Fault.record_recovery plan ~at ~site:"visor.retry" detail
-            | None ->
-                Trace.recordf Trace.global ~at ~category:"fault" ~label:"visor.retry"
-                  "recovered: %s" detail
-          in
-          let rec attempt thread n =
-            let ctx = make_fn_ctx config wfd thread node.Workflow.language in
-            let attempt_start = Clock.now thread.Wfd.clock in
-            let execute () =
-              (match config.fault with
-              | Some plan ->
-                  if Fault.check ~at:attempt_start plan ~site:Fault.site_fn_crash then
-                    raise (Fault.Injected { site = Fault.site_fn_crash });
-                  if Fault.check ~at:attempt_start plan ~site:Fault.site_fn_hang then begin
-                    match config.timeout with
-                    | None ->
-                        (* No watchdog timeout configured: a wedged
-                           function thread is undetectable. *)
-                        raise (Function_hung { fn })
-                    | Some limit ->
-                        (* The thread wedges; the watchdog kills it when
-                           the per-function timeout expires. *)
-                        Clock.advance thread.Wfd.clock limit;
-                        raise (Timed_out { fn; after = limit })
-                  end
-              | None -> ());
-              b.kernel ctx ~instance:i ~total:node.Workflow.instances;
-              match config.timeout with
-              | Some limit
-                when Units.( > ) (Clock.elapsed_since thread.Wfd.clock attempt_start)
-                       limit ->
-                  (* The kernel ran past its budget: the watchdog killed
-                     it at the deadline, the visor observes the kill at
-                     the next scheduling tick. *)
-                  raise (Timed_out { fn; after = limit })
-              | _ -> ()
-            in
-            match execute () with
-            | () -> (thread, ctx)
-            | exception (Function_hung _ as e) -> raise e
-            | exception error ->
-                if n >= max_attempts then
-                  raise (Function_failed { fn; attempts = n; error })
-                else begin
-                  incr retries;
-                  (* Recover the crashed function's heap unit and
-                     restart it in the same slot. *)
-                  let fresh =
-                    Wfd.respawn_function_thread wfd ~slot:thread.Wfd.fn_slot
-                      ~clock:thread.Wfd.clock
-                  in
-                  Clock.advance fresh.Wfd.clock function_restart_cost;
-                  let wait = backoff_delay config.backoff ~attempt:(n + 1) in
-                  Clock.advance fresh.Wfd.clock wait;
-                  record_recovery ~at:(Clock.now fresh.Wfd.clock)
-                    (Printf.sprintf "restart %s attempt %d (backoff %s)" fn (n + 1)
-                       (Units.to_string wait));
-                  attempt fresh (n + 1)
-                end
-          in
-          let final_thread, ctx = attempt thread 1 in
-          Hashtbl.iter
-            (fun name t ->
-              let prev =
-                match Hashtbl.find_opt phase_totals name with
-                | Some v -> v
-                | None -> Units.zero
-              in
-              Hashtbl.replace phase_totals name (Units.add prev t))
-            ctx.Asstd.phases;
-          let on_cpu = Clock.elapsed_since final_thread.Wfd.clock start in
-          match config.cpu_quota with
-          | Some q -> Hostos.Cgroup.stretch (Hostos.Cgroup.create ~quota:q) on_cpu
-          | None -> on_cpu)
-        tasks
-    in
-    let placements =
-      Hostos.Sched.schedule ~cores:config.cores ~ready:!stage_ready
-        ~dispatch_latency:config.dispatch_latency durations
-    in
-    let makespan = Hostos.Sched.makespan placements in
-    peak_rss := Stdlib.max !peak_rss (Hostos.Process.total_rss proc_table);
-    stage_reports :=
-      {
-        stage_index;
-        instance_durations = durations;
-        stage_makespan = Units.sub makespan !stage_ready;
-        fan_in_waits = Hostos.Sched.fan_in_wait placements;
-      }
-      :: !stage_reports;
-    Trace.recordf Trace.global ~at:makespan ~category:"visor" ~label:"stage-done"
-      "wfd%d stage %d (%d instances)" wfd.Wfd.id stage_index (List.length durations);
-    stage_ready := makespan
-  in
-  List.iteri run_stage (Workflow.stages workflow);
-  (* (7) after the last function completes, as-visor destroys the WFD
-     and reclaims the resources. *)
-  let finish = !stage_ready in
-  let stdout = Libos_stdio.output wfd in
-  let loaded_modules =
-    Hashtbl.fold (fun k () acc -> k :: acc) wfd.Wfd.loaded_modules []
-    |> List.sort compare
-  in
-  Trace.recordf Trace.global ~at:finish ~category:"visor" ~label:"wfd-destroyed"
-    "wfd%d" wfd.Wfd.id;
-  let result =
-    {
-      e2e = Units.sub finish t0;
-      cold_start =
-        (match !cold_start_mark with
-        | Some m -> Units.sub m t0
-        | None -> Units.sub (Clock.now clock) t0);
-      admission;
-      stage_reports = List.rev !stage_reports;
-      phase_totals =
-        Hashtbl.fold (fun k v acc -> (k, v) :: acc) phase_totals []
-        |> List.sort compare;
-      entry_misses = wfd.Wfd.entry_misses;
-      entry_hits = wfd.Wfd.entry_hits;
-      trampoline_crossings = wfd.Wfd.trampoline_crossings;
-      peak_rss = !peak_rss;
-      stdout;
-      loaded_modules;
-      retries = !retries;
-    }
-  in
-  Wfd.destroy wfd;
-  result
+          ready := record_stage ectx ~stage_index ~ready:!ready ~durations ~placements)
+        (Workflow.stages workflow);
+      (* (7) after the last function completes, as-visor destroys the
+         WFD and reclaims the resources. *)
+      let finish = !ready in
+      Trace.recordf Trace.global ~at:finish ~category:"visor" ~label:"wfd-destroyed"
+        "wfd%d" wfd.Wfd.id;
+      build_report ectx ~finish ~cold_fallback:(Clock.now clock) ~admission)
 
 let cold_start_only ?(config = default_config) () =
   let noop = bind (fun _ctx ~instance:_ ~total:_ -> ()) in
@@ -383,11 +468,459 @@ let run ?(config = default_config) ~workflow ~bindings () =
   | No_retry | Retry_function _ -> run_once ~config ~workflow ~bindings ()
   | Retry_workflow max_attempts ->
       (* Idempotent functions: a failed run is retried in a brand new
-         WFD; inputs are still staged on the (shared) disk image. *)
+         WFD; inputs are still staged on the (shared) disk image.  The
+         function-level restart counter is carried across attempts so
+         restarts performed inside failed attempts are not dropped, and
+         a hung workflow (detected by the visor's liveness watchdog) is
+         retried like any other failed attempt. *)
+      let carried = ref 0 in
+      let max_attempts = Stdlib.max 1 max_attempts in
       let rec attempt n =
-        match run_once ~config ~workflow ~bindings () with
+        match run_once ~retries:carried ~config ~workflow ~bindings () with
         | report -> { report with retries = report.retries + (n - 1) }
-        | exception Function_failed _ when n < Stdlib.max 1 max_attempts ->
+        | exception (Function_failed _ | Function_hung _) when n < max_attempts ->
             attempt (n + 1)
       in
       attempt 1
+
+(* --- Multi-tenant serving layer ----------------------------------- *)
+
+module Server = struct
+  type request = { endpoint : string; arrival : Units.time }
+
+  type response = {
+    r_endpoint : string;
+    r_arrival : Units.time;
+    r_finish : Units.time;
+    r_latency : Units.time;
+    r_warm : bool;
+    r_ok : bool;
+    r_attempts : int;
+    r_retries : int;
+  }
+
+  type serve_report = {
+    responses : response list;
+    completed : int;
+    failed : int;
+    duration : Units.time;
+    throughput_rps : float;
+    mean_latency : Units.time;
+    p50_latency : Units.time;
+    p99_latency : Units.time;
+    max_inflight : int;
+    warm_starts : int;
+    cold_starts : int;
+    adm_hits : int;
+    adm_scans : int;
+    evictions : int;
+    templates_live : int;
+    machine_peak_rss : int;
+  }
+
+  type registration = {
+    reg_workflow : Workflow.t;
+    reg_bindings : (string * binding) list;
+  }
+
+  (* A warm template: a WFD whose entry table, preloaded modules and
+     booted runtime state were paid for once, off the request path.
+     Requests CoW-clone it instead of cold-booting. *)
+  type template = {
+    tpl_wfd : Wfd.t;
+    tpl_engine : bool;
+    tpl_python : bool;
+    tpl_build : Units.time;
+    mutable tpl_last_used : int;
+  }
+
+  type t = {
+    scfg : config;
+    pool_cap : int;
+    warm_enabled : bool;
+    table : (string, registration) Hashtbl.t;
+    templates : (string, template) Hashtbl.t;
+    adm : admission_cache;
+    proc_table : Hostos.Process.t;
+    cpu : Hostos.Sched.pool;
+    mutable tick : int;
+    mutable evicted : int;
+    mutable warm_hit_count : int;
+    mutable cold_boot_count : int;
+    mutable machine_peak : int;
+  }
+
+  let create ?(config = default_config) ?(pool_mem_cap = 512 * 1024 * 1024)
+      ?(warm = true) () =
+    if pool_mem_cap < 0 then invalid_arg "Visor.Server.create: negative pool cap";
+    {
+      scfg = config;
+      pool_cap = pool_mem_cap;
+      warm_enabled = warm;
+      table = Hashtbl.create 8;
+      templates = Hashtbl.create 8;
+      adm = (match config.admission with Some c -> c | None -> admission_cache ());
+      proc_table = Hostos.Process.create_table ();
+      cpu = Hostos.Sched.pool ~cores:config.cores;
+      tick = 0;
+      evicted = 0;
+      warm_hit_count = 0;
+      cold_boot_count = 0;
+      machine_peak = 0;
+    }
+
+  let register t ~endpoint ~workflow ~bindings () =
+    if Hashtbl.mem t.table endpoint then
+      invalid_arg
+        (Printf.sprintf "Visor.Server.register: endpoint %s already bound" endpoint);
+    List.iter
+      (fun (n : Workflow.node) -> ignore (lookup_binding bindings n.Workflow.node_id))
+      workflow.Workflow.nodes;
+    Hashtbl.replace t.table endpoint
+      { reg_workflow = workflow; reg_bindings = bindings }
+
+  let endpoints t = Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] |> List.sort compare
+
+  let note_rss t =
+    t.machine_peak <- Stdlib.max t.machine_peak (Hostos.Process.total_rss t.proc_table)
+
+  let touch t tpl =
+    t.tick <- t.tick + 1;
+    tpl.tpl_last_used <- t.tick
+
+  let template_rss t tpl = Hostos.Process.rss t.proc_table tpl.tpl_wfd.Wfd.pid
+
+  let pool_rss t =
+    Hashtbl.fold (fun _ tpl acc -> acc + template_rss t tpl) t.templates 0
+
+  let pool_size t = Hashtbl.length t.templates
+
+  let evictions t = t.evicted
+  let warm_hits t = t.warm_hit_count
+  let cold_boots t = t.cold_boot_count
+  let admission t = t.adm
+
+  let evict_lru t =
+    let victim =
+      Hashtbl.fold
+        (fun ep tpl acc ->
+          match acc with
+          | Some (_, best) when best.tpl_last_used <= tpl.tpl_last_used -> acc
+          | _ -> Some (ep, tpl))
+        t.templates None
+    in
+    match victim with
+    | None -> ()
+    | Some (ep, tpl) ->
+        Wfd.destroy tpl.tpl_wfd;
+        Hashtbl.remove t.templates ep;
+        t.evicted <- t.evicted + 1;
+        Trace.recordf Trace.global ~at:Units.zero ~category:"server" ~label:"pool-evict"
+          "template %s evicted (LRU)" ep
+
+  (* Build the warm template for an endpoint: full WFD boot, entry
+     table, the workflow's declared modules preloaded, and the WASM
+     engine / CPython booted for the languages the workflow uses.  All
+     of it charged to the template's own clock — off any request's
+     critical path. *)
+  let build_template t endpoint reg =
+    let clock = Clock.create () in
+    let wfd =
+      Wfd.create ~features:t.scfg.features ?vfs:t.scfg.vfs ?fault:t.scfg.fault
+        ~proc_table:t.proc_table ~clock
+        ~workflow_name:(endpoint ^ ":template") ()
+    in
+    Clock.advance clock Cost.entry_table_init;
+    if not t.scfg.features.Wfd.on_demand then Libos.load_all wfd ~clock
+    else
+      List.iter (Libos.load_module wfd ~clock)
+        (Workflow.required_modules reg.reg_workflow);
+    let langs =
+      List.sort_uniq compare
+        (List.map (fun (n : Workflow.node) -> n.Workflow.language)
+           reg.reg_workflow.Workflow.nodes)
+    in
+    let needs_engine =
+      List.exists (function Workflow.C | Workflow.Python -> true | Workflow.Rust -> false) langs
+    in
+    let needs_python = List.mem Workflow.Python langs in
+    if needs_engine then begin
+      let runtime =
+        match t.scfg.wasm_runtime with Some r -> r | None -> Wasm.Runtime.wasmtime
+      in
+      Clock.advance clock runtime.Wasm.Runtime.startup
+    end;
+    if needs_python then Clock.advance clock Wasm.Runtime.cpython_init;
+    Trace.recordf Trace.global ~at:(Clock.now clock) ~category:"server"
+      ~label:"template-built" "wfd%d for %s" wfd.Wfd.id endpoint;
+    {
+      tpl_wfd = wfd;
+      tpl_engine = needs_engine;
+      tpl_python = needs_python;
+      tpl_build = Clock.now clock;
+      tpl_last_used = 0;
+    }
+
+  (* Install a template under the memory cap, evicting least-recently
+     used templates until it fits.  A template bigger than the whole
+     cap is not kept. *)
+  let install_template t endpoint tpl =
+    let rss = template_rss t tpl in
+    if rss > t.pool_cap then begin
+      Wfd.destroy tpl.tpl_wfd;
+      None
+    end
+    else begin
+      while pool_rss t + rss > t.pool_cap && Hashtbl.length t.templates > 0 do
+        evict_lru t
+      done;
+      touch t tpl;
+      Hashtbl.replace t.templates endpoint tpl;
+      note_rss t;
+      Some tpl
+    end
+
+  let find_registration t endpoint =
+    match Hashtbl.find_opt t.table endpoint with
+    | Some reg -> reg
+    | None -> raise Not_found
+
+  let prewarm t ~endpoint =
+    let reg = find_registration t endpoint in
+    if not t.warm_enabled then None
+    else
+      match Hashtbl.find_opt t.templates endpoint with
+      | Some tpl ->
+          touch t tpl;
+          Some tpl.tpl_build
+      | None -> (
+          match install_template t endpoint (build_template t endpoint reg) with
+          | Some tpl -> Some tpl.tpl_build
+          | None -> None)
+
+  (* Boot a WFD for one request at [clock]'s instant: a CoW clone of
+     the endpoint's warm template when one is pooled, the full cold
+     path otherwise.  Returns the WFD, its initial runtime state and
+     whether the start was warm. *)
+  let boot_request t endpoint reg ~clock =
+    match if t.warm_enabled then Hashtbl.find_opt t.templates endpoint else None with
+    | Some tpl ->
+        touch t tpl;
+        t.warm_hit_count <- t.warm_hit_count + 1;
+        let wfd = Wfd.clone_template tpl.tpl_wfd ~proc_table:t.proc_table ~clock in
+        Libos.attach_warm wfd ~clock;
+        if tpl.tpl_engine || tpl.tpl_python then
+          Clock.advance clock Cost.warm_runtime_resume;
+        let rt =
+          { engine_started = tpl.tpl_engine; python_booted = tpl.tpl_python }
+        in
+        (wfd, rt, true)
+    | None ->
+        t.cold_boot_count <- t.cold_boot_count + 1;
+        let wfd =
+          Wfd.create ~features:t.scfg.features ?vfs:t.scfg.vfs ?fault:t.scfg.fault
+            ~proc_table:t.proc_table ~clock
+            ~workflow_name:(endpoint ^ ":" ^ reg.reg_workflow.Workflow.wf_name) ()
+        in
+        Clock.advance clock Cost.entry_table_init;
+        if not t.scfg.features.Wfd.on_demand then Libos.load_all wfd ~clock;
+        let rt = { engine_started = false; python_booted = false } in
+        (* Seed the pool so subsequent requests to this endpoint start
+           warm (built off the request path, like a background prewarm
+           kicked off by the first cold start). *)
+        if t.warm_enabled && not (Hashtbl.mem t.templates endpoint) then
+          ignore (install_template t endpoint (build_template t endpoint reg));
+        (wfd, rt, false)
+
+  type inflight = {
+    fl_req : request;
+    fl_reg : registration;
+    mutable fl_ectx : exec_ctx;
+    fl_stages : Workflow.node list list;
+    mutable fl_stage_index : int;
+    mutable fl_warm : bool;
+    mutable fl_attempt : int;
+    fl_retries : int ref;
+  }
+
+  type ev = Arrival of request | Advance of inflight
+
+  let max_workflow_attempts cfg =
+    match cfg.retry with
+    | Retry_workflow n -> Stdlib.max 1 n
+    | No_retry | Retry_function _ -> 1
+
+  (* Boot one request's WFD (warm clone or cold create) at [at] and
+     return its execution context, whether it started warm, and the
+     virtual instant the first stage may begin. *)
+  let boot_ectx t ~endpoint ~(reg : registration) ~retries ~at =
+    let clock = Clock.create ~at () in
+    Clock.advance clock Cost.visor_dispatch;
+    let wfd, rt, warm = boot_request t endpoint reg ~clock in
+    let ectx =
+      make_exec_ctx ~config:t.scfg ~bindings:reg.reg_bindings ~wfd ~rt ~retries
+        ~t0:at
+    in
+    (ectx, warm, Clock.now clock)
+
+  let serve t requests =
+    let q : ev Eventq.t = Eventq.create () in
+    List.iter (fun r -> Eventq.push q ~at:r.arrival (Arrival r)) requests;
+    let responses = ref [] in
+    let lat = Stats.create () in
+    let inflight_now = ref 0 in
+    let max_inflight = ref 0 in
+    let completed = ref 0 in
+    let failed = ref 0 in
+    let first_arrival = ref None in
+    let last_finish = ref Units.zero in
+    let finish_request fl ~now ~ok =
+      Wfd.destroy fl.fl_ectx.ewfd;
+      decr inflight_now;
+      let latency = Units.sub now fl.fl_req.arrival in
+      if ok then begin
+        incr completed;
+        Stats.add_time lat latency
+      end
+      else incr failed;
+      last_finish := Units.max !last_finish now;
+      responses :=
+        {
+          r_endpoint = fl.fl_req.endpoint;
+          r_arrival = fl.fl_req.arrival;
+          r_finish = now;
+          r_latency = latency;
+          r_warm = fl.fl_warm;
+          r_ok = ok;
+          r_attempts = fl.fl_attempt;
+          r_retries = !(fl.fl_retries);
+        }
+        :: !responses;
+      note_rss t
+    in
+    let reboot_inflight fl ~at =
+      let ectx, warm, ready =
+        boot_ectx t ~endpoint:fl.fl_req.endpoint ~reg:fl.fl_reg
+          ~retries:fl.fl_retries ~at
+      in
+      fl.fl_ectx <- ectx;
+      fl.fl_warm <- warm;
+      fl.fl_stage_index <- 0;
+      note_rss t;
+      Eventq.push q ~at:ready (Advance fl)
+    in
+    let step fl ~now =
+      match List.nth_opt fl.fl_stages fl.fl_stage_index with
+      | None -> finish_request fl ~now ~ok:true
+      | Some nodes -> (
+          match
+            let durations = exec_stage fl.fl_ectx ~ready:now nodes in
+            let placements =
+              Hostos.Sched.schedule_on t.cpu ~ready:now
+                ~dispatch_latency:t.scfg.dispatch_latency durations
+            in
+            record_stage fl.fl_ectx ~stage_index:fl.fl_stage_index ~ready:now
+              ~durations ~placements
+          with
+          | makespan ->
+              fl.fl_stage_index <- fl.fl_stage_index + 1;
+              note_rss t;
+              Eventq.push q ~at:makespan (Advance fl)
+          | exception ((Function_failed _ | Function_hung _) as e) ->
+              Wfd.destroy fl.fl_ectx.ewfd;
+              if fl.fl_attempt < max_workflow_attempts t.scfg then begin
+                (* Workflow-level retry: a brand-new WFD, carried
+                   restart accounting, re-admitted from the cache. *)
+                fl.fl_attempt <- fl.fl_attempt + 1;
+                Trace.recordf Trace.global ~at:now ~category:"server"
+                  ~label:"workflow-retry" "%s attempt %d (%s)" fl.fl_req.endpoint
+                  fl.fl_attempt
+                  (match e with
+                  | Function_hung _ -> "hang"
+                  | _ -> "failure");
+                reboot_inflight fl ~at:now
+              end
+              else begin
+                (* finish_request destroys an already-destroyed WFD;
+                   Wfd.destroy is idempotent. *)
+                finish_request fl ~now ~ok:false
+              end)
+    in
+    Eventq.drain q (fun now ev ->
+        match ev with
+        | Arrival req ->
+            (match !first_arrival with
+            | None -> first_arrival := Some now
+            | Some _ -> ());
+            incr inflight_now;
+            max_inflight := Stdlib.max !max_inflight !inflight_now;
+            let reg = find_registration t req.endpoint in
+            (* Blacklist admission runs (cached) before the workflow is
+               triggered; its cost stays off the critical path, as in
+               run_once. *)
+            (match admit_images ~cache:t.adm reg.reg_bindings with
+            | (_ : Units.time) ->
+                let retries = ref 0 in
+                let ectx, warm, ready =
+                  boot_ectx t ~endpoint:req.endpoint ~reg ~retries ~at:now
+                in
+                let fl =
+                  {
+                    fl_req = req;
+                    fl_reg = reg;
+                    fl_ectx = ectx;
+                    fl_stages = Workflow.stages reg.reg_workflow;
+                    fl_stage_index = 0;
+                    fl_warm = warm;
+                    fl_attempt = 1;
+                    fl_retries = retries;
+                  }
+                in
+                note_rss t;
+                Eventq.push q ~at:ready (Advance fl)
+            | exception Admission_failed _ ->
+                decr inflight_now;
+                incr failed;
+                last_finish := Units.max !last_finish now;
+                responses :=
+                  {
+                    r_endpoint = req.endpoint;
+                    r_arrival = req.arrival;
+                    r_finish = now;
+                    r_latency = Units.zero;
+                    r_warm = false;
+                    r_ok = false;
+                    r_attempts = 0;
+                    r_retries = 0;
+                  }
+                  :: !responses)
+        | Advance fl -> step fl ~now);
+    let t_start = match !first_arrival with Some a -> a | None -> Units.zero in
+    let duration = Units.sub !last_finish t_start in
+    let secs = Units.to_sec duration in
+    {
+      responses = List.rev !responses;
+      completed = !completed;
+      failed = !failed;
+      duration;
+      throughput_rps =
+        (if secs <= 0.0 then 0.0 else float_of_int !completed /. secs);
+      mean_latency = (if Stats.is_empty lat then Units.zero else Stats.mean_time lat);
+      p50_latency =
+        (if Stats.is_empty lat then Units.zero else Stats.percentile_time lat 50.0);
+      p99_latency =
+        (if Stats.is_empty lat then Units.zero else Stats.percentile_time lat 99.0);
+      max_inflight = !max_inflight;
+      warm_starts = t.warm_hit_count;
+      cold_starts = t.cold_boot_count;
+      adm_hits = t.adm.cache_hits;
+      adm_scans = t.adm.cache_scans;
+      evictions = t.evicted;
+      templates_live = pool_size t;
+      machine_peak_rss = t.machine_peak;
+    }
+
+  let shutdown t =
+    Hashtbl.iter (fun _ tpl -> Wfd.destroy tpl.tpl_wfd) t.templates;
+    Hashtbl.reset t.templates
+end

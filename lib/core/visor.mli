@@ -5,7 +5,12 @@
     thread per function instance stage by stage (threads are cloned
     Linux threads scheduled on the host's cores), and destroys the WFD
     when the workflow completes.  Before anything runs, function images
-    go through blacklist admission (§6). *)
+    go through blacklist admission (§6).
+
+    {!Server} layers multi-tenant serving on top: a warm pool of
+    template WFDs cloned per request, a content-hash admission cache,
+    and concurrent workflow execution interleaved over shared cores in
+    virtual time. *)
 
 type kernel = Asstd.ctx -> instance:int -> total:int -> unit
 (** A user function body: receives its as-std context plus its parallel
@@ -24,7 +29,10 @@ type retry_policy =
           per heap unit). *)
   | Retry_workflow of int
       (** Restart the whole workflow in a fresh WFD, up to n attempts
-          total (idempotent functions). *)
+          total (idempotent functions).  Covers terminal function
+          failures {e and} undetected hangs ({!Function_hung}); the
+          function-restart counter is carried across attempts, so
+          [report.retries] counts every recovery action performed. *)
 
 type backoff =
   | No_backoff
@@ -35,6 +43,22 @@ type backoff =
 val backoff_delay : backoff -> attempt:int -> Sim.Units.time
 (** The wait charged before the given attempt number (zero for the
     first attempt) — exposed so tests can assert the exact schedule. *)
+
+(** {1 Admission cache}
+
+    Blacklist scanning is pure over image content, so a serving layer
+    caches verdicts by content hash: a re-submitted image skips the
+    per-KB scan and replays the recorded verdict at
+    {!Cost.admission_cache_hit}. *)
+
+type admission_cache
+
+val admission_cache : unit -> admission_cache
+val admission_hits : admission_cache -> int
+(** Scans skipped thanks to a cached verdict. *)
+
+val admission_scans : admission_cache -> int
+(** Full scans performed (cache misses). *)
 
 type config = {
   cores : int;  (** Host CPUs available to this WFD. *)
@@ -55,6 +79,8 @@ type config = {
           hanging) past this budget is killed and counts as a failed
           attempt under the retry policy. *)
   backoff : backoff;  (** Wait between retry attempts. *)
+  admission : admission_cache option;
+      (** Shared verdict cache; [None] scans every image every run. *)
 }
 
 val default_config : config
@@ -94,8 +120,10 @@ exception Function_failed of { fn : string; attempts : int; error : exn }
 
 exception Function_hung of { fn : string }
 (** An injected hang wedged a function thread and no [config.timeout]
-    watchdog was armed: the hang is undetectable and the workflow never
-    completes.  Not retried — configure a timeout to recover. *)
+    watchdog was armed: the hang is undetectable at function
+    granularity, so the attempt is abandoned.  [Retry_workflow]
+    restarts the whole workflow in a fresh WFD; otherwise the exception
+    escapes — configure a timeout for function-level recovery. *)
 
 exception Timed_out of { fn : string; after : Sim.Units.time }
 (** The [error] payload inside {!Function_failed} when an attempt was
@@ -107,10 +135,104 @@ val run :
   bindings:(string * binding) list ->
   unit ->
   report
-(** Execute the workflow once in a fresh WFD.  Raises
-    [Invalid_argument] if a node has no binding, {!Admission_failed} on
-    a rejected image. *)
+(** Execute the workflow once in a fresh WFD.  The WFD is destroyed on
+    every exit path, including failures.  Raises [Invalid_argument] if
+    a node has no binding, {!Admission_failed} on a rejected image. *)
 
 val cold_start_only : ?config:config -> unit -> Sim.Units.time
 (** The no-ops cold-start measurement: trigger to first user
     instruction of an empty function. *)
+
+(** {1 Multi-tenant serving}
+
+    Long-lived serving on top of the per-run orchestrator: endpoints
+    register workflows once; requests then execute concurrently over a
+    shared core pool in virtual time.  First request to an endpoint
+    boots cold and seeds a warm {e template} WFD (entry table built,
+    declared modules preloaded, WASM engine / CPython booted);
+    subsequent requests CoW-clone the template — the Fig. 10 cold-boot
+    path replaced by {!Cost.wfd_clone} + per-module attach + runtime
+    resume.  Templates are LRU-evicted under a pool memory cap measured
+    from proc-table RSS. *)
+
+module Server : sig
+  type request = { endpoint : string; arrival : Sim.Units.time }
+
+  type response = {
+    r_endpoint : string;
+    r_arrival : Sim.Units.time;
+    r_finish : Sim.Units.time;
+    r_latency : Sim.Units.time;
+    r_warm : bool;  (** Booted by cloning a pooled template. *)
+    r_ok : bool;
+    r_attempts : int;  (** Workflow-level attempts consumed. *)
+    r_retries : int;  (** Function restarts across all attempts. *)
+  }
+
+  type serve_report = {
+    responses : response list;  (** In completion order. *)
+    completed : int;
+    failed : int;
+    duration : Sim.Units.time;  (** First arrival to last finish. *)
+    throughput_rps : float;
+    mean_latency : Sim.Units.time;
+    p50_latency : Sim.Units.time;
+    p99_latency : Sim.Units.time;
+    max_inflight : int;  (** Peak concurrently-executing workflows. *)
+    warm_starts : int;
+    cold_starts : int;
+    adm_hits : int;
+    adm_scans : int;
+    evictions : int;
+    templates_live : int;
+    machine_peak_rss : int;
+  }
+
+  type t
+
+  val create :
+    ?config:config -> ?pool_mem_cap:int -> ?warm:bool -> unit -> t
+  (** A server over [config.cores] shared cores.  [pool_mem_cap]
+      (default 512 MiB) bounds the template pool's resident memory;
+      [warm:false] disables the pool entirely (every request boots
+      cold — the baseline the bench compares against).  The server
+      uses [config.admission] when provided, else its own cache. *)
+
+  val register :
+    t ->
+    endpoint:string ->
+    workflow:Workflow.t ->
+    bindings:(string * binding) list ->
+    unit ->
+    unit
+  (** Raises [Invalid_argument] on a duplicate endpoint or a node
+      without a binding. *)
+
+  val endpoints : t -> string list
+
+  val prewarm : t -> endpoint:string -> Sim.Units.time option
+  (** Build (or touch) the endpoint's template off the request path.
+      Returns the template build time, or [None] if the pool is
+      disabled or the template exceeds the whole memory cap.  Raises
+      [Not_found] for an unknown endpoint. *)
+
+  val serve : t -> request list -> serve_report
+  (** Run an open-loop trace to completion: arrivals fire at their
+      timestamps regardless of completions, stages of distinct in-flight
+      workflows interleave over the shared cores via the event queue.
+      A request for an unregistered endpoint raises [Not_found]; an
+      image rejected at admission fails that request (not the server).
+      Workflow-level retry ([Retry_workflow]) re-boots failed requests
+      in fresh WFDs up to the attempt budget. *)
+
+  val pool_size : t -> int
+  val pool_rss : t -> int
+  val evictions : t -> int
+  val warm_hits : t -> int
+  val cold_boots : t -> int
+  val admission : t -> admission_cache
+
+  val shutdown : t -> unit
+  (** Destroy all pooled templates (drops their WFDs from the live
+      count). *)
+end

@@ -54,8 +54,13 @@ let user_pkru_for t slot =
 
 let next_id = ref 0
 
+let live = ref 0
+
+let live_count () = !live
+
 let create ?(features = default_features) ?vfs ?fault ~proc_table ~clock ~workflow_name () =
   incr next_id;
+  incr live;
   let aspace = Address_space.create () in
   (* System partition: visor and libos code, both on the system key.
      The libos heap region is *address space* for AsBuffers; its pages
@@ -152,9 +157,61 @@ let respawn_function_thread t ~slot ~clock =
   map_slot t slot;
   clone_into_slot t slot ~clock
 
+(* CoW-clone a warm template into a fresh WFD: the system partition,
+   loaded module namespaces and entry table come along with the clone
+   (shared read-only pages); mutable per-request state (buffer heap,
+   module state, stdout, function slots) starts fresh.  The clone gets
+   its own process-table entry charged the same resident base as a
+   created WFD, and pays Cost.wfd_clone instead of wfd_create +
+   entry_table_init. *)
+let clone_template template ~proc_table ~clock =
+  if template.destroyed then invalid_arg "Wfd.clone_template: template destroyed";
+  incr next_id;
+  incr live;
+  let aspace = Address_space.create () in
+  Address_space.map aspace ~addr:Layout.visor_code.Layout.base
+    ~len:Layout.visor_code.Layout.size ~perm:Page.rx ~pkey:system_key ();
+  Address_space.map aspace ~addr:Layout.libos_code.Layout.base
+    ~len:Layout.libos_code.Layout.size ~perm:Page.rx ~pkey:system_key ();
+  Address_space.map aspace ~addr:Layout.trampoline.Layout.base
+    ~len:Layout.trampoline.Layout.size ~perm:Page.rx ~pkey:Prot.default_key ();
+  let pid =
+    Hostos.Process.spawn_process proc_table ~at:(Clock.now clock)
+      ~name:template.workflow_name ()
+  in
+  Hostos.Process.charge_rss proc_table pid
+    (Layout.visor_code.Layout.size + Layout.libos_code.Layout.size
+    + Layout.trampoline.Layout.size);
+  Clock.advance clock Cost.wfd_clone;
+  Clock.advance clock (Hostos.Syscall.cost Hostos.Syscall.Pkey_alloc);
+  {
+    id = !next_id;
+    workflow_name = template.workflow_name;
+    features = template.features;
+    aspace;
+    buffer_alloc =
+      Alloc.create ?fault:template.fault ~base:Layout.libos_heap.Layout.base
+        ~size:Layout.libos_heap.Layout.size ();
+    loaded_modules = Hashtbl.copy template.loaded_modules;
+    entry_table = Hashtbl.copy template.entry_table;
+    ext = Ext.create ();
+    vfs = template.vfs;
+    fault = template.fault;
+    tap = None;
+    stdout = Buffer.create 256;
+    pid;
+    proc_table;
+    next_fn_slot = 0;
+    destroyed = false;
+    entry_misses = 0;
+    entry_hits = 0;
+    trampoline_crossings = 0;
+  }
+
 let destroy t =
   if not t.destroyed then begin
     t.destroyed <- true;
+    live := Stdlib.max 0 (!live - 1);
     (match t.tap with Some _ -> t.tap <- None | None -> ());
     Hostos.Process.exit_process t.proc_table t.pid
   end

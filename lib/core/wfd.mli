@@ -94,8 +94,21 @@ val respawn_function_thread : t -> slot:int -> clock:Sim.Clock.t -> thread
     slot.  Intermediate-data buffers live in the libos heap and are
     untouched. *)
 
+val clone_template : t -> proc_table:Hostos.Process.t -> clock:Sim.Clock.t -> t
+(** CoW-clone a warm template WFD for one request (the warm-pool fast
+    path): the loaded-module set and entry table are inherited, the
+    buffer heap / module state / stdout / function slots start fresh,
+    and the clone is charged {!Cost.wfd_clone} instead of the full
+    create + entry-table path.  The clone shares the template's disk
+    image and fault plan, and lives in [proc_table] under its own pid.
+    Raises [Invalid_argument] if the template was destroyed. *)
+
 val destroy : t -> unit
 (** Unmap everything and reclaim resources.  Idempotent. *)
+
+val live_count : unit -> int
+(** Number of created-but-not-destroyed WFDs across the whole process —
+    the leak detector long-lived servers watch. *)
 
 val mapped_bytes : t -> int
 val is_loaded : t -> string -> bool

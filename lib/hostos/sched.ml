@@ -2,23 +2,38 @@ open Sim
 
 type placement = { core : int; start : Units.time; finish : Units.time }
 
-let schedule ~cores ?(ready = Units.zero) ?(dispatch_latency = Units.zero) durations =
-  if cores <= 0 then invalid_arg "Sched.schedule: cores must be positive";
-  let free_at = Array.make cores ready in
+type pool = { free_at : Units.time array }
+
+let pool ~cores =
+  if cores <= 0 then invalid_arg "Sched.pool: cores must be positive";
+  { free_at = Array.make cores Units.zero }
+
+let pool_cores pool = Array.length pool.free_at
+
+let busy_until pool = Array.fold_left Units.max Units.zero pool.free_at
+
+let schedule_on pool ?(ready = Units.zero) ?(dispatch_latency = Units.zero) durations =
+  let cores = Array.length pool.free_at in
   let dispatch_clock = ref ready in
   let place d =
     (* The orchestrator dispatches tasks one after another. *)
     dispatch_clock := Units.add !dispatch_clock dispatch_latency;
     let core = ref 0 in
     for c = 1 to cores - 1 do
-      if Units.( < ) free_at.(c) free_at.(!core) then core := c
+      if Units.( < ) pool.free_at.(c) pool.free_at.(!core) then core := c
     done;
-    let start = Units.max free_at.(!core) !dispatch_clock in
+    let start = Units.max pool.free_at.(!core) !dispatch_clock in
+    let start = Units.max start ready in
     let finish = Units.add start d in
-    free_at.(!core) <- finish;
+    pool.free_at.(!core) <- finish;
     { core = !core; start; finish }
   in
   List.map place durations
+
+let schedule ~cores ?(ready = Units.zero) ?(dispatch_latency = Units.zero) durations =
+  if cores <= 0 then invalid_arg "Sched.schedule: cores must be positive";
+  let p = { free_at = Array.make cores ready } in
+  schedule_on p ~ready ~dispatch_latency durations
 
 let makespan placements =
   List.fold_left (fun acc p -> Units.max acc p.finish) Units.zero placements
@@ -28,9 +43,32 @@ let fan_in_wait placements =
   List.map (fun p -> Units.sub m p.finish) placements
 
 let same_core_pairs placements =
+  (* Pair tasks that run back to back on the same core, in that core's
+     execution order — which need not be list order once tasks skip
+     over busy cores. *)
   let arr = Array.of_list placements in
+  let by_core = Hashtbl.create 8 in
+  Array.iteri
+    (fun i p ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_core p.core) in
+      Hashtbl.replace by_core p.core (i :: prev))
+    arr;
   let pairs = ref [] in
-  for i = 0 to Array.length arr - 2 do
-    if arr.(i).core = arr.(i + 1).core then pairs := (i, i + 1) :: !pairs
-  done;
-  List.rev !pairs
+  Hashtbl.iter
+    (fun _core idxs ->
+      let ordered =
+        List.sort
+          (fun a b ->
+            let c = Units.compare arr.(a).start arr.(b).start in
+            if c <> 0 then c else Stdlib.compare a b)
+          (List.rev idxs)
+      in
+      let rec consecutive = function
+        | a :: (b :: _ as rest) ->
+            pairs := (a, b) :: !pairs;
+            consecutive rest
+        | [ _ ] | [] -> ()
+      in
+      consecutive ordered)
+    by_core;
+  List.sort compare !pairs

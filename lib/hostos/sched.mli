@@ -13,6 +13,29 @@ type placement = {
   finish : Sim.Units.time;
 }
 
+type pool
+(** A persistent set of cores whose per-core busy horizon survives
+    across {!schedule_on} calls — the shared machine that a serving
+    visor multiplexes independent in-flight workflows onto. *)
+
+val pool : cores:int -> pool
+
+val pool_cores : pool -> int
+
+val busy_until : pool -> Sim.Units.time
+(** Latest instant at which any core of the pool is still busy. *)
+
+val schedule_on :
+  pool ->
+  ?ready:Sim.Units.time ->
+  ?dispatch_latency:Sim.Units.time ->
+  Sim.Units.time list ->
+  placement list
+(** Like {!schedule}, but places tasks onto the pool's cores without
+    resetting their busy horizons: tasks start no earlier than [ready]
+    and no earlier than their core frees up from previously scheduled
+    work (possibly belonging to another workflow). *)
+
 val schedule :
   cores:int ->
   ?ready:Sim.Units.time ->
@@ -33,5 +56,7 @@ val fan_in_wait : placement list -> Sim.Units.time list
     slowest sibling: [makespan - finish_i]. *)
 
 val same_core_pairs : placement list -> (int * int) list
-(** Index pairs of consecutive tasks that landed on the same core —
-    used by the locality model for reference-passing transfers. *)
+(** Index pairs of tasks that run back to back on the same core, in
+    each core's execution order (sorted by start time, not list
+    position) — used by the locality model for reference-passing
+    transfers.  Pairs are returned sorted. *)

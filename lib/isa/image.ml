@@ -17,6 +17,14 @@ let boundaries t =
   in
   go 0 t.insts
 
+let toolchain_tag = function
+  | Rust_as_std -> "rust+as-std"
+  | Rust_plain_std -> "rust+std"
+  | Wasm_aot -> "wasm-aot"
+  | Native_c -> "native-c"
+
+let content_hash t = Digest.to_hex (Digest.string (toolchain_tag t.toolchain ^ "\x00" ^ code t))
+
 let pp_toolchain fmt = function
   | Rust_as_std -> Format.pp_print_string fmt "rust+as-std"
   | Rust_plain_std -> Format.pp_print_string fmt "rust+std"

@@ -21,4 +21,9 @@ val boundaries : t -> int list
 (** Byte offsets at which each instruction starts (ascending, starting
     with 0). *)
 
+val content_hash : t -> string
+(** Digest of the encoded instruction stream plus toolchain tag — the
+    admission-cache key.  Two images with identical code and toolchain
+    hash identically regardless of their names. *)
+
 val pp_toolchain : Format.formatter -> toolchain -> unit

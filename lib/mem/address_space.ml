@@ -105,12 +105,12 @@ let checked_page t ~pkru addr access =
 
 let load_byte t ~pkru addr =
   let page = checked_page t ~pkru addr Prot.Read in
-  Bytes.get page.Page.data (Page.offset_of_addr addr)
+  Bytes.get (Page.data page) (Page.offset_of_addr addr)
 
 let store_byte t ~pkru addr c =
   let page = checked_page t ~pkru addr Prot.Write in
   page.Page.populated <- true;
-  Bytes.set page.Page.data (Page.offset_of_addr addr) c
+  Bytes.set (Page.data page) (Page.offset_of_addr addr) c
 
 (* Walk a range page by page, calling [f page page_offset buf_offset n]
    for each contiguous chunk. *)
@@ -129,13 +129,13 @@ let walk t ~pkru ~access addr len f =
 let load_bytes t ~pkru addr len =
   let buf = Bytes.create len in
   walk t ~pkru ~access:Prot.Read addr len (fun page off boff n ->
-      Bytes.blit page.Page.data off buf boff n);
+      Bytes.blit (Page.data page) off buf boff n);
   buf
 
 let store_bytes t ~pkru addr src =
   let len = Bytes.length src in
   walk t ~pkru ~access:Prot.Write addr len (fun page off boff n ->
-      Bytes.blit src boff page.Page.data off n)
+      Bytes.blit src boff (Page.data page) off n)
 
 let load_int64 t ~pkru addr =
   let b = load_bytes t ~pkru addr 8 in
@@ -154,7 +154,7 @@ let blit t ~pkru ~src ~dst ~len =
 
 let fill t ~pkru ~addr ~len c =
   walk t ~pkru ~access:Prot.Write addr len (fun page off _ n ->
-      Bytes.fill page.Page.data off n c)
+      Bytes.fill (Page.data page) off n c)
 
 let check_exec t ~pkru addr = ignore (checked_page t ~pkru addr Prot.Execute)
 
@@ -165,7 +165,7 @@ let populate_page t ~vpn data =
   | None -> fault (Page.addr_of_vpn vpn) Unmapped
   | Some page ->
       let n = Stdlib.min (Bytes.length data) Page.size in
-      Bytes.blit data 0 page.Page.data 0 n;
+      Bytes.blit data 0 (Page.data page) 0 n;
       page.Page.populated <- true
 
 let touched_fault_count t = t.demand_faults

@@ -14,15 +14,27 @@ let pp_perm fmt p =
     (if p.write then 'w' else '-')
     (if p.exec then 'x' else '-')
 
+(* Backing storage is demand-zero: a freshly mapped page costs nothing
+   until first touched, like anonymous mmap on a host kernel.  This
+   keeps large mostly-untouched mappings (WFD system partitions,
+   function heaps) cheap to create in host time and memory. *)
 type t = {
-  data : Bytes.t;
+  mutable store : Bytes.t option;  (** Materialised on first access. *)
   mutable perm : perm;
   mutable pkey : Prot.key;
   mutable populated : bool;
 }
 
 let create ?(perm = rw) ?(pkey = Prot.default_key) () =
-  { data = Bytes.make size '\000'; perm; pkey; populated = false }
+  { store = None; perm; pkey; populated = false }
+
+let data t =
+  match t.store with
+  | Some b -> b
+  | None ->
+      let b = Bytes.make size '\000' in
+      t.store <- Some b;
+      b
 
 let vpn_of_addr addr = addr lsr shift
 let offset_of_addr addr = addr land (size - 1)

@@ -15,7 +15,8 @@ val rwx : perm
 val pp_perm : Format.formatter -> perm -> unit
 
 type t = {
-  data : Bytes.t;  (** Always {!size} bytes. *)
+  mutable store : Bytes.t option;
+      (** Demand-zero backing: materialised by {!data} on first use. *)
   mutable perm : perm;
   mutable pkey : Prot.key;
   mutable populated : bool;
@@ -23,7 +24,13 @@ type t = {
 }
 
 val create : ?perm:perm -> ?pkey:Prot.key -> unit -> t
-(** Fresh zeroed page, default permissions [rw], default key 0. *)
+(** Fresh zeroed page, default permissions [rw], default key 0.  The
+    4 KiB backing buffer is allocated lazily on the first {!data}
+    access. *)
+
+val data : t -> Bytes.t
+(** The page's backing bytes (always {!size} long), materialising the
+    demand-zero page if needed. *)
 
 val vpn_of_addr : int -> int
 (** Virtual page number containing an address. *)

@@ -114,6 +114,30 @@ let test_sched_fan_in_wait () =
       Alcotest.check check_time "fast one waits" (Units.ms 6) w1
   | _ -> Alcotest.fail "expected two waits"
 
+let test_sched_same_core_pairs_divergence () =
+  (* Two long tasks then two short ones on 2 cores: cores alternate
+     0,1,0,1, so the tasks that actually run back to back on a core are
+     (0,2) and (1,3) — NOT consecutive list entries. *)
+  let placements =
+    Sched.schedule ~cores:2 [ Units.ms 10; Units.ms 10; Units.ms 1; Units.ms 1 ]
+  in
+  Alcotest.(check (list int)) "cores alternate" [ 0; 1; 0; 1 ]
+    (List.map (fun p -> p.Sched.core) placements);
+  Alcotest.(check (list (pair int int))) "pairs follow core order"
+    [ (0, 2); (1, 3) ]
+    (Sched.same_core_pairs placements)
+
+let test_sched_pool_shared_across_calls () =
+  (* A persistent pool carries busy cores between schedule_on calls:
+     the second batch queues behind the first. *)
+  let pool = Sched.pool ~cores:2 in
+  let first = Sched.schedule_on pool [ Units.ms 10; Units.ms 10 ] in
+  Alcotest.check check_time "first batch" (Units.ms 10) (Sched.makespan first);
+  let second = Sched.schedule_on pool [ Units.ms 5 ] in
+  Alcotest.check check_time "second batch queues" (Units.ms 15) (Sched.makespan second);
+  Alcotest.check check_time "pool busy horizon" (Units.ms 15) (Sched.busy_until pool);
+  Alcotest.(check int) "core count" 2 (Sched.pool_cores pool)
+
 let sched_bounds_property =
   QCheck.Test.make ~name:"sched: max <= makespan <= sum (+dispatch)" ~count:200
     QCheck.(pair (int_range 1 8) (list_of_size (Gen.int_range 1 12) (int_range 0 10_000)))
@@ -228,6 +252,9 @@ let suite =
     Alcotest.test_case "sched queueing" `Quick test_sched_lpt_queueing;
     Alcotest.test_case "sched ready/dispatch" `Quick test_sched_ready_and_dispatch;
     Alcotest.test_case "sched fan-in wait" `Quick test_sched_fan_in_wait;
+    Alcotest.test_case "sched same-core pairs divergence" `Quick
+      test_sched_same_core_pairs_divergence;
+    Alcotest.test_case "sched shared pool" `Quick test_sched_pool_shared_across_calls;
     QCheck_alcotest.to_alcotest sched_bounds_property;
     QCheck_alcotest.to_alcotest sched_no_core_overlap_property;
     Alcotest.test_case "shm roundtrip" `Quick test_shm_roundtrip;

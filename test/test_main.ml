@@ -15,6 +15,7 @@ let () =
       ("wfd", Test_wfd.suite);
       ("asbuffer", Test_asbuffer.suite);
       ("visor", Test_visor.suite);
+      ("server", Test_server.suite);
       ("workloads", Test_workloads.suite);
       ("platforms", Test_platforms.suite);
       ("resilience", Test_resilience.suite);

@@ -115,6 +115,23 @@ let test_stats_percentile_edges () =
     (Invalid_argument "Stats.percentile: empty") (fun () ->
       ignore (Stats.percentile empty 50.0))
 
+let test_stats_percentile_unsorted () =
+  (* Percentiles are order-free: an unsorted insertion sequence must
+     answer exactly like the sorted one. *)
+  let unsorted = Stats.create () in
+  List.iter (Stats.add unsorted) [ 30.0; 5.0; 50.0; 10.0; 20.0 ];
+  Alcotest.(check (float 1e-9)) "p0 is min" 5.0 (Stats.percentile unsorted 0.0);
+  Alcotest.(check (float 1e-9)) "p50 is median" 20.0 (Stats.percentile unsorted 50.0);
+  Alcotest.(check (float 1e-9)) "p100 is max" 50.0 (Stats.percentile unsorted 100.0);
+  let sorted = Stats.create () in
+  List.iter (Stats.add sorted) [ 5.0; 10.0; 20.0; 30.0; 50.0 ];
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "p%g insertion-order free" p)
+        (Stats.percentile sorted p) (Stats.percentile unsorted p))
+    [ 0.0; 25.0; 50.0; 75.0; 99.0; 100.0 ]
+
 let test_stats_time () =
   let s = Stats.create () in
   Stats.add_time s (Units.us 10);
@@ -293,6 +310,7 @@ let suite =
     Alcotest.test_case "stats percentile interpolation" `Quick test_stats_percentile_interp;
     Alcotest.test_case "stats resort after add" `Quick test_stats_after_add;
     Alcotest.test_case "stats percentile edges" `Quick test_stats_percentile_edges;
+    Alcotest.test_case "stats percentile unsorted" `Quick test_stats_percentile_unsorted;
     Alcotest.test_case "stats time helpers" `Quick test_stats_time;
     Alcotest.test_case "eventq ordering" `Quick test_eventq_ordering;
     Alcotest.test_case "eventq FIFO ties" `Quick test_eventq_fifo_ties;

@@ -114,6 +114,111 @@ let test_wfd_destroyed_after_run () =
   let r2 = Visor.run ~workflow:single_fn_workflow ~bindings:[ ("f", Visor.bind kernel) ] () in
   Alcotest.(check int) "footprint independent across runs" r1.Visor.peak_rss r2.Visor.peak_rss
 
+let test_no_wfd_leak_on_failure () =
+  (* Regression: a terminal function failure must still tear the WFD
+     down (run_once reaches Wfd.destroy on every exit path), or a
+     long-lived server leaks one WFD per failed request. *)
+  let bad_kernel (_ : Asstd.ctx) ~instance:_ ~total:_ = failwith "boom" in
+  let before = Wfd.live_count () in
+  (match
+     Visor.run ~workflow:single_fn_workflow ~bindings:[ ("f", Visor.bind bad_kernel) ] ()
+   with
+  | _ -> Alcotest.fail "failing kernel must raise"
+  | exception Visor.Function_failed _ -> ());
+  Alcotest.(check int) "no live WFD left behind" before (Wfd.live_count ());
+  (* Same for a workflow that exhausts workflow-level retries. *)
+  let config = { Visor.default_config with Visor.retry = Visor.Retry_workflow 3 } in
+  (match
+     Visor.run ~config ~workflow:single_fn_workflow
+       ~bindings:[ ("f", Visor.bind bad_kernel) ] ()
+   with
+  | _ -> Alcotest.fail "still failing after retries"
+  | exception Visor.Function_failed _ -> ());
+  Alcotest.(check int) "no leak across retries" before (Wfd.live_count ())
+
+let test_workflow_retry_counts_failed_attempts () =
+  (* Regression: restarts performed during failed workflow attempts
+     must survive into the final report instead of being dropped with
+     the failed attempt's WFD. *)
+  let calls = ref 0 in
+  let flaky (_ : Asstd.ctx) ~instance:_ ~total:_ =
+    incr calls;
+    if !calls <= 2 then failwith "transient"
+  in
+  let config = { Visor.default_config with Visor.retry = Visor.Retry_workflow 3 } in
+  let report =
+    Visor.run ~config ~workflow:single_fn_workflow ~bindings:[ ("f", Visor.bind flaky) ] ()
+  in
+  Alcotest.(check int) "kernel ran three times" 3 !calls;
+  Alcotest.(check int) "both failed attempts counted" 2 report.Visor.retries
+
+let test_workflow_retry_covers_hang () =
+  (* Regression: an undetected hang (no watchdog timeout) must be
+     retried by Retry_workflow like any other failed attempt. *)
+  let plan = Fault.create ~seed:5 () in
+  Fault.inject plan ~site:Fault.site_fn_hang (Fault.First 1);
+  let config =
+    {
+      Visor.default_config with
+      Visor.fault = Some plan;
+      retry = Visor.Retry_workflow 2;
+    }
+  in
+  let report =
+    Visor.run ~config ~workflow:single_fn_workflow
+      ~bindings:[ ("f", Visor.bind (counting_kernel (ref 0))) ]
+      ()
+  in
+  Alcotest.(check int) "hung attempt counted as retry" 1 report.Visor.retries;
+  (* With the hang firing every attempt it still escapes once the
+     attempt budget is spent — and without leaking WFDs. *)
+  let plan = Fault.create ~seed:5 () in
+  Fault.inject plan ~site:Fault.site_fn_hang Fault.Always;
+  let config = { config with Visor.fault = Some plan } in
+  let before = Wfd.live_count () in
+  (match
+     Visor.run ~config ~workflow:single_fn_workflow
+       ~bindings:[ ("f", Visor.bind (counting_kernel (ref 0))) ]
+       ()
+   with
+  | _ -> Alcotest.fail "always-hanging workflow cannot complete"
+  | exception Visor.Function_hung _ -> ());
+  Alcotest.(check int) "hung attempts torn down" before (Wfd.live_count ())
+
+let test_backoff_boundaries () =
+  (* Attempt numbers at and below 1 are free; the limit clamps exactly
+     at the crossing attempt. *)
+  let b = Visor.Exponential { base = Units.ms 4; factor = 2.0; limit = Units.ms 8 } in
+  Alcotest.(check bool) "attempt 0 free" true
+    (Units.equal Units.zero (Visor.backoff_delay b ~attempt:0));
+  Alcotest.(check bool) "attempt 1 free" true
+    (Units.equal Units.zero (Visor.backoff_delay b ~attempt:1));
+  Alcotest.(check bool) "attempt 2 pays base" true
+    (Units.equal (Units.ms 4) (Visor.backoff_delay b ~attempt:2));
+  Alcotest.(check bool) "attempt 3 hits limit exactly" true
+    (Units.equal (Units.ms 8) (Visor.backoff_delay b ~attempt:3));
+  Alcotest.(check bool) "attempt 4 stays clamped" true
+    (Units.equal (Units.ms 8) (Visor.backoff_delay b ~attempt:4))
+
+let test_gateway_admission_cache_shared () =
+  (* The gateway scans an image once; later invocations (any endpoint)
+     reuse the cached verdict by content hash. *)
+  let image =
+    Isa.Image.create ~name:"cached" ~toolchain:Isa.Image.Rust_as_std
+      [ Isa.Inst.Mov_reg; Isa.Inst.Call "as_std_open"; Isa.Inst.Ret ]
+  in
+  let kernel (_ : Asstd.ctx) ~instance:_ ~total:_ = () in
+  let g = Gateway.create () in
+  Gateway.register g ~endpoint:"e"
+    ~workflow:single_fn_workflow
+    ~bindings:[ ("f", Visor.bind ~image kernel) ]
+    ();
+  ignore (Gateway.invoke g ~endpoint:"e");
+  ignore (Gateway.invoke g ~endpoint:"e");
+  ignore (Gateway.invoke g ~endpoint:"e");
+  Alcotest.(check int) "one scan" 1 (Visor.admission_scans (Gateway.admission g));
+  Alcotest.(check int) "two cache hits" 2 (Visor.admission_hits (Gateway.admission g))
+
 let test_cpu_quota_stretches () =
   (* 9 resource allocation: a 50% CPU quota roughly doubles the
      compute-bound end-to-end time. *)
@@ -288,6 +393,13 @@ let suite =
     Alcotest.test_case "module reuse across functions" `Quick test_module_reuse_across_functions;
     Alcotest.test_case "phase totals" `Quick test_report_phase_totals;
     Alcotest.test_case "wfd destroyed after run" `Quick test_wfd_destroyed_after_run;
+    Alcotest.test_case "no wfd leak on failure" `Quick test_no_wfd_leak_on_failure;
+    Alcotest.test_case "workflow retry counts failed attempts" `Quick
+      test_workflow_retry_counts_failed_attempts;
+    Alcotest.test_case "workflow retry covers hang" `Quick test_workflow_retry_covers_hang;
+    Alcotest.test_case "backoff boundaries" `Quick test_backoff_boundaries;
+    Alcotest.test_case "gateway admission cache shared" `Quick
+      test_gateway_admission_cache_shared;
     Alcotest.test_case "cpu quota stretches e2e" `Quick test_cpu_quota_stretches;
     Alcotest.test_case "gateway invoke" `Quick test_gateway_invoke;
     Alcotest.test_case "gateway duplicate endpoint" `Quick test_gateway_duplicate_endpoint;
