@@ -14,6 +14,9 @@ type t = {
   admission : Visor.admission_cache;
       (* Shared across endpoints: re-registered or re-invoked images
          skip the blacklist scan (verdicts are pure over content). *)
+  code_cache : Wasm.Compile_cache.t;
+      (* Likewise shared: repeated invocations of the same endpoint
+         host-compile each WASM module once (virtual time unchanged). *)
   mutable rr : int;
   mutable invocations : int;
   mutable last_node : string option;
@@ -25,6 +28,7 @@ let create ?(nodes = [ { node_name = "node0"; cores = 64 } ]) () =
     nodes = Array.of_list nodes;
     table = Hashtbl.create 8;
     admission = Visor.admission_cache ();
+    code_cache = Wasm.Compile_cache.create ();
     rr = 0;
     invocations = 0;
     last_node = None;
@@ -51,7 +55,10 @@ let node_config t reg ~cores =
   let admission =
     match base.Visor.admission with Some _ as a -> a | None -> Some t.admission
   in
-  { base with Visor.cores; Visor.admission }
+  let code_cache =
+    match base.Visor.code_cache with Some _ as c -> c | None -> Some t.code_cache
+  in
+  { base with Visor.cores; Visor.admission; Visor.code_cache }
 
 let invoke t ~endpoint =
   match Hashtbl.find_opt t.table endpoint with
@@ -122,8 +129,24 @@ let invoke_burst t ~endpoint ~count =
       let capacity =
         Array.map (fun node -> Stdlib.max 1 (node.cores / Stdlib.max 1 width)) t.nodes
       in
-      (* finish times of in-flight invocations per node, kept sorted. *)
-      let inflight = Array.make n_nodes ([] : Units.time list) in
+      (* Finish times of in-flight invocations per node, maintained as
+         sorted arrays: indexing the (n - capacity)-th finish is O(1)
+         and each insert is one binary search + shift, instead of
+         re-sorting a list per request. *)
+      let inflight = Array.init n_nodes (fun _ -> ref [||]) in
+      let insert_sorted cell v =
+        let a = !cell in
+        let n = Array.length a in
+        let lo = ref 0 and hi = ref n in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if Units.compare a.(mid) v <= 0 then lo := mid + 1 else hi := mid
+        done;
+        let b = Array.make (n + 1) v in
+        Array.blit a 0 b 0 !lo;
+        Array.blit a !lo b (!lo + 1) (n - !lo);
+        cell := b
+      in
       let per_node = Array.make n_nodes 0 in
       let queued = ref 0 in
       let latencies =
@@ -138,17 +161,18 @@ let invoke_burst t ~endpoint ~count =
             let config = node_config t reg ~cores:t.nodes.(node).cores in
             let report = Visor.run ~config ~workflow:reg.workflow ~bindings:reg.bindings () in
             t.invocations <- t.invocations + 1;
-            let busy = List.sort Units.compare inflight.(node) in
+            let busy = !(inflight.(node)) in
+            let n_busy = Array.length busy in
             let start =
-              if List.length busy < capacity.(node) then Units.zero
+              if n_busy < capacity.(node) then Units.zero
               else begin
                 incr queued;
                 (* Wait for the (n - capacity)-th finish. *)
-                List.nth busy (List.length busy - capacity.(node))
+                busy.(n_busy - capacity.(node))
               end
             in
             let finish = Units.add start (Units.add scale_cost report.Visor.e2e) in
-            inflight.(node) <- finish :: inflight.(node);
+            insert_sorted inflight.(node) finish;
             finish)
       in
       let stats = Sim.Stats.create () in
@@ -164,3 +188,4 @@ let invoke_burst t ~endpoint ~count =
 let invocations t = t.invocations
 let last_node t = t.last_node
 let admission t = t.admission
+let code_cache t = t.code_cache

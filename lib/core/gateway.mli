@@ -69,3 +69,7 @@ val last_node : t -> string option
 
 val admission : t -> Visor.admission_cache
 (** The gateway's shared admission cache (hit/scan counters). *)
+
+val code_cache : t -> Wasm.Compile_cache.t
+(** The gateway's shared WASM compile cache, injected into every
+    node-local visor config unless the registration pinned its own. *)

@@ -43,6 +43,7 @@ type config = {
   timeout : Units.time option;
   backoff : backoff;
   admission : admission_cache option;
+  code_cache : Wasm.Compile_cache.t option;
 }
 
 let default_config =
@@ -58,6 +59,7 @@ let default_config =
     timeout = None;
     backoff = No_backoff;
     admission = None;
+    code_cache = None;
   }
 
 type stage_report = {
@@ -143,7 +145,7 @@ let lookup_binding bindings id =
   | None -> invalid_arg (Printf.sprintf "Visor.run: no binding for function %s" id)
 
 let make_fn_ctx config wfd thread language =
-  let ctx = Asstd.make_ctx wfd thread language in
+  let ctx = Asstd.make_ctx ?code_cache:config.code_cache wfd thread language in
   match language with
   | Workflow.Rust -> ctx
   | Workflow.C | Workflow.Python ->
@@ -541,6 +543,10 @@ module Server = struct
     table : (string, registration) Hashtbl.t;
     templates : (string, template) Hashtbl.t;
     adm : admission_cache;
+    codec : Wasm.Compile_cache.t;
+        (* Shared across all requests and warm clones: identical
+           modules compile once on the host, like the admission cache
+           shares scan verdicts.  Virtual time is unaffected. *)
     proc_table : Hostos.Process.t;
     cpu : Hostos.Sched.pool;
     mutable tick : int;
@@ -553,13 +559,17 @@ module Server = struct
   let create ?(config = default_config) ?(pool_mem_cap = 512 * 1024 * 1024)
       ?(warm = true) () =
     if pool_mem_cap < 0 then invalid_arg "Visor.Server.create: negative pool cap";
+    let codec =
+      match config.code_cache with Some c -> c | None -> Wasm.Compile_cache.create ()
+    in
     {
-      scfg = config;
+      scfg = { config with code_cache = Some codec };
       pool_cap = pool_mem_cap;
       warm_enabled = warm;
       table = Hashtbl.create 8;
       templates = Hashtbl.create 8;
       adm = (match config.admission with Some c -> c | None -> admission_cache ());
+      codec;
       proc_table = Hostos.Process.create_table ();
       cpu = Hostos.Sched.pool ~cores:config.cores;
       tick = 0;
@@ -599,6 +609,7 @@ module Server = struct
   let warm_hits t = t.warm_hit_count
   let cold_boots t = t.cold_boot_count
   let admission t = t.adm
+  let code_cache t = t.codec
 
   let evict_lru t =
     let victim =

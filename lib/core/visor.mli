@@ -81,6 +81,11 @@ type config = {
   backoff : backoff;  (** Wait between retry attempts. *)
   admission : admission_cache option;
       (** Shared verdict cache; [None] scans every image every run. *)
+  code_cache : Wasm.Compile_cache.t option;
+      (** Shared content-hash compile cache for WASM modules loaded by
+          function code ({!Asstd.load_wasm}).  Saves host-side
+          recompiles only — virtual compile time is charged on every
+          load, so results are bit-identical with or without it. *)
 }
 
 val default_config : config
@@ -231,6 +236,11 @@ module Server : sig
   val warm_hits : t -> int
   val cold_boots : t -> int
   val admission : t -> admission_cache
+
+  val code_cache : t -> Wasm.Compile_cache.t
+  (** The server's shared compile cache (the one injected into every
+      request's config): warm clones of a template recompile nothing —
+      its miss count stays at the number of distinct modules. *)
 
   val shutdown : t -> unit
   (** Destroy all pooled templates (drops their WFDs from the live

@@ -14,7 +14,8 @@ type t =
   | Int of int
 
 let bytes_of_list l =
-  String.init (List.length l) (fun i -> Char.chr (List.nth l i))
+  let a = Array.of_list l in
+  String.init (Array.length a) (fun i -> Char.chr a.(i))
 
 let le32 (v : int32) =
   String.init 4 (fun i ->

@@ -11,17 +11,133 @@ let pp_fault_kind fmt = function
   | Pkey_denied (a, k) ->
       Format.fprintf fmt "pkey %d denied (%a)" (Prot.key_to_int k) Prot.pp_access a
 
+(* Mapped ranges are tracked as regions; Page.t records materialise
+   lazily on first touch.  [r_perm]/[r_pkey] are the creation defaults
+   for pages in the region that have not materialised yet — once a page
+   exists in [pages] it carries its own (possibly mprotect-ed) bits. *)
+type region = {
+  mutable r_first : int;  (* first vpn *)
+  mutable r_last : int;  (* last vpn, inclusive *)
+  r_perm : Page.perm;
+  r_pkey : Prot.key;
+}
+
+(* Software TLB: direct-mapped, validated by the address space's
+   generation counter (bumped on map/unmap/mprotect/pkey_mprotect) and
+   by the PKRU the cached check was made under.  The allow bits fold
+   page permissions and PKRU together so a hit skips the page walk and
+   both checks; any mismatch (including a cached deny) takes the slow
+   path, which raises the precise fault. *)
+type tlb_entry = {
+  mutable e_vpn : int;  (* -1 = never filled *)
+  mutable e_gen : int;
+  mutable e_pkru : int;  (* Prot.bits of the PKRU checked at fill *)
+  mutable e_page : Page.t;
+  mutable e_data : Bytes.t;
+  mutable e_read : bool;
+  mutable e_write : bool;
+  mutable e_exec : bool;
+}
+
+let tlb_bits = 8
+let tlb_size = 1 lsl tlb_bits
+let tlb_mask = tlb_size - 1
+
+(* Page geometry as same-unit literals: the byte fast paths must
+   compile to immediate shifts and masks, and Closure-mode ocamlopt
+   does not propagate constants across modules. *)
+let page_shift = 12
+let page_mask = 4095
+let () = assert (Page.shift = page_shift && Page.size = page_mask + 1)
+
 type t = {
-  pages : (int, Page.t) Hashtbl.t;
+  pages : (int, Page.t) Hashtbl.t;  (* materialised pages only *)
+  mutable regions : region list;
+  mutable total_pages : int;
   mutable fault_handler : (int -> unit) option;
   mutable demand_faults : int;
   mutable accesses : int;
+  tlb_enabled : bool;
+  tlb : tlb_entry array;
+  mutable generation : int;
+  mutable tlb_misses : int;
+  mutable tlb_flushes : int;
+  mutable tlb_hits_pushed : int;
+      (* Hits already reflected in the global "mem.tlb.hit" counter.
+         Hits are not counted per access on the fast path: they are
+         derived as [accesses - misses] (every successful access in a
+         TLB space is exactly one of the two) and pushed to the global
+         counter on flushes and reads. *)
 }
 
-let create () =
-  { pages = Hashtbl.create 1024; fault_handler = None; demand_faults = 0; accesses = 0 }
+let c_tlb_hit = Sim.Stats.Counter.make "mem.tlb.hit"
+let c_tlb_miss = Sim.Stats.Counter.make "mem.tlb.miss"
+let c_tlb_flush = Sim.Stats.Counter.make "mem.tlb.flush"
+
+let create ?(tlb = true) () =
+  let dummy_page = Page.create () in
+  let dummy_data = Bytes.create 0 in
+  {
+    pages = Hashtbl.create 64;
+    regions = [];
+    total_pages = 0;
+    fault_handler = None;
+    demand_faults = 0;
+    accesses = 0;
+    tlb_enabled = tlb;
+    tlb =
+      Array.init tlb_size (fun _ ->
+          {
+            e_vpn = -1;
+            e_gen = -1;
+            e_pkru = 0;
+            e_page = dummy_page;
+            e_data = dummy_data;
+            e_read = false;
+            e_write = false;
+            e_exec = false;
+          });
+    generation = 0;
+    tlb_misses = 0;
+    tlb_flushes = 0;
+    tlb_hits_pushed = 0;
+  }
 
 let fault addr kind = raise (Fault { addr; kind })
+
+let hits t = if t.tlb_enabled then t.accesses - t.tlb_misses else 0
+
+let sync_hit_counter t =
+  let h = hits t in
+  if h > t.tlb_hits_pushed then begin
+    Sim.Stats.Counter.add c_tlb_hit (h - t.tlb_hits_pushed);
+    t.tlb_hits_pushed <- h
+  end
+
+(* A generation bump invalidates every TLB entry at once. *)
+let flush_tlb t =
+  sync_hit_counter t;
+  t.generation <- t.generation + 1;
+  t.tlb_flushes <- t.tlb_flushes + 1;
+  Sim.Stats.Counter.incr c_tlb_flush
+
+let find_region t vpn =
+  let rec go = function
+    | [] -> None
+    | r :: rest -> if vpn >= r.r_first && vpn <= r.r_last then Some r else go rest
+  in
+  go t.regions
+
+(* First mapped vpn in [first, last], in ascending order, considering
+   every region — used to reproduce map's historical conflict report. *)
+let first_mapped_vpn_in t ~first ~last =
+  List.fold_left
+    (fun acc r ->
+      if r.r_last < first || r.r_first > last then acc
+      else
+        let v = Stdlib.max r.r_first first in
+        match acc with Some best when best <= v -> acc | _ -> Some v)
+    None t.regions
 
 let map t ~addr ~len ?(perm = Page.rw) ?(pkey = Prot.default_key) () =
   if addr land (Page.size - 1) <> 0 then
@@ -29,30 +145,75 @@ let map t ~addr ~len ?(perm = Page.rw) ?(pkey = Prot.default_key) () =
   if len <= 0 then invalid_arg "Address_space.map: len must be positive";
   let first = Page.vpn_of_addr addr in
   let count = Page.count_for len in
-  for vpn = first to first + count - 1 do
-    if Hashtbl.mem t.pages vpn then
+  let last = first + count - 1 in
+  (match first_mapped_vpn_in t ~first ~last with
+  | Some vpn ->
       invalid_arg
         (Printf.sprintf "Address_space.map: page 0x%x already mapped"
            (Page.addr_of_vpn vpn))
-  done;
-  for vpn = first to first + count - 1 do
-    Hashtbl.replace t.pages vpn (Page.create ~perm ~pkey ())
-  done
+  | None -> ());
+  t.regions <- { r_first = first; r_last = last; r_perm = perm; r_pkey = pkey } :: t.regions;
+  t.total_pages <- t.total_pages + count;
+  flush_tlb t
 
 let unmap t ~addr ~len =
   let first = Page.vpn_of_addr addr in
   let count = Page.count_for len in
-  for vpn = first to first + count - 1 do
-    Hashtbl.remove t.pages vpn
-  done
+  if count > 0 then begin
+    let last = first + count - 1 in
+    (* Drop materialised pages in range.  For ranges much larger than
+       the materialised set (slot teardown: hundreds of thousands of
+       vpns, a handful of touched pages) scan the table instead. *)
+    if count <= 2 * Hashtbl.length t.pages then
+      for vpn = first to last do
+        Hashtbl.remove t.pages vpn
+      done
+    else begin
+      let doomed =
+        Hashtbl.fold
+          (fun vpn _ acc -> if vpn >= first && vpn <= last then vpn :: acc else acc)
+          t.pages []
+      in
+      List.iter (Hashtbl.remove t.pages) doomed
+    end;
+    (* Shrink / split region coverage. *)
+    let keep = ref [] in
+    List.iter
+      (fun r ->
+        if r.r_last < first || r.r_first > last then keep := r :: !keep
+        else begin
+          let inter_first = Stdlib.max r.r_first first in
+          let inter_last = Stdlib.min r.r_last last in
+          t.total_pages <- t.total_pages - (inter_last - inter_first + 1);
+          if r.r_first < inter_first then
+            keep := { r with r_last = inter_first - 1 } :: !keep;
+          if r.r_last > inter_last then
+            keep := { r with r_first = inter_last + 1 } :: !keep
+        end)
+      t.regions;
+    t.regions <- !keep;
+    flush_tlb t
+  end
 
-let is_mapped t addr = Hashtbl.mem t.pages (Page.vpn_of_addr addr)
+let is_mapped t addr = find_region t (Page.vpn_of_addr addr) <> None
 
-let page_count t = Hashtbl.length t.pages
-let mapped_bytes t = page_count t * Page.size
+let page_count t = t.total_pages
+let mapped_bytes t = t.total_pages * Page.size
+
+(* Materialise (or fetch) the page backing a vpn. *)
+let lookup_vpn t vpn =
+  match Hashtbl.find_opt t.pages vpn with
+  | Some _ as found -> found
+  | None -> (
+      match find_region t vpn with
+      | None -> None
+      | Some r ->
+          let p = Page.create ~perm:r.r_perm ~pkey:r.r_pkey () in
+          Hashtbl.replace t.pages vpn p;
+          Some p)
 
 let get_page t addr =
-  match Hashtbl.find_opt t.pages (Page.vpn_of_addr addr) with
+  match lookup_vpn t (Page.vpn_of_addr addr) with
   | Some p -> p
   | None -> fault addr Unmapped
 
@@ -61,16 +222,18 @@ let iter_range t ~addr ~len f =
     let first = Page.vpn_of_addr addr in
     let last = Page.vpn_of_addr (addr + len - 1) in
     for vpn = first to last do
-      match Hashtbl.find_opt t.pages vpn with
+      match lookup_vpn t vpn with
       | Some p -> f vpn p
       | None -> fault (Page.addr_of_vpn vpn) Unmapped
     done
   end
 
 let pkey_mprotect t ~addr ~len key =
+  flush_tlb t;
   iter_range t ~addr ~len (fun _ p -> p.Page.pkey <- key)
 
 let mprotect t ~addr ~len perm =
+  flush_tlb t;
   iter_range t ~addr ~len (fun _ p -> p.Page.perm <- perm)
 
 let key_of t addr = (get_page t addr).Page.pkey
@@ -96,21 +259,109 @@ let check_page addr page ~pkru access =
   if not (Prot.access_allowed pkru page.Page.pkey access) then
     fault addr (Pkey_denied (access, page.Page.pkey))
 
-let checked_page t ~pkru addr access =
+(* Full page walk: lookup, permission + PKRU check, demand-zero service.
+   Only a successful access counts towards [accesses]. *)
+let slow_checked_page t ~pkru addr access =
   let page = get_page t addr in
   check_page addr page ~pkru access;
   serve_demand_fault t addr page;
-  t.accesses <- t.accesses + 1;
   page
 
-let load_byte t ~pkru addr =
-  let page = checked_page t ~pkru addr Prot.Read in
-  Bytes.get (Page.data page) (Page.offset_of_addr addr)
+(* TLB miss: walk, then refill the direct-mapped slot.  The page is
+   populated by the time it enters the TLB (the walk served any demand
+   fault), so hits can never skip a pending demand-zero fill. *)
+let tlb_miss t e ~pkru addr access =
+  t.tlb_misses <- t.tlb_misses + 1;
+  Sim.Stats.Counter.incr c_tlb_miss;
+  let page = slow_checked_page t ~pkru addr access in
+  t.accesses <- t.accesses + 1;
+  e.e_vpn <- Page.vpn_of_addr addr;
+  e.e_gen <- t.generation;
+  e.e_pkru <- Prot.bits pkru;
+  e.e_page <- page;
+  e.e_data <- Page.data page;
+  e.e_read <- page.Page.perm.Page.read && Prot.can_read pkru page.Page.pkey;
+  e.e_write <- page.Page.perm.Page.write && Prot.can_write pkru page.Page.pkey;
+  e.e_exec <- page.Page.perm.Page.exec;
+  page
 
-let store_byte t ~pkru addr c =
-  let page = checked_page t ~pkru addr Prot.Write in
-  page.Page.populated <- true;
-  Bytes.set (Page.data page) (Page.offset_of_addr addr) c
+let tlb_hit t = t.accesses <- t.accesses + 1
+
+let checked_page t ~pkru addr access =
+  if t.tlb_enabled then begin
+    let vpn = addr lsr Page.shift in
+    let e = Array.unsafe_get t.tlb (vpn land tlb_mask) in
+    if
+      e.e_vpn = vpn && e.e_gen = t.generation
+      && e.e_pkru = Prot.bits pkru
+      &&
+      match access with
+      | Prot.Read -> e.e_read
+      | Prot.Write -> e.e_write
+      | Prot.Execute -> e.e_exec
+    then begin
+      tlb_hit t;
+      e.e_page
+    end
+    else tlb_miss t e ~pkru addr access
+  end
+  else begin
+    let page = slow_checked_page t ~pkru addr access in
+    t.accesses <- t.accesses + 1;
+    page
+  end
+
+(* Byte access slow paths, kept out of line so the [@inline] fast
+   paths below stay small enough to inline into callers. *)
+let load_byte_slow t ~pkru addr off =
+  if t.tlb_enabled then begin
+    let vpn = addr lsr Page.shift in
+    let e = Array.unsafe_get t.tlb (vpn land tlb_mask) in
+    Bytes.get (Page.data (tlb_miss t e ~pkru addr Prot.Read)) off
+  end
+  else begin
+    let page = slow_checked_page t ~pkru addr Prot.Read in
+    t.accesses <- t.accesses + 1;
+    Bytes.get (Page.data page) off
+  end
+
+let store_byte_slow t ~pkru addr off c =
+  if t.tlb_enabled then begin
+    let vpn = addr lsr Page.shift in
+    let e = Array.unsafe_get t.tlb (vpn land tlb_mask) in
+    let page = tlb_miss t e ~pkru addr Prot.Write in
+    page.Page.populated <- true;
+    Bytes.set (Page.data page) off c
+  end
+  else begin
+    let page = slow_checked_page t ~pkru addr Prot.Write in
+    t.accesses <- t.accesses + 1;
+    page.Page.populated <- true;
+    Bytes.set (Page.data page) off c
+  end
+
+let[@inline] load_byte t ~pkru addr =
+  let vpn = addr lsr page_shift in
+  let e = Array.unsafe_get t.tlb (vpn land tlb_mask) in
+  if e.e_vpn = vpn && e.e_gen = t.generation && e.e_read && e.e_pkru = Prot.bits pkru
+  then begin
+    t.accesses <- t.accesses + 1;
+    (* Offset is masked below Page.size and e_data is a full page.  A
+       disabled TLB never fills entries, so e_vpn stays -1 and every
+       access takes the slow path. *)
+    Bytes.unsafe_get e.e_data (addr land page_mask)
+  end
+  else load_byte_slow t ~pkru addr (addr land page_mask)
+
+let[@inline] store_byte t ~pkru addr c =
+  let vpn = addr lsr page_shift in
+  let e = Array.unsafe_get t.tlb (vpn land tlb_mask) in
+  if e.e_vpn = vpn && e.e_gen = t.generation && e.e_write && e.e_pkru = Prot.bits pkru
+  then begin
+    t.accesses <- t.accesses + 1;
+    Bytes.unsafe_set e.e_data (addr land page_mask) c
+  end
+  else store_byte_slow t ~pkru addr (addr land page_mask) c
 
 (* Walk a range page by page, calling [f page page_offset buf_offset n]
    for each contiguous chunk. *)
@@ -147,10 +398,30 @@ let store_int64 t ~pkru addr v =
   store_bytes t ~pkru addr b
 
 let blit t ~pkru ~src ~dst ~len =
-  (* Load fully, then store: ranges may overlap in principle; a buffer
-     copy gives memmove semantics. *)
-  let data = load_bytes t ~pkru src len in
-  store_bytes t ~pkru dst data
+  if len > 0 then
+    if src < dst + len && dst < src + len then begin
+      (* Overlapping ranges: load fully, then store — memmove semantics. *)
+      let data = load_bytes t ~pkru src len in
+      store_bytes t ~pkru dst data
+    end
+    else begin
+      (* Disjoint ranges: copy page-chunk to page-chunk without an
+         intermediate buffer.  Chunks are bounded by whichever of the
+         two page boundaries comes first. *)
+      let pos = ref 0 in
+      while !pos < len do
+        let s = src + !pos and d = dst + !pos in
+        let spage = checked_page t ~pkru s Prot.Read in
+        let dpage = checked_page t ~pkru d Prot.Write in
+        let soff = Page.offset_of_addr s and doff = Page.offset_of_addr d in
+        let n =
+          Stdlib.min (Stdlib.min (Page.size - soff) (Page.size - doff)) (len - !pos)
+        in
+        Bytes.blit (Page.data spage) soff (Page.data dpage) doff n;
+        dpage.Page.populated <- true;
+        pos := !pos + n
+      done
+    end
 
 let fill t ~pkru ~addr ~len c =
   walk t ~pkru ~access:Prot.Write addr len (fun page off _ n ->
@@ -161,7 +432,7 @@ let check_exec t ~pkru addr = ignore (checked_page t ~pkru addr Prot.Execute)
 let set_fault_handler t h = t.fault_handler <- h
 
 let populate_page t ~vpn data =
-  match Hashtbl.find_opt t.pages vpn with
+  match lookup_vpn t vpn with
   | None -> fault (Page.addr_of_vpn vpn) Unmapped
   | Some page ->
       let n = Stdlib.min (Bytes.length data) Page.size in
@@ -171,3 +442,9 @@ let populate_page t ~vpn data =
 let touched_fault_count t = t.demand_faults
 
 let access_count t = t.accesses
+
+let tlb_hit_count t =
+  sync_hit_counter t;
+  hits t
+let tlb_miss_count t = t.tlb_misses
+let tlb_flush_count t = t.tlb_flushes

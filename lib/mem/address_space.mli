@@ -17,7 +17,16 @@ val pp_fault_kind : Format.formatter -> fault_kind -> unit
 
 type t
 
-val create : unit -> t
+val create : ?tlb:bool -> unit -> t
+(** [create ()] makes an empty address space.  Mapped ranges are
+    tracked as regions and page records materialise lazily on first
+    touch, so mapping a large range is O(1) in host time.  [tlb]
+    (default [true]) enables the software TLB: a direct-mapped
+    translation cache validated by a generation counter (bumped on
+    {!map}/{!unmap}/{!mprotect}/{!pkey_mprotect}) that lets repeated
+    accesses skip the page walk and permission/PKRU re-check.  The TLB
+    is a host-time optimisation only: fault behaviour, access counts
+    and demand-paging semantics are identical with it off. *)
 
 (** {1 Mapping} *)
 
@@ -62,7 +71,11 @@ val store_int64 : t -> pkru:Prot.pkru -> int -> int64 -> unit
 val blit :
   t -> pkru:Prot.pkru -> src:int -> dst:int -> len:int -> unit
 (** Copy within the address space, checking read rights on the source
-    range and write rights on the destination range. *)
+    range and write rights on the destination range.  Disjoint ranges
+    copy page-chunk to page-chunk with no intermediate buffer; ranges
+    that overlap fall back to a buffered copy (memmove semantics).  On
+    the direct path a fault part-way through the copy leaves earlier
+    chunks already written, as on real hardware. *)
 
 val fill : t -> pkru:Prot.pkru -> addr:int -> len:int -> char -> unit
 
@@ -89,3 +102,20 @@ val touched_fault_count : t -> int
 
 val access_count : t -> int
 (** Total load/store operations performed (for tests and traces). *)
+
+(** {1 TLB observability}
+
+    Per-address-space counters; process-wide totals are also kept in
+    the [Sim.Stats] counters ["mem.tlb.hit"], ["mem.tlb.miss"] and
+    ["mem.tlb.flush"].  To keep the hit path allocation- and
+    bookkeeping-free, hits are derived ([access_count] minus misses —
+    every successful access in a TLB-enabled space is exactly one of
+    the two) rather than counted per access; the global ["mem.tlb.hit"]
+    counter is brought up to date on every TLB flush and on every
+    {!tlb_hit_count} read. *)
+
+val tlb_hit_count : t -> int
+val tlb_miss_count : t -> int
+
+val tlb_flush_count : t -> int
+(** Number of generation bumps (whole-TLB invalidations). *)

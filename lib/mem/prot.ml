@@ -37,6 +37,7 @@ let can_write p k =
 
 let to_int32 p = p
 let of_int32 p = p
+let[@inline] bits p = Int32.to_int p
 
 let equal_pkru = Int32.equal
 

@@ -46,6 +46,10 @@ val can_write : pkru -> key -> bool
 val to_int32 : pkru -> int32
 val of_int32 : int32 -> pkru
 
+val bits : pkru -> int
+(** The rights word as an immediate (unboxed) integer — lets hot paths
+    compare PKRUs without a boxed [int32] equality. *)
+
 val equal_pkru : pkru -> pkru -> bool
 val pp_pkru : Format.formatter -> pkru -> unit
 

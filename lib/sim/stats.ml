@@ -75,3 +75,38 @@ let clear t =
   t.sorted <- true
 
 let to_list t = Array.to_list (Array.sub t.samples 0 t.len)
+
+(* --- Named monotonic counters ------------------------------------- *)
+
+module Counter = struct
+  type counter = { c_name : string; mutable c_value : int }
+  type t = counter
+
+  let registry : (string, counter) Hashtbl.t = Hashtbl.create 32
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+        let c = { c_name = name; c_value = 0 } in
+        Hashtbl.replace registry name c;
+        c
+
+  let incr c = c.c_value <- c.c_value + 1
+  let add c n = c.c_value <- c.c_value + n
+  let value c = c.c_value
+  let name c = c.c_name
+  let reset c = c.c_value <- 0
+end
+
+let counter_value name =
+  match Hashtbl.find_opt Counter.registry name with
+  | Some c -> c.Counter.c_value
+  | None -> 0
+
+let counters () =
+  Hashtbl.fold (fun n c acc -> (n, c.Counter.c_value) :: acc) Counter.registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset_counters () =
+  Hashtbl.iter (fun _ c -> c.Counter.c_value <- 0) Counter.registry

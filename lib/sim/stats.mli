@@ -28,3 +28,29 @@ val percentile_time : t -> float -> Units.time
 val mean_time : t -> Units.time
 val clear : t -> unit
 val to_list : t -> float list
+
+(** Named monotonic event counters with a process-global registry.
+    Hot paths hold the counter and bump it with a single store; readers
+    query by name.  [reset_counters] zeroes every registered counter
+    (tests and repeated bench runs). *)
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Returns the registered counter for [name], creating it at zero on
+      first use.  Repeated calls with the same name share one counter. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val name : t -> string
+  val reset : t -> unit
+end
+
+val counter_value : string -> int
+(** Current value of the named counter; 0 if never registered. *)
+
+val counters : unit -> (string * int) list
+(** All registered counters, sorted by name. *)
+
+val reset_counters : unit -> unit

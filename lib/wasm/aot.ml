@@ -3,8 +3,10 @@ exception Trap of string
 type instance = {
   mutable funcs : (int64 array -> int64) array;
       (** Compiled local functions by slot. *)
-  imports : string list;
+  imports : string array;
   n_imports : int;
+  mutable import_fns : host_fn array;
+      (** Host bindings pre-resolved at instantiate time. *)
   mutable memory : Bytes.t;
   globals : int64 array;
   hosts : (string, host_fn) Hashtbl.t;
@@ -17,9 +19,15 @@ and host_fn = instance -> int64 array -> int64
 
 type control = Fall | Branch of int | Ret
 
+let trap fmt = Format.kasprintf (fun s -> raise (Trap s)) fmt
+
+(* Growable operand stack: pushes and pops are array stores, no cons
+   cell per value.  [top] is the next free slot. *)
+type vstack = { mutable buf : int64 array; mutable top : int }
+
 (* A compiled body: given the instance and the frame's locals/stack,
    run to a control outcome. *)
-type frame = { locals : int64 array; mutable stack : int64 list }
+type frame = { locals : int64 array; stack : vstack }
 
 type code = instance -> frame -> control
 
@@ -29,16 +37,22 @@ type compiled = {
   instr_count : int;
 }
 
-let trap fmt = Format.kasprintf (fun s -> raise (Trap s)) fmt
-
 let pop fr =
-  match fr.stack with
-  | [] -> trap "value stack underflow"
-  | v :: rest ->
-      fr.stack <- rest;
-      v
+  let st = fr.stack in
+  if st.top = 0 then trap "value stack underflow";
+  st.top <- st.top - 1;
+  Array.unsafe_get st.buf st.top
 
-let push fr v = fr.stack <- v :: fr.stack
+let push fr v =
+  let st = fr.stack in
+  let n = Array.length st.buf in
+  if st.top = n then begin
+    let bigger = Array.make (2 * n) 0L in
+    Array.blit st.buf 0 bigger 0 n;
+    st.buf <- bigger
+  end;
+  Array.unsafe_set st.buf st.top v;
+  st.top <- st.top + 1
 
 let tick inst =
   inst.executed <- inst.executed + 1;
@@ -71,24 +85,24 @@ let binop_fn op =
   | Instr.Ge_s -> fun a b -> bool (compare a b >= 0)
 
 let rec call_slot inst idx args =
-  if idx < inst.n_imports then begin
-    let name = List.nth inst.imports idx in
-    let fn = Hashtbl.find inst.hosts name in
-    fn inst args
-  end
+  if idx < inst.n_imports then (Array.unsafe_get inst.import_fns idx) inst args
   else inst.funcs.(idx - inst.n_imports) args
 
-(* Compile an instruction sequence into one closure. *)
+(* Compile an instruction sequence into one closure over an array of
+   compiled instructions (no list walk at run time). *)
 and compile_seq m callee_arity seq : code =
-  let compiled = List.map (compile_instr m callee_arity) seq in
+  let compiled = Array.of_list (List.map (compile_instr m callee_arity) seq) in
+  let n = Array.length compiled in
   fun inst fr ->
-    let rec run = function
-      | [] -> Fall
-      | c :: rest -> begin
-          match c inst fr with Fall -> run rest | (Branch _ | Ret) as ctl -> ctl
-        end
+    let rec run i =
+      if i >= n then Fall
+      else begin
+        match (Array.unsafe_get compiled i) inst fr with
+        | Fall -> run (i + 1)
+        | (Branch _ | Ret) as ctl -> ctl
+      end
     in
-    run compiled
+    run 0
 
 and compile_instr m callee_arity instr : code =
   match instr with
@@ -144,9 +158,9 @@ and compile_instr m callee_arity instr : code =
   | Instr.Local_tee i ->
       fun inst fr ->
         tick inst;
-        (match fr.stack with
-        | [] -> trap "value stack underflow"
-        | v :: _ -> fr.locals.(i) <- v);
+        let st = fr.stack in
+        if st.top = 0 then trap "value stack underflow";
+        fr.locals.(i) <- Array.unsafe_get st.buf (st.top - 1);
         Fall
   | Instr.Global_get i ->
       fun inst fr ->
@@ -264,12 +278,14 @@ and compile_instr m callee_arity instr : code =
 let compile m =
   Validate.validate_exn m;
   let n_imports = List.length m.Wmodule.imports in
+  (* Pre-resolve function arities into an array: compile-time closures
+     never chase the module's function list again. *)
+  let funcs = Array.of_list m.Wmodule.funcs in
   let callee_arity idx =
     if idx < n_imports then 3 (* host-call convention, see Interp *)
     else begin
-      match Wmodule.local_func m idx with
-      | Some f -> f.Wmodule.params
-      | None -> 0
+      let slot = idx - n_imports in
+      if slot >= 0 && slot < Array.length funcs then funcs.(slot).Wmodule.params else 0
     end
   in
   let bodies =
@@ -285,11 +301,12 @@ let to_image c =
   (* AOT lowering never emits blacklisted opcodes: every instruction
      becomes safe ALU/memory ops, and host access becomes calls into the
      embedder's entry points. *)
+  let imports = Array.of_list c.m.Wmodule.imports in
   let lower (f : Wmodule.func) =
     let rec go = function
       | [] -> []
       | Instr.Call idx :: rest when Wmodule.is_import c.m idx ->
-          Isa.Inst.Call (List.nth c.m.Wmodule.imports idx) :: go rest
+          Isa.Inst.Call imports.(idx) :: go rest
       | Instr.Call _ :: rest -> Isa.Inst.Call "local" :: go rest
       | Instr.Const v :: rest ->
           Isa.Inst.Mov_imm (Int64.to_int32 v) :: go rest
@@ -318,11 +335,13 @@ let instantiate ?(hosts = []) c =
   List.iter
     (fun (off, data) -> Bytes.blit_string data 0 memory off (String.length data))
     c.m.Wmodule.data;
+  let imports = Array.of_list c.m.Wmodule.imports in
   let inst =
     {
       funcs = [||];
-      imports = c.m.Wmodule.imports;
-      n_imports = List.length c.m.Wmodule.imports;
+      imports;
+      n_imports = Array.length imports;
+      import_fns = Array.map (fun name -> Hashtbl.find table name) imports;
       memory;
       globals = Array.of_list c.m.Wmodule.globals;
       hosts = table;
@@ -337,9 +356,10 @@ let instantiate ?(hosts = []) c =
         (Array.length args);
     let locals = Array.make (f.Wmodule.params + f.Wmodule.locals) 0L in
     Array.blit args 0 locals 0 (Array.length args);
-    let fr = { locals; stack = [] } in
+    let fr = { locals; stack = { buf = Array.make 32 0L; top = 0 } } in
     let _ = code inst fr in
-    match fr.stack with [] -> 0L | top :: _ -> top
+    let st = fr.stack in
+    if st.top = 0 then 0L else st.buf.(st.top - 1)
   in
   inst.funcs <- Array.of_list (List.map (fun b -> make_callable b) c.bodies);
   inst

@@ -1,0 +1,77 @@
+(* Content-hash LRU cache over Aot.compile.  Keys are the digest of the
+   module's canonical encoding, so structurally identical modules share
+   one compilation regardless of provenance.  The cache saves host work
+   only: virtual-time charging for compilation stays with the caller
+   (Runtime.load), which keeps simulated results bit-identical with and
+   without the cache. *)
+
+type entry = { e_compiled : Aot.compiled; mutable e_tick : int }
+
+type t = {
+  capacity : int;
+  table : (string, entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let c_hit = Sim.Stats.Counter.make "wasm.cache.hit"
+let c_miss = Sim.Stats.Counter.make "wasm.cache.miss"
+let c_evict = Sim.Stats.Counter.make "wasm.cache.evict"
+
+let create ?(capacity = 64) () =
+  if capacity <= 0 then invalid_arg "Compile_cache.create: capacity must be positive";
+  { capacity; table = Hashtbl.create 32; tick = 0; hits = 0; misses = 0; evictions = 0 }
+
+let hash_module m = Digest.to_hex (Digest.bytes (Encode.encode m))
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.e_tick <- t.tick
+
+(* Evict the least-recently-used entry (smallest tick). *)
+let evict_one t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, best) when best.e_tick <= e.e_tick -> acc
+        | _ -> Some (key, e))
+      t.table None
+  in
+  match victim with
+  | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      t.evictions <- t.evictions + 1;
+      Sim.Stats.Counter.incr c_evict
+  | None -> ()
+
+let find_or_compile t m ~compile =
+  let key = hash_module m in
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      Sim.Stats.Counter.incr c_hit;
+      touch t e;
+      e.e_compiled
+  | None ->
+      t.misses <- t.misses + 1;
+      Sim.Stats.Counter.incr c_miss;
+      (* Commit on success only: if [compile] raises (validation error,
+         injected loader fault), the cache is left untouched — no
+         half-built entry can be observed by later loads. *)
+      let compiled = compile () in
+      if Hashtbl.length t.table >= t.capacity then evict_one t;
+      let e = { e_compiled = compiled; e_tick = 0 } in
+      touch t e;
+      Hashtbl.replace t.table key e;
+      compiled
+
+let length t = Hashtbl.length t.table
+let hit_count t = t.hits
+let miss_count t = t.misses
+let eviction_count t = t.evictions
+
+let global_cache = lazy (create ~capacity:128 ())
+let global () = Lazy.force global_cache

@@ -2,9 +2,12 @@ exception Trap of string
 
 type t = {
   m : Wmodule.t;
+  imports : string array;  (** Pre-resolved from the module's list. *)
+  n_imports : int;
+  funcs : Wmodule.func array;  (** Local functions by slot. *)
+  import_fns : host_fn array;  (** Host bindings resolved at instantiate. *)
   mutable memory : Bytes.t;
   globals : int64 array;
-  hosts : (string, host_fn) Hashtbl.t;
   mutable executed : int;
   mutable host_calls : int;
   mutable fuel : int;
@@ -13,6 +16,33 @@ type t = {
 and host_fn = t -> int64 array -> int64
 
 let max_pages = 4096 (* 256 MiB of linear memory *)
+
+let trap fmt = Format.kasprintf (fun s -> raise (Trap s)) fmt
+
+(* Growable operand stack: pushes and pops are array stores with no
+   per-element cons cell.  [top] is the next free slot. *)
+type vstack = { mutable buf : int64 array; mutable top : int }
+
+let stack_make () = { buf = Array.make 32 0L; top = 0 }
+
+let stack_push st v =
+  let n = Array.length st.buf in
+  if st.top = n then begin
+    let bigger = Array.make (2 * n) 0L in
+    Array.blit st.buf 0 bigger 0 n;
+    st.buf <- bigger
+  end;
+  Array.unsafe_set st.buf st.top v;
+  st.top <- st.top + 1
+
+let stack_pop st =
+  if st.top = 0 then trap "value stack underflow";
+  st.top <- st.top - 1;
+  Array.unsafe_get st.buf st.top
+
+let stack_peek st =
+  if st.top = 0 then trap "value stack underflow";
+  Array.unsafe_get st.buf (st.top - 1)
 
 let instantiate ?(hosts = []) m =
   Validate.validate_exn m;
@@ -27,11 +57,15 @@ let instantiate ?(hosts = []) m =
   List.iter
     (fun (off, data) -> Bytes.blit_string data 0 memory off (String.length data))
     m.Wmodule.data;
+  let imports = Array.of_list m.Wmodule.imports in
   {
     m;
+    imports;
+    n_imports = Array.length imports;
+    funcs = Array.of_list m.Wmodule.funcs;
+    import_fns = Array.map (fun name -> Hashtbl.find table name) imports;
     memory;
     globals = Array.of_list m.Wmodule.globals;
-    hosts = table;
     executed = 0;
     host_calls = 0;
     fuel = max_int;
@@ -39,8 +73,6 @@ let instantiate ?(hosts = []) m =
 
 (* Control-flow outcome of executing a block body. *)
 type control = Fall | Branch of int | Ret
-
-let trap fmt = Format.kasprintf (fun s -> raise (Trap s)) fmt
 
 let check_mem t addr len =
   if addr < 0 || len < 0 || addr + len > Bytes.length t.memory then
@@ -67,15 +99,17 @@ let apply_binop op a b =
   | Instr.Le_s -> bool (compare a b <= 0)
   | Instr.Ge_s -> bool (compare a b >= 0)
 
+let local_func t idx =
+  let slot = idx - t.n_imports in
+  if slot >= 0 && slot < Array.length t.funcs then Some t.funcs.(slot) else None
+
 let rec call_function t idx args =
-  if Wmodule.is_import t.m idx then begin
-    let name = List.nth t.m.Wmodule.imports idx in
-    let fn = Hashtbl.find t.hosts name in
+  if idx >= 0 && idx < t.n_imports then begin
     t.host_calls <- t.host_calls + 1;
-    fn t args
+    (Array.unsafe_get t.import_fns idx) t args
   end
   else begin
-    match Wmodule.local_func t.m idx with
+    match local_func t idx with
     | None -> trap "call to undefined function %d" idx
     | Some f ->
         if Array.length args <> f.Wmodule.params then
@@ -83,9 +117,9 @@ let rec call_function t idx args =
             (Array.length args);
         let locals = Array.make (f.Wmodule.params + f.Wmodule.locals) 0L in
         Array.blit args 0 locals 0 (Array.length args);
-        let stack = ref [] in
+        let stack = stack_make () in
         let _ = exec_body t locals stack f.Wmodule.body in
-        (match !stack with [] -> 0L | top :: _ -> top)
+        if stack.top = 0 then 0L else stack.buf.(stack.top - 1)
   end
 
 and exec_body t locals stack body =
@@ -96,13 +130,8 @@ and exec_body t locals stack body =
         | Fall -> exec_seq rest
         | (Branch _ | Ret) as c -> c
       end
-  and pop () =
-    match !stack with
-    | [] -> trap "value stack underflow"
-    | v :: rest ->
-        stack := rest;
-        v
-  and push v = stack := v :: !stack
+  and pop () = stack_pop stack
+  and push v = stack_push stack v
   and exec_instr instr =
     t.executed <- t.executed + 1;
     t.fuel <- t.fuel - 1;
@@ -138,9 +167,7 @@ and exec_body t locals stack body =
         locals.(i) <- pop ();
         Fall
     | Instr.Local_tee i ->
-        (match !stack with
-        | [] -> trap "value stack underflow"
-        | v :: _ -> locals.(i) <- v);
+        locals.(i) <- stack_peek stack;
         Fall
     | Instr.Global_get i ->
         push t.globals.(i);
@@ -206,7 +233,7 @@ and exec_body t locals stack body =
     | Instr.Return -> Ret
     | Instr.Call idx ->
         let callee_params =
-          if Wmodule.is_import t.m idx then begin
+          if idx >= 0 && idx < t.n_imports then begin
             (* Host imports in this machine take their arity from the
                stack contract: we pass the whole accessible frame.  To
                keep arity explicit we adopt the convention that host
@@ -214,7 +241,7 @@ and exec_body t locals stack body =
             3
           end
           else begin
-            match Wmodule.local_func t.m idx with
+            match local_func t idx with
             | Some f -> f.Wmodule.params
             | None -> trap "call to undefined function %d" idx
           end

@@ -35,9 +35,29 @@ let cpython_init = Units.ms 1860
 
 type loaded = { profile : profile; compiled : Aot.compiled; module_ : Wmodule.t }
 
-let load profile ~clock m =
+let load ?cache ?fault profile ~clock m =
   Clock.advance clock profile.startup;
-  let compiled = Aot.compile m in
+  let compile_now () =
+    (* A fired loader fault models a transient dlmopen failure while
+       the engine loads this module: the half-built namespace is
+       discarded, the engine restarts, and the load repeats the slow
+       path.  The check sits inside the fill thunk so a fired fault
+       can never leave a half-built entry in the compile cache. *)
+    (match fault with
+    | Some plan when Fault.check ~at:(Clock.now clock) plan ~site:Fault.site_loader_load ->
+        Clock.advance clock profile.startup;
+        Fault.record_recovery plan ~at:(Clock.now clock) ~site:Fault.site_loader_load
+          ("slow-path reload of wasm module " ^ m.Wmodule.name)
+    | _ -> ());
+    Aot.compile m
+  in
+  let compiled =
+    match cache with
+    | None -> compile_now ()
+    | Some c -> Compile_cache.find_or_compile c m ~compile:compile_now
+  in
+  (* Virtual compile time is charged whether or not the cache hit: the
+     cache saves host work only, keeping simulated results identical. *)
   Clock.advance clock
     (Units.scale profile.compile_per_instr (float_of_int (Wmodule.code_size m)));
   { profile; compiled; module_ = m }

@@ -31,8 +31,22 @@ val cpython_init : Sim.Units.time
 
 type loaded
 
-val load : profile -> clock:Sim.Clock.t -> Wmodule.t -> loaded
-(** AOT-compile under the profile, charging startup + compile time. *)
+val load :
+  ?cache:Compile_cache.t ->
+  ?fault:Sim.Fault.t ->
+  profile ->
+  clock:Sim.Clock.t ->
+  Wmodule.t ->
+  loaded
+(** AOT-compile under the profile, charging startup + compile time.
+
+    [cache] memoizes the host-side compilation by module content hash;
+    virtual startup and compile costs are charged identically on hit
+    and miss, so the cache changes host time only.  [fault] is checked
+    at {!Sim.Fault.site_loader_load}: a fired fault charges one extra
+    engine restart and records a recovery, and — because the check runs
+    inside the cache-fill path — never commits a half-built cache
+    entry. *)
 
 val instantiate :
   loaded -> clock:Sim.Clock.t -> system:Wasi.system -> Aot.instance

@@ -5,6 +5,7 @@ let () =
     [
       ("sim", Test_sim.suite);
       ("mem", Test_mem.suite);
+      ("cache", Test_cache.suite);
       ("isa", Test_isa.suite);
       ("hostos", Test_hostos.suite);
       ("net", Test_net.suite);

@@ -160,6 +160,174 @@ let test_demand_paging () =
   Alcotest.(check int) "no second fault for same page" 1
     (Address_space.touched_fault_count aspace)
 
+(* --- software TLB --- *)
+
+(* A warmed TLB entry must not outlive an mprotect: the generation bump
+   forces a re-walk, so the revoked right faults exactly like the slow
+   path. *)
+let test_tlb_mprotect_revoke () =
+  let run tlb =
+    let a = Address_space.create ~tlb () in
+    Address_space.map a ~addr:base ~len:4096 ();
+    Address_space.store_byte a ~pkru:all base 'a';
+    ignore (Address_space.load_byte a ~pkru:all base);
+    Address_space.mprotect a ~addr:base ~len:4096 Page.ro;
+    (match Address_space.store_byte a ~pkru:all base 'b' with
+    | () -> Alcotest.fail "expected write fault after mprotect"
+    | exception
+        Address_space.Fault { kind = Address_space.Perm_denied Prot.Write; _ }
+      -> ());
+    (* Reads survive, and see the pre-revoke store (fault left no
+       partial effect). *)
+    Alcotest.(check char) "readable, value intact" 'a'
+      (Address_space.load_byte a ~pkru:all base)
+  in
+  run true;
+  run false
+
+let test_tlb_pkey_revoke () =
+  let a = fresh_mapped () in
+  ignore (Address_space.load_byte a ~pkru:all base);
+  ignore (Address_space.load_byte a ~pkru:all base);
+  Address_space.pkey_mprotect a ~addr:base ~len:4096 (k 6);
+  let pkru = Prot.pkru_deny_all_except [ k 0 ] in
+  (match Address_space.load_byte a ~pkru base with
+  | _ -> Alcotest.fail "expected pkey fault after retag"
+  | exception
+      Address_space.Fault
+        { kind = Address_space.Pkey_denied (Prot.Read, key); _ } ->
+      Alcotest.(check int) "faulting key" 6 (Prot.key_to_int key));
+  (* Same pkru as the warm entry still works: the flush only forces a
+     re-walk, it does not revoke anything allow-all may do. *)
+  ignore (Address_space.load_byte a ~pkru:all base)
+
+(* Switching PKRU alone (no flush happens) must also be enforced: the
+   entry is tagged with the fill-time PKRU, so a different rights word
+   misses and takes the fully-checked walk. *)
+let test_tlb_pkru_switch () =
+  let a = fresh_mapped ~pkey:(k 3) () in
+  ignore (Address_space.load_byte a ~pkru:all base);
+  ignore (Address_space.load_byte a ~pkru:all base);
+  let denying = Prot.pkru_deny_all_except [ k 0 ] in
+  match Address_space.load_byte a ~pkru:denying base with
+  | _ -> Alcotest.fail "expected pkey fault on PKRU switch"
+  | exception
+      Address_space.Fault { kind = Address_space.Pkey_denied (Prot.Read, _); _ }
+    -> ()
+
+let test_tlb_unmap_revoke () =
+  let a = fresh_mapped () in
+  ignore (Address_space.load_byte a ~pkru:all base);
+  ignore (Address_space.load_byte a ~pkru:all base);
+  Address_space.unmap a ~addr:base ~len:4096;
+  (match Address_space.load_byte a ~pkru:all base with
+  | _ -> Alcotest.fail "expected unmapped fault"
+  | exception Address_space.Fault { kind = Address_space.Unmapped; _ } -> ());
+  (* Pages past the unmapped range are unaffected. *)
+  ignore (Address_space.load_byte a ~pkru:all (base + 4096))
+
+(* Demand-zero service must fire exactly once per page whether or not
+   the TLB is on: the walk populates the page before it can enter the
+   TLB, so hits can never skip a pending fill. *)
+let test_tlb_demand_zero_once () =
+  let run tlb =
+    let a = Address_space.create ~tlb () in
+    Address_space.map a ~addr:base ~len:(4096 * 2) ();
+    let served = ref 0 in
+    Address_space.set_fault_handler a
+      (Some
+         (fun addr ->
+           incr served;
+           Address_space.populate_page a ~vpn:(Page.vpn_of_addr addr)
+             (Bytes.make 4096 '\xCD')));
+    for _ = 1 to 5 do
+      ignore (Address_space.load_byte a ~pkru:all base)
+    done;
+    Address_space.store_byte a ~pkru:all (base + 1) 'q';
+    Alcotest.(check int) "handler ran once" 1 !served;
+    Alcotest.(check int) "one touched fault" 1
+      (Address_space.touched_fault_count a);
+    ignore (Address_space.load_byte a ~pkru:all (base + 4096));
+    Alcotest.(check int) "second page faults independently" 2 !served;
+    (Address_space.access_count a, Address_space.touched_fault_count a)
+  in
+  let with_tlb = run true and without_tlb = run false in
+  Alcotest.(check (pair int int))
+    "accounting identical with and without TLB" without_tlb with_tlb
+
+(* Exact hit/miss/flush accounting for a scripted access sequence. *)
+let test_tlb_counters () =
+  let a = Address_space.create () in
+  Address_space.map a ~addr:base ~len:(4096 * 2) ();
+  let f0 = Address_space.tlb_flush_count a in
+  ignore (Address_space.load_byte a ~pkru:all base);
+  (* miss *)
+  ignore (Address_space.load_byte a ~pkru:all (base + 1));
+  (* hit *)
+  Address_space.store_byte a ~pkru:all (base + 2) 'x';
+  (* hit *)
+  ignore (Address_space.load_byte a ~pkru:all (base + 4096));
+  (* miss *)
+  ignore (Address_space.load_byte a ~pkru:all base);
+  (* hit *)
+  Alcotest.(check int) "misses" 2 (Address_space.tlb_miss_count a);
+  Alcotest.(check int) "hits" 3 (Address_space.tlb_hit_count a);
+  Alcotest.(check int) "accesses = hits + misses"
+    (Address_space.access_count a)
+    (Address_space.tlb_hit_count a + Address_space.tlb_miss_count a);
+  Address_space.mprotect a ~addr:base ~len:4096 Page.rw;
+  Alcotest.(check int) "mprotect flushes" (f0 + 1)
+    (Address_space.tlb_flush_count a);
+  ignore (Address_space.load_byte a ~pkru:all base);
+  (* miss: generation bumped *)
+  Alcotest.(check int) "re-walk after flush" 3
+    (Address_space.tlb_miss_count a)
+
+(* A TLB-disabled space counts no hits and the same accesses. *)
+let test_tlb_disabled_equivalence () =
+  let run tlb =
+    let a = Address_space.create ~tlb () in
+    Address_space.map a ~addr:base ~len:(4096 * 4) ();
+    let data = Bytes.init 6000 (fun i -> Char.chr (i mod 256)) in
+    Address_space.store_bytes a ~pkru:all base data;
+    let got = Address_space.load_bytes a ~pkru:all base 6000 in
+    Alcotest.(check bytes) "data identical" data got;
+    Address_space.access_count a
+  in
+  Alcotest.(check int) "access counts identical" (run false) (run true);
+  let a = Address_space.create ~tlb:false () in
+  Address_space.map a ~addr:base ~len:4096 ();
+  ignore (Address_space.load_byte a ~pkru:all base);
+  ignore (Address_space.load_byte a ~pkru:all base);
+  Alcotest.(check int) "no hits when disabled" 0 (Address_space.tlb_hit_count a);
+  Alcotest.(check int) "no misses when disabled" 0
+    (Address_space.tlb_miss_count a)
+
+(* Global Sim.Stats counters: misses are pushed immediately, hits are
+   derived and synced on flush / tlb_hit_count reads. *)
+let test_tlb_stats_counters () =
+  let a = fresh_mapped () in
+  let miss0 = Sim.Stats.counter_value "mem.tlb.miss" in
+  let hit0 = Sim.Stats.counter_value "mem.tlb.hit" in
+  ignore (Address_space.load_byte a ~pkru:all base);
+  (* miss *)
+  ignore (Address_space.load_byte a ~pkru:all base);
+  (* hit *)
+  ignore (Address_space.load_byte a ~pkru:all base);
+  (* hit *)
+  Alcotest.(check int) "global miss counter immediate" (miss0 + 1)
+    (Sim.Stats.counter_value "mem.tlb.miss");
+  Alcotest.(check int) "hit counter deferred" hit0
+    (Sim.Stats.counter_value "mem.tlb.hit");
+  Alcotest.(check int) "local hits" 2 (Address_space.tlb_hit_count a);
+  Alcotest.(check int) "hit counter synced by read" (hit0 + 2)
+    (Sim.Stats.counter_value "mem.tlb.hit");
+  (* A flush also syncs pending hits. *)
+  ignore (Address_space.load_byte a ~pkru:all (base + 1));
+  Address_space.mprotect a ~addr:base ~len:4096 Page.rw;
+  Alcotest.(check int) "hit counter synced by flush" (hit0 + 3)
+    (Sim.Stats.counter_value "mem.tlb.hit")
+
 (* --- WFD layout --- *)
 
 let test_layout_disjoint_regions () =
@@ -328,6 +496,15 @@ let suite =
     Alcotest.test_case "aspace map conflicts" `Quick test_aspace_map_conflicts;
     Alcotest.test_case "aspace blit/fill" `Quick test_aspace_blit_fill;
     Alcotest.test_case "demand paging" `Quick test_demand_paging;
+    Alcotest.test_case "tlb mprotect revoke" `Quick test_tlb_mprotect_revoke;
+    Alcotest.test_case "tlb pkey revoke" `Quick test_tlb_pkey_revoke;
+    Alcotest.test_case "tlb pkru switch" `Quick test_tlb_pkru_switch;
+    Alcotest.test_case "tlb unmap revoke" `Quick test_tlb_unmap_revoke;
+    Alcotest.test_case "tlb demand-zero once" `Quick test_tlb_demand_zero_once;
+    Alcotest.test_case "tlb counters" `Quick test_tlb_counters;
+    Alcotest.test_case "tlb disabled equivalence" `Quick
+      test_tlb_disabled_equivalence;
+    Alcotest.test_case "tlb stats counters" `Quick test_tlb_stats_counters;
     Alcotest.test_case "layout disjoint regions" `Quick test_layout_disjoint_regions;
     Alcotest.test_case "layout partitions" `Quick test_layout_partitions;
     Alcotest.test_case "layout slot_of_addr" `Quick test_layout_slot_of_addr;
