@@ -25,6 +25,14 @@ let validated (m : Platform.metrics) =
 
 let run_platform (p : Platform.t) ?cores app = validated (p.Platform.run ?cores app)
 
+(* The observability collectors are process-global: start every
+   experiment from a clean slate so exported spans and metric
+   snapshots cover that experiment alone. *)
+let reset_observability () =
+  Trace.clear Trace.global;
+  Span.clear Span.global;
+  Metrics.reset ()
+
 (* ------------------------------------------------------------------ *)
 (* Table 1: kernel modules required per serverless function.           *)
 
@@ -843,8 +851,42 @@ let serving () =
     Visor.Server.shutdown server;
     report
   in
+  (* Span-trace both pool modes.  The per-request critical-path
+     aggregate and the exported trace / metrics documents are pure
+     virtual-time artifacts, so the CI smoke job diffs them across two
+     runs alongside the summary JSON. *)
+  let request_breakdown () =
+    let roots =
+      List.filter
+        (fun (sp : Span.span) -> String.equal sp.Span.sp_category "request")
+        (Span.roots Span.global)
+    in
+    let bds =
+      List.map (fun (sp : Span.span) -> Obs.breakdown ~root:sp.Span.sp_id ()) roots
+    in
+    let sum f = List.fold_left (fun acc bd -> Units.add acc (f bd)) Units.zero bds in
+    let ns t = Jsonlite.Int (Int64.to_int (Units.to_ns t)) in
+    Jsonlite.Obj
+      [
+        ("requests", Jsonlite.Int (List.length bds));
+        ("total_ns", ns (sum (fun bd -> bd.Obs.bd_total)));
+        ( "buckets",
+          Jsonlite.Obj
+            (List.map
+               (fun c -> (c, ns (sum (fun bd -> List.assoc c bd.Obs.bd_buckets))))
+               (Obs.categories @ [ "other" ])) );
+      ]
+  in
+  Span.set_enabled Span.global true;
   let warm_r = run_mode ~warm:true in
+  let warm_breakdown = request_breakdown () in
+  let trace_doc = Obs.trace_json_string () in
+  let metrics_doc = Obs.metrics_json_string () in
+  reset_observability ();
   let cold_r = run_mode ~warm:false in
+  let cold_breakdown = request_breakdown () in
+  Span.set_enabled Span.global false;
+  reset_observability ();
   let t =
     Table.create
       ~title:
@@ -920,13 +962,21 @@ let serving () =
         ("cold", mode_json cold_r);
         ("single_cold_us", Jsonlite.Float (Units.to_us cold_one));
         ("single_warm_us", Jsonlite.Float (Units.to_us warm_one));
+        ( "breakdown",
+          Jsonlite.Obj [ ("warm", warm_breakdown); ("cold", cold_breakdown) ] );
       ]
   in
-  let oc = open_out "BENCH_serving.json" in
-  output_string oc (Jsonlite.to_string json);
-  output_string oc "\n";
-  close_out oc;
-  print_endline "wrote BENCH_serving.json"
+  let write path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    output_string oc "\n";
+    close_out oc
+  in
+  write "BENCH_serving.json" (Jsonlite.to_string json);
+  write "BENCH_serving_trace.json" trace_doc;
+  write "BENCH_serving_metrics.json" metrics_doc;
+  print_endline
+    "wrote BENCH_serving.json, BENCH_serving_trace.json, BENCH_serving_metrics.json"
 
 (* ------------------------------------------------------------------ *)
 (* Execution fast paths: the software TLB vs the full page walk, and   *)
@@ -1168,6 +1218,7 @@ let () =
   List.iter
     (fun (name, fn) ->
       Printf.printf ">>> %s\n%!" name;
+      reset_observability ();
       let t0 = Unix.gettimeofday () in
       fn ();
       Printf.printf "(%s took %.1fs of host time)\n\n%!" name (Unix.gettimeofday () -. t0))

@@ -4,7 +4,8 @@
 
      dune exec bin/alloystack_cli.exe -- run --app sorting --size 8M
      dune exec bin/alloystack_cli.exe -- coldstart
-     dune exec bin/alloystack_cli.exe -- check examples/greeter.json *)
+     dune exec bin/alloystack_cli.exe -- check examples/greeter.json
+     dune exec bin/alloystack_cli.exe -- explain --app pipe *)
 
 open Cmdliner
 open Baselines
@@ -48,8 +49,35 @@ let make_app ~app ~seed ~size ~instances ~length =
   | "noops" -> Ok Workloads.Pipe_app.noops
   | other -> Error (Printf.sprintf "unknown app %S" other)
 
-let run_cmd app platform size instances length seed trace =
+(* Each CLI invocation is one run: drop whatever a previous library
+   user left in the process-global collectors so exported traces and
+   metric snapshots cover this run only. *)
+let reset_observability () =
+  Sim.Trace.clear Sim.Trace.global;
+  Sim.Span.clear Sim.Span.global;
+  Sim.Metrics.reset ()
+
+let write_file path contents =
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc contents)
+
+let export_trace = function
+  | None -> ()
+  | Some path ->
+      write_file path (Alloystack_core.Obs.trace_json_string ());
+      Format.printf "trace:       %d span(s) -> %s@."
+        (Sim.Span.count Sim.Span.global)
+        path
+
+let export_metrics = function
+  | None -> ()
+  | Some path ->
+      write_file path (Alloystack_core.Obs.metrics_json_string ());
+      Format.printf "metrics:     %s@." path
+
+let run_cmd app platform size instances length seed trace trace_out metrics_out =
+  reset_observability ();
   if trace then Sim.Trace.set_enabled Sim.Trace.global true;
+  if trace || trace_out <> None then Sim.Span.set_enabled Sim.Span.global true;
   match (parse_size size, List.assoc_opt platform platforms) with
   | Error e, _ ->
       prerr_endline e;
@@ -79,6 +107,8 @@ let run_cmd app platform size instances length seed trace =
               (Sim.Trace.dropped Sim.Trace.global);
             print_endline (Sim.Trace.dump Sim.Trace.global)
           end;
+          export_trace trace_out;
+          export_metrics metrics_out;
           (match m.Platform.validated with
           | Ok () ->
               Format.printf "output:      validated@.";
@@ -86,6 +116,52 @@ let run_cmd app platform size instances length seed trace =
           | Error e ->
               Format.printf "output:      WRONG (%s)@." e;
               1)
+    end
+
+(* Run one workflow with span collection on and attribute its whole
+   end-to-end latency to cost categories along the critical path. *)
+let explain_cmd app platform size instances length seed trace_out =
+  reset_observability ();
+  Sim.Span.set_enabled Sim.Span.global true;
+  match (parse_size size, List.assoc_opt platform platforms) with
+  | Error e, _ ->
+      prerr_endline e;
+      1
+  | _, None ->
+      Printf.eprintf "unknown platform %s; available: %s\n" platform
+        (String.concat " " (List.map fst platforms));
+      1
+  | Ok size, Some p -> begin
+      match make_app ~app ~seed ~size ~instances ~length with
+      | Error e ->
+          prerr_endline e;
+          1
+      | Ok workload ->
+          let m = p.Platform.run workload in
+          let open Alloystack_core in
+          (match Obs.find_root ~category:"workflow" () with
+          | None ->
+              Printf.eprintf
+                "platform %s recorded no workflow spans (explain needs a \
+                 visor-backed platform: alloystack*)\n"
+                platform;
+              1
+          | Some root ->
+              let bd = Obs.breakdown ~root:root.Sim.Span.sp_id () in
+              Format.printf "platform:    %s@." m.Platform.platform;
+              print_string (Obs.render_breakdown bd);
+              let attributed =
+                List.fold_left
+                  (fun acc (_, d) -> Sim.Units.add acc d)
+                  Sim.Units.zero bd.Obs.bd_buckets
+              in
+              Format.printf "attributed:  %s of %s (%s)@."
+                (Sim.Units.to_string attributed)
+                (Sim.Units.to_string bd.Obs.bd_total)
+                (if Sim.Units.equal attributed bd.Obs.bd_total then "exact"
+                 else "INEXACT");
+              export_trace trace_out;
+              if Sim.Units.equal attributed bd.Obs.bd_total then 0 else 1)
     end
 
 let coldstart_cmd () =
@@ -133,7 +209,10 @@ let check_cmd dot file =
 
 (* Serve a synthetic open-loop request trace against the warm-pool
    server and print the latency/throughput summary. *)
-let serve_cmd requests qps seed cold =
+let serve_cmd requests qps seed cold trace trace_out metrics_out =
+  reset_observability ();
+  if trace then Sim.Trace.set_enabled Sim.Trace.global true;
+  if trace || trace_out <> None then Sim.Span.set_enabled Sim.Span.global true;
   let open Alloystack_core in
   let wf = Workflow.chain ~name:"serve-chain" 3 in
   let kernel (ctx : Asstd.ctx) ~instance:_ ~total:_ = Asstd.compute ctx (Sim.Units.ms 5) in
@@ -144,12 +223,12 @@ let serve_cmd requests qps seed cold =
   Visor.Server.register server ~endpoint:"chain" ~workflow:wf ~bindings ();
   let rng = Sim.Rng.create seed in
   let t = ref 0.0 in
-  let trace =
+  let trace_reqs =
     List.init requests (fun _ ->
         t := !t +. Sim.Rng.exponential rng ~mean:(1.0 /. qps);
         { Visor.Server.endpoint = "chain"; arrival = Sim.Units.ns_f (!t *. 1e9) })
   in
-  let r = Visor.Server.serve server trace in
+  let r = Visor.Server.serve server trace_reqs in
   Visor.Server.shutdown server;
   Format.printf "requests:     %d (%d ok, %d failed)@." requests
     r.Visor.Server.completed r.Visor.Server.failed;
@@ -159,6 +238,14 @@ let serve_cmd requests qps seed cold =
   Format.printf "max inflight: %d@." r.Visor.Server.max_inflight;
   Format.printf "starts:       %d warm / %d cold@." r.Visor.Server.warm_starts
     r.Visor.Server.cold_starts;
+  if trace then begin
+    Format.printf "--- trace (%d events, %d dropped) ---@."
+      (Sim.Trace.count Sim.Trace.global)
+      (Sim.Trace.dropped Sim.Trace.global);
+    print_endline (Sim.Trace.dump Sim.Trace.global)
+  end;
+  export_trace trace_out;
+  export_metrics metrics_out;
   0
 
 let app_arg =
@@ -183,13 +270,34 @@ let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Data-generation s
 let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"Dump the visor/loader event trace after the run.")
 
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write the span tree as Chrome trace_event JSON (Perfetto-loadable) to $(docv).")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Write a JSON snapshot of the metrics registry to $(docv).")
+
 let run_term =
   Term.(
     const run_cmd $ app_arg $ platform_arg $ size_arg $ instances_arg $ length_arg
-    $ seed_arg $ trace_arg)
+    $ seed_arg $ trace_arg $ trace_out_arg $ metrics_out_arg)
 
 let run_info =
   Cmd.info "run" ~doc:"Run a benchmark workflow on a simulated platform."
+
+let explain_term =
+  Term.(
+    const explain_cmd $ app_arg $ platform_arg $ size_arg $ instances_arg $ length_arg
+    $ seed_arg $ trace_out_arg)
+
+let explain_info =
+  Cmd.info "explain"
+    ~doc:
+      "Run a workflow with span tracing and print the critical-path latency \
+       breakdown (boot / load / compute / transfer / network / io / retry)."
 
 let coldstart_info = Cmd.info "coldstart" ~doc:"Print the Fig. 10 cold-start table."
 
@@ -213,12 +321,16 @@ let serve_info =
   Cmd.info "serve"
     ~doc:"Serve a seeded open-loop load through the warm-pool server and report latency."
 
-let serve_term = Term.(const serve_cmd $ requests_arg $ qps_arg $ seed_arg $ cold_arg)
+let serve_term =
+  Term.(
+    const serve_cmd $ requests_arg $ qps_arg $ seed_arg $ cold_arg $ trace_arg
+    $ trace_out_arg $ metrics_out_arg)
 
 let main =
   Cmd.group (Cmd.info "alloystack" ~doc:"AlloyStack reproduction CLI")
     [
       Cmd.v run_info run_term;
+      Cmd.v explain_info explain_term;
       Cmd.v coldstart_info Term.(const coldstart_cmd $ const ());
       Cmd.v check_info Term.(const check_cmd $ dot_arg $ file_arg);
       Cmd.v serve_info serve_term;

@@ -73,41 +73,59 @@ let load_handle ctx ~slot ~fingerprint =
   charge_traversal ctx buffer.Libos_mm.size;
   ({ slot; buffer = Some buffer; size = buffer.Libos_mm.size }, data)
 
+let transfer_histo = Metrics.histogram "asbuffer.transfer_bytes"
+
+(* Every producer/consumer entry point is one "transfer" span; the io /
+   network sub-steps it performs (buffer syscalls, the file fallback's
+   reads and writes) open their own spans inside it, so the breakdown
+   splits reference passing (transfer-dominated) from the file fallback
+   (io-dominated) for free. *)
+let transfer_span ctx ~label ~slot f =
+  Asstd.with_span ctx ~category:"transfer" ~label:(label ^ " " ^ slot) f
+
 let with_slot ctx ~slot value =
-  let encoded = Fndata.encode value in
-  if ctx.Asstd.wfd.Wfd.features.Wfd.ref_passing then
-    store_encoded ctx ~slot encoded (Fndata.fingerprint value)
-  else file_with_slot ctx ~slot encoded
+  transfer_span ctx ~label:"put" ~slot (fun () ->
+      let encoded = Fndata.encode value in
+      Metrics.observe transfer_histo (float_of_int (Bytes.length encoded));
+      if ctx.Asstd.wfd.Wfd.features.Wfd.ref_passing then
+        store_encoded ctx ~slot encoded (Fndata.fingerprint value)
+      else file_with_slot ctx ~slot encoded)
 
 let from_slot ctx ~slot ~expect =
-  if ctx.Asstd.wfd.Wfd.features.Wfd.ref_passing then begin
-    let handle, data = load_handle ctx ~slot ~fingerprint:(Fndata.fingerprint expect) in
-    let value = Fndata.decode data in
-    (* Ownership moved to the receiver, which has now consumed the
-       value; recover the heap block. *)
-    (match handle.buffer with
-    | Some b -> Libos_mm.free_buffer ctx.Asstd.wfd b
-    | None -> ());
-    value
-  end
-  else Fndata.decode (file_from_slot ctx ~slot)
+  transfer_span ctx ~label:"get" ~slot (fun () ->
+      if ctx.Asstd.wfd.Wfd.features.Wfd.ref_passing then begin
+        let handle, data =
+          load_handle ctx ~slot ~fingerprint:(Fndata.fingerprint expect)
+        in
+        let value = Fndata.decode data in
+        (* Ownership moved to the receiver, which has now consumed the
+           value; recover the heap block. *)
+        (match handle.buffer with
+        | Some b -> Libos_mm.free_buffer ctx.Asstd.wfd b
+        | None -> ());
+        value
+      end
+      else Fndata.decode (file_from_slot ctx ~slot))
 
 let with_slot_raw ctx ~slot data =
-  if ctx.Asstd.wfd.Wfd.features.Wfd.ref_passing then
-    store_encoded ctx ~slot data raw_fingerprint
-  else file_with_slot ctx ~slot data
+  transfer_span ctx ~label:"put" ~slot (fun () ->
+      Metrics.observe transfer_histo (float_of_int (Bytes.length data));
+      if ctx.Asstd.wfd.Wfd.features.Wfd.ref_passing then
+        store_encoded ctx ~slot data raw_fingerprint
+      else file_with_slot ctx ~slot data)
 
 let from_slot_raw ctx ~slot =
-  if ctx.Asstd.wfd.Wfd.features.Wfd.ref_passing then begin
-    let handle, data = load_handle ctx ~slot ~fingerprint:raw_fingerprint in
-    (* Free immediately: ownership transferred to the receiver, which
-       consumes the bytes it just traversed. *)
-    (match handle.buffer with
-    | Some b -> Libos_mm.free_buffer ctx.Asstd.wfd b
-    | None -> ());
-    data
-  end
-  else file_from_slot ctx ~slot
+  transfer_span ctx ~label:"get" ~slot (fun () ->
+      if ctx.Asstd.wfd.Wfd.features.Wfd.ref_passing then begin
+        let handle, data = load_handle ctx ~slot ~fingerprint:raw_fingerprint in
+        (* Free immediately: ownership transferred to the receiver, which
+           consumes the bytes it just traversed. *)
+        (match handle.buffer with
+        | Some b -> Libos_mm.free_buffer ctx.Asstd.wfd b
+        | None -> ());
+        data
+      end
+      else file_from_slot ctx ~slot)
 
 let free ctx handle =
   match handle.buffer with

@@ -45,14 +45,47 @@ let with_runtime ctx profile =
   in
   { ctx with compute_factor }
 
+(* Run [f] under a fresh span on the calling thread's clock.  The span
+   becomes the WFD's current trace context (so loader / buffer spans
+   opened inside nest under it) and the ambient parent (so the TCP
+   stack, which cannot see the WFD, attaches its bursts here too).
+   One branch when tracing is off. *)
+let with_span ctx ~category ~label f =
+  let g = Span.global in
+  if not (Span.enabled g) then f ()
+  else begin
+    let clock = ctx.thread.Wfd.clock in
+    let wfd = ctx.wfd in
+    let sp =
+      Span.begin_span g ~parent:wfd.Wfd.span ~at:(Clock.now clock) ~category ~label ()
+    in
+    let saved = wfd.Wfd.span in
+    let saved_amb = Span.ambient g in
+    wfd.Wfd.span <- sp;
+    Span.set_ambient g sp;
+    Fun.protect
+      ~finally:(fun () ->
+        wfd.Wfd.span <- saved;
+        Span.set_ambient g saved_amb;
+        Span.end_span g sp ~at:(Clock.now clock))
+      f
+  end
+
+(* Socket entries spend their time in the network substrate; everything
+   else through as-std is I/O against the libos. *)
+let entry_category entry =
+  if String.length entry >= 5 && String.equal (String.sub entry 0 5) "smol_" then "network"
+  else "io"
+
 let sys ctx entry f =
   let clock = ctx.thread.Wfd.clock in
-  (* Entry miss -> the on-demand loading interface of as-visor (§4);
-     this happens before the trampoline since the check lives in the
-     user-linked as-std stub, but the load itself runs in the system
-     partition.  Model both on the calling thread's clock. *)
-  (match Libos.ensure_entry ctx.wfd ~clock entry with `Fast | `Slow -> ());
-  Trampoline.enter_system ctx.wfd ctx.thread (fun () -> f ~clock)
+  with_span ctx ~category:(entry_category entry) ~label:entry (fun () ->
+      (* Entry miss -> the on-demand loading interface of as-visor (§4);
+         this happens before the trampoline since the check lives in the
+         user-linked as-std stub, but the load itself runs in the system
+         partition.  Model both on the calling thread's clock. *)
+      (match Libos.ensure_entry ctx.wfd ~clock entry with `Fast | `Slow -> ());
+      Trampoline.enter_system ctx.wfd ctx.thread (fun () -> f ~clock))
 
 let lift = function Ok v -> v | Error e -> raise (Errno.Error (e, ""))
 
@@ -101,7 +134,16 @@ let tcp_bind ctx ~port =
   sys ctx "smol_bind" (fun ~clock -> lift (Libos_socket.smol_bind ctx.wfd ~clock ~port))
 
 let compute ctx native =
-  Clock.advance ctx.thread.Wfd.clock (Units.scale native ctx.compute_factor)
+  let clock = ctx.thread.Wfd.clock in
+  if Span.enabled Span.global then begin
+    let sp =
+      Span.begin_span Span.global ~parent:ctx.wfd.Wfd.span ~at:(Clock.now clock)
+        ~category:"compute" ~label:"compute" ()
+    in
+    Clock.advance clock (Units.scale native ctx.compute_factor);
+    Span.end_span Span.global sp ~at:(Clock.now clock)
+  end
+  else Clock.advance clock (Units.scale native ctx.compute_factor)
 
 let compute_bytes ctx ~per_byte_ns n =
   compute ctx (Units.ns_f (per_byte_ns *. float_of_int n))

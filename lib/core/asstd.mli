@@ -31,10 +31,17 @@ val load_wasm : ctx -> Wasm.Runtime.profile -> Wasm.Wmodule.t -> Wasm.Runtime.lo
 val with_runtime : ctx -> Wasm.Runtime.profile -> ctx
 (** Adjust bandwidth/compute factors for a WASM-hosted language. *)
 
+val with_span : ctx -> category:string -> label:string -> (unit -> 'a) -> 'a
+(** Run the thunk under a fresh {!Sim.Span} on the calling thread's
+    clock, installed as the WFD's current trace context and as the
+    ambient parent for substrate layers.  One branch when tracing is
+    off. *)
+
 val sys : ctx -> string -> (clock:Sim.Clock.t -> 'a) -> 'a
 (** [sys ctx entry f]: the full as-std call path for entry [entry] —
     entry-table check (slow path loads the module), trampoline in, run
-    [f] with the thread's clock, trampoline out. *)
+    [f] with the thread's clock, trampoline out.  Traced as a
+    ["network"] span for socket entries, an ["io"] span otherwise. *)
 
 (** {1 File API (Fig. 5 style)} *)
 

@@ -66,33 +66,60 @@ let providing entry =
   | Some m -> m
   | None -> invalid_arg (Printf.sprintf "Libos.providing: no module provides %s" entry)
 
+let load_histo = Metrics.histogram "loader.module_load_ns"
+
 let rec load_module (wfd : Wfd.t) ~clock name =
   if not (Wfd.is_loaded wfd name) then begin
     let m = find_module name in
-    List.iter (load_module wfd ~clock) m.deps;
-    (* dlmopen the module into the WFD's namespace, then run its
-       constructor. *)
-    Clock.advance clock Cost.dlmopen_namespace;
-    (* A fired loader fault models a transient dlmopen failure: the
-       namespace load is discarded and as-visor falls back to repeating
-       the slow path for this module. *)
-    (match wfd.Wfd.fault with
-    | Some plan when Fault.check ~at:(Clock.now clock) plan ~site:Fault.site_loader_load ->
+    let t0 = Clock.now clock in
+    (* The slow path of the on-demand loading interface: this span
+       covers the transitive dependency loads too, so entry-miss time
+       attributes to load-slow whichever module actually pulled it in. *)
+    let sp =
+      Span.begin_span Span.global ~parent:wfd.Wfd.span ~at:t0 ~category:"load-slow"
+        ~label:("load " ^ name) ()
+    in
+    let saved = wfd.Wfd.span in
+    if sp <> Span.none then wfd.Wfd.span <- sp;
+    Fun.protect
+      ~finally:(fun () ->
+        wfd.Wfd.span <- saved;
+        Span.end_span Span.global sp ~at:(Clock.now clock);
+        Metrics.observe_time load_histo (Units.sub (Clock.now clock) t0))
+      (fun () ->
+        List.iter (load_module wfd ~clock) m.deps;
+        (* dlmopen the module into the WFD's namespace, then run its
+           constructor. *)
         Clock.advance clock Cost.dlmopen_namespace;
-        Fault.record_recovery plan ~at:(Clock.now clock) ~site:Fault.site_loader_load
-          ("slow-path reload of module " ^ name)
-    | _ -> ());
-    Clock.advance clock (Cost.module_load name);
-    m.init wfd ~clock;
-    Hashtbl.replace wfd.Wfd.loaded_modules name ();
-    List.iter (fun e -> Hashtbl.replace wfd.Wfd.entry_table e name) m.entries;
-    Trace.recordf Trace.global ~at:(Clock.now clock) ~category:"loader"
-      ~label:"module-loaded" "wfd%d %s" wfd.Wfd.id name
+        (* A fired loader fault models a transient dlmopen failure: the
+           namespace load is discarded and as-visor falls back to repeating
+           the slow path for this module. *)
+        (match wfd.Wfd.fault with
+        | Some plan when Fault.check ~at:(Clock.now clock) plan ~site:Fault.site_loader_load
+          ->
+            let rsp =
+              Span.begin_span Span.global ~parent:sp ~at:(Clock.now clock)
+                ~category:"retry" ~label:("reload " ^ name) ()
+            in
+            Clock.advance clock Cost.dlmopen_namespace;
+            Fault.record_recovery plan ~at:(Clock.now clock) ~site:Fault.site_loader_load
+              ("slow-path reload of module " ^ name);
+            Span.end_span Span.global rsp ~at:(Clock.now clock)
+        | _ -> ());
+        Clock.advance clock (Cost.module_load name);
+        m.init wfd ~clock;
+        Hashtbl.replace wfd.Wfd.loaded_modules name ();
+        List.iter (fun e -> Hashtbl.replace wfd.Wfd.entry_table e name) m.entries;
+        Trace.recordf Trace.global ~at:(Clock.now clock) ~category:"loader"
+          ~label:"module-loaded" "wfd%d %s" wfd.Wfd.id name)
   end
 
 let ensure_entry (wfd : Wfd.t) ~clock entry =
   if Hashtbl.mem wfd.Wfd.entry_table entry then begin
     wfd.Wfd.entry_hits <- wfd.Wfd.entry_hits + 1;
+    if Span.enabled Span.global then
+      Span.instant Span.global ~parent:wfd.Wfd.span ~at:(Clock.now clock)
+        ~category:"load-fast" ~label:entry ();
     `Fast
   end
   else begin
@@ -110,6 +137,10 @@ let attach_warm (wfd : Wfd.t) ~clock =
      cursors) must be rebuilt.  The modules' full init cost was paid
      once on the template — the clone charges the small CoW-attach cost
      per module and runs init against a scratch clock. *)
+  let sp =
+    Span.begin_span Span.global ~parent:wfd.Wfd.span ~at:(Clock.now clock)
+      ~category:"load-fast" ~label:"attach-warm" ()
+  in
   let scratch = Clock.create ~at:(Clock.now clock) () in
   List.iter
     (fun m ->
@@ -119,7 +150,8 @@ let attach_warm (wfd : Wfd.t) ~clock =
         Trace.recordf Trace.global ~at:(Clock.now clock) ~category:"loader"
           ~label:"module-attached" "wfd%d %s (warm)" wfd.Wfd.id m.mod_name
       end)
-    registry
+    registry;
+  Span.end_span Span.global sp ~at:(Clock.now clock)
 
 let load_all (wfd : Wfd.t) ~clock =
   List.iter (fun m -> load_module wfd ~clock m.mod_name) registry;

@@ -1,0 +1,251 @@
+open Sim
+
+(* --- Chrome trace_event export ------------------------------------ *)
+
+(* Root ancestor of each span, memoized: the export uses it as [tid] so
+   each workflow / request gets its own track in the viewer. *)
+let root_table collector =
+  let tbl = Hashtbl.create 64 in
+  let rec root_of (sp : Span.span) =
+    match Hashtbl.find_opt tbl sp.Span.sp_id with
+    | Some r -> r
+    | None ->
+        let r =
+          if sp.Span.sp_parent = Span.none then sp.Span.sp_id
+          else
+            match Span.find collector sp.Span.sp_parent with
+            | Some p -> root_of p
+            | None -> sp.Span.sp_id
+        in
+        Hashtbl.replace tbl sp.Span.sp_id r;
+        r
+  in
+  root_of
+
+let attrs_json (sp : Span.span) extra =
+  Jsonlite.Obj (extra @ List.map (fun (k, v) -> (k, Jsonlite.String v)) sp.Span.sp_attrs)
+
+let ns_int t = Int64.to_int (Units.to_ns t)
+
+let trace_json ?(collector = Span.global) () =
+  let root_of = root_table collector in
+  let events =
+    List.map
+      (fun (sp : Span.span) ->
+        let begin_ns = ns_int sp.Span.sp_begin in
+        let dur_ns = ns_int (Units.sub sp.Span.sp_end sp.Span.sp_begin) in
+        Jsonlite.Obj
+          [
+            ("name", Jsonlite.String sp.Span.sp_label);
+            ("cat", Jsonlite.String sp.Span.sp_category);
+            ("ph", Jsonlite.String "X");
+            ("ts", Jsonlite.Int (begin_ns / 1000));
+            ("dur", Jsonlite.Int (dur_ns / 1000));
+            ("pid", Jsonlite.Int 1);
+            ("tid", Jsonlite.Int (root_of sp));
+            ( "args",
+              attrs_json sp
+                [
+                  ("span_id", Jsonlite.Int sp.Span.sp_id);
+                  ("parent", Jsonlite.Int sp.Span.sp_parent);
+                  ("ts_ns", Jsonlite.Int begin_ns);
+                  ("dur_ns", Jsonlite.Int dur_ns);
+                ] );
+          ])
+      (Span.spans collector)
+  in
+  Jsonlite.Obj
+    [
+      ("traceEvents", Jsonlite.List events);
+      ("displayTimeUnit", Jsonlite.String "ns");
+    ]
+
+let trace_json_string ?collector () = Jsonlite.to_string (trace_json ?collector ())
+
+let spans_jsonl ?(collector = Span.global) () =
+  let line (sp : Span.span) =
+    Jsonlite.to_string
+      (Jsonlite.Obj
+         [
+           ("id", Jsonlite.Int sp.Span.sp_id);
+           ("parent", Jsonlite.Int sp.Span.sp_parent);
+           ("category", Jsonlite.String sp.Span.sp_category);
+           ("label", Jsonlite.String sp.Span.sp_label);
+           ("begin_ns", Jsonlite.Int (ns_int sp.Span.sp_begin));
+           ("end_ns", Jsonlite.Int (ns_int sp.Span.sp_end));
+           ("attrs", attrs_json sp []);
+         ])
+  in
+  String.concat "" (List.map (fun sp -> line sp ^ "\n") (Span.spans collector))
+
+(* --- Metrics export ------------------------------------------------ *)
+
+let metrics_json () =
+  let snap = Metrics.snapshot () in
+  let histo (h : Metrics.histo_snapshot) =
+    Jsonlite.Obj
+      [
+        ("name", Jsonlite.String h.Metrics.hs_name);
+        ("count", Jsonlite.Int h.Metrics.hs_count);
+        ("sum", Jsonlite.Float h.Metrics.hs_sum);
+        ("min", Jsonlite.Float h.Metrics.hs_min);
+        ("max", Jsonlite.Float h.Metrics.hs_max);
+        ("p50", Jsonlite.Float h.Metrics.hs_p50);
+        ("p90", Jsonlite.Float h.Metrics.hs_p90);
+        ("p99", Jsonlite.Float h.Metrics.hs_p99);
+        ( "buckets",
+          Jsonlite.List
+            (List.map
+               (fun (i, c) -> Jsonlite.List [ Jsonlite.Int i; Jsonlite.Int c ])
+               h.Metrics.hs_buckets) );
+      ]
+  in
+  Jsonlite.Obj
+    [
+      ( "counters",
+        Jsonlite.Obj
+          (List.map (fun (n, v) -> (n, Jsonlite.Int v)) snap.Metrics.snap_counters) );
+      ( "gauges",
+        Jsonlite.Obj
+          (List.map (fun (n, v) -> (n, Jsonlite.Float v)) snap.Metrics.snap_gauges) );
+      ("histograms", Jsonlite.List (List.map histo snap.Metrics.snap_histograms));
+    ]
+
+let metrics_json_string () = Jsonlite.to_string (metrics_json ())
+
+(* --- Critical-path breakdown --------------------------------------- *)
+
+let categories =
+  [ "boot"; "load-slow"; "load-fast"; "compute"; "transfer"; "network"; "io"; "retry" ]
+
+let bucket_of category = if List.mem category categories then category else "other"
+
+type breakdown = {
+  bd_root : Span.id;
+  bd_label : string;
+  bd_total : Units.time;
+  bd_buckets : (string * Units.time) list;
+}
+
+let breakdown ?(collector = Span.global) ~root () =
+  let root_span =
+    match Span.find collector root with
+    | Some sp -> sp
+    | None -> invalid_arg "Obs.breakdown: unknown root span"
+  in
+  (* Children indexed by parent once; Span.children is O(n) per call. *)
+  let by_parent : (Span.id, Span.span list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (sp : Span.span) ->
+      if sp.Span.sp_id <> sp.Span.sp_parent then
+        let prev =
+          match Hashtbl.find_opt by_parent sp.Span.sp_parent with
+          | Some l -> l
+          | None -> []
+        in
+        Hashtbl.replace by_parent sp.Span.sp_parent (sp :: prev))
+    (Span.spans collector);
+  let buckets = Hashtbl.create 16 in
+  let attribute category d =
+    if Units.( > ) d Units.zero then begin
+      let b = bucket_of category in
+      let prev =
+        match Hashtbl.find_opt buckets b with Some v -> v | None -> Units.zero
+      in
+      Hashtbl.replace buckets b (Units.add prev d)
+    end
+  in
+  (* Latest-finisher walk: within [lo, hi] of [sp], scan the children
+     clipped to the interval from the latest end backwards.  A child
+     whose (clipped) interval ends at or before the cursor claims it
+     and recursion descends; the gap between its end and the cursor
+     belongs to [sp] itself.  A child overlapping the cursor is
+     shadowed by the sibling already claimed there and contributes
+     nothing.  Every nanosecond of [hi - lo] lands in exactly one
+     bucket, so the breakdown sums to the root duration exactly. *)
+  let rec walk (sp : Span.span) lo hi =
+    let kids =
+      match Hashtbl.find_opt by_parent sp.Span.sp_id with
+      | Some l -> l
+      | None -> []
+    in
+    let clipped =
+      List.filter_map
+        (fun (k : Span.span) ->
+          let b = Units.max k.Span.sp_begin lo in
+          let e = Units.min k.Span.sp_end hi in
+          if Units.( < ) b e then Some (k, b, e) else None)
+        kids
+    in
+    let ordered =
+      List.sort
+        (fun ((a : Span.span), ab, ae) ((b : Span.span), bb, be) ->
+          match Units.compare be ae with
+          | 0 -> (
+              match Units.compare ab bb with
+              | 0 -> Stdlib.compare a.Span.sp_id b.Span.sp_id
+              | c -> c)
+          | c -> c)
+        clipped
+    in
+    let cursor = ref hi in
+    List.iter
+      (fun (k, b, e) ->
+        if Units.( <= ) e !cursor && Units.( < ) b !cursor then begin
+          attribute sp.Span.sp_category (Units.sub !cursor e);
+          walk k b e;
+          cursor := b
+        end)
+      ordered;
+    attribute sp.Span.sp_category (Units.sub !cursor lo)
+  in
+  walk root_span root_span.Span.sp_begin root_span.Span.sp_end;
+  let all = categories @ [ "other" ] in
+  {
+    bd_root = root;
+    bd_label = root_span.Span.sp_label;
+    bd_total = Units.sub root_span.Span.sp_end root_span.Span.sp_begin;
+    bd_buckets =
+      List.map
+        (fun c ->
+          ( c,
+            match Hashtbl.find_opt buckets c with
+            | Some v -> v
+            | None -> Units.zero ))
+        all;
+  }
+
+let find_root ?(collector = Span.global) ~category () =
+  List.fold_left
+    (fun acc (sp : Span.span) ->
+      if String.equal sp.Span.sp_category category then Some sp else acc)
+    None
+    (Span.roots collector)
+
+let render_breakdown bd =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "critical path of %s (e2e %s):\n" bd.bd_label
+    (Units.to_string bd.bd_total);
+  let total_ns = Int64.to_float (Units.to_ns bd.bd_total) in
+  List.iter
+    (fun (c, d) ->
+      if Units.( > ) d Units.zero then begin
+        let pct =
+          if total_ns <= 0.0 then 0.0
+          else 100.0 *. Int64.to_float (Units.to_ns d) /. total_ns
+        in
+        Printf.bprintf buf "  %-10s %12s  %5.1f%%\n" c (Units.to_string d) pct
+      end)
+    bd.bd_buckets;
+  Printf.bprintf buf "  %-10s %12s  100.0%%\n" "total" (Units.to_string bd.bd_total);
+  Buffer.contents buf
+
+let breakdown_json bd =
+  Jsonlite.Obj
+    [
+      ("label", Jsonlite.String bd.bd_label);
+      ("total_ns", Jsonlite.Int (ns_int bd.bd_total));
+      ( "buckets",
+        Jsonlite.Obj
+          (List.map (fun (c, d) -> (c, Jsonlite.Int (ns_int d))) bd.bd_buckets) );
+    ]

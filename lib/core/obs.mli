@@ -1,0 +1,75 @@
+(** Observability exporters and critical-path analysis.
+
+    {!Sim.Span} and {!Sim.Metrics} live in the dependency-free [sim]
+    library and only collect; this module turns the collected data into
+    artifacts:
+
+    - a Chrome [trace_event] JSON document (load it in Perfetto or
+      [chrome://tracing] — one track per root span),
+    - a JSONL dump of the raw span tree (one span per line),
+    - a JSON snapshot of the metrics registry,
+    - a critical-path latency breakdown that attributes a root span's
+      whole duration to cost categories with no unattributed remainder.
+
+    Everything here is deterministic: two identically seeded runs
+    export byte-identical documents. *)
+
+(** {1 Exporters} *)
+
+val trace_json : ?collector:Sim.Span.t -> unit -> Jsonlite.t
+(** Chrome [trace_event] document for every completed span.  [ts] and
+    [dur] are integral microseconds (the format's native granularity);
+    the exact nanosecond interval rides along in [args.ts_ns] /
+    [args.dur_ns].  Each span's [tid] is its root ancestor's id, so
+    every workflow / request renders as its own track. *)
+
+val trace_json_string : ?collector:Sim.Span.t -> unit -> string
+
+val spans_jsonl : ?collector:Sim.Span.t -> unit -> string
+(** One JSON object per line per span, in id order:
+    [{"id":..,"parent":..,"category":..,"label":..,"begin_ns":..,
+    "end_ns":..,"attrs":{..}}].  Empty string when no spans. *)
+
+val metrics_json : unit -> Jsonlite.t
+(** Snapshot of {!Sim.Metrics} (counters, gauges, histograms with
+    non-empty log2 buckets), all name-sorted. *)
+
+val metrics_json_string : unit -> string
+
+(** {1 Critical-path breakdown} *)
+
+val categories : string list
+(** The attributable cost categories, in report order: boot,
+    load-slow, load-fast, compute, transfer, network, io, retry.
+    Time inside structural spans (workflow / stage / function /
+    request) that no attributable child covers reports as ["other"]. *)
+
+type breakdown = {
+  bd_root : Sim.Span.id;
+  bd_label : string;  (** The root span's label. *)
+  bd_total : Sim.Units.time;  (** The root span's full duration. *)
+  bd_buckets : (string * Sim.Units.time) list;
+      (** {!categories} order then ["other"]; every bucket present,
+          zero or not.  The buckets sum to [bd_total] {e exactly}. *)
+}
+
+val breakdown : ?collector:Sim.Span.t -> root:Sim.Span.id -> unit -> breakdown
+(** Walks the span tree under [root] along the latest-finisher critical
+    path: within any span, walking backwards from its end, the child
+    that finishes latest claims its interval (recursively), gaps
+    between claimed intervals go to the enclosing span's bucket, and
+    shadowed siblings contribute nothing — so the buckets partition
+    the root interval exactly.  Raises [Invalid_argument] if [root]
+    does not exist. *)
+
+val find_root :
+  ?collector:Sim.Span.t -> category:string -> unit -> Sim.Span.span option
+(** Latest root span of the given category, if any. *)
+
+val render_breakdown : breakdown -> string
+(** Human-readable table: one line per non-zero bucket with duration
+    and percentage, then the total. *)
+
+val breakdown_json : breakdown -> Jsonlite.t
+(** [{"label":..,"total_ns":..,"buckets":{"boot":ns,..}}] with every
+    bucket (including zeros) in report order. *)

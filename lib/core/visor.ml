@@ -204,6 +204,13 @@ let runtime_init_cost config state language ~instance =
       in
       Units.add engine (Units.add wasm_instantiate_cost python)
 
+(* --- Observability instruments ------------------------------------ *)
+
+let fn_histo = Metrics.histogram "visor.function_ns"
+let stage_histo = Metrics.histogram "visor.stage_ns"
+let e2e_histo = Metrics.histogram "visor.e2e_ns"
+let retry_counter = Stats.Counter.make "visor.retries"
+
 (* --- Stage execution engine -------------------------------------- *)
 
 (* State of one workflow execution in one WFD.  [run_once] drives it
@@ -277,6 +284,14 @@ let exec_stage ectx ~ready nodes =
         | No_retry | Retry_workflow _ -> 1
       in
       let fn = node.Workflow.node_id in
+      let fn_span =
+        Span.begin_span Span.global ~parent:wfd.Wfd.span ~at:start
+          ~category:"function"
+          ~label:(Printf.sprintf "%s#%d" fn i)
+          ()
+      in
+      let saved_span = wfd.Wfd.span in
+      if fn_span <> Span.none then wfd.Wfd.span <- fn_span;
       let record_recovery ~at detail =
         match config.fault with
         | Some plan -> Fault.record_recovery plan ~at ~site:"visor.retry" detail
@@ -324,8 +339,17 @@ let exec_stage ectx ~ready nodes =
               raise (Function_failed { fn; attempts = n; error })
             else begin
               incr ectx.eretries;
+              Stats.Counter.incr retry_counter;
               (* Recover the crashed function's heap unit and
-                 restart it in the same slot. *)
+                 restart it in the same slot.  The recovery (respawn +
+                 restart cost + backoff wait) is a "retry" span under
+                 the function. *)
+              let rsp =
+                Span.begin_span Span.global ~parent:wfd.Wfd.span
+                  ~at:(Clock.now thread.Wfd.clock) ~category:"retry"
+                  ~label:(Printf.sprintf "restart %s" fn)
+                  ()
+              in
               let fresh =
                 Wfd.respawn_function_thread wfd ~slot:thread.Wfd.fn_slot
                   ~clock:thread.Wfd.clock
@@ -333,13 +357,23 @@ let exec_stage ectx ~ready nodes =
               Clock.advance fresh.Wfd.clock function_restart_cost;
               let wait = backoff_delay config.backoff ~attempt:(n + 1) in
               Clock.advance fresh.Wfd.clock wait;
+              Span.end_span Span.global rsp ~at:(Clock.now fresh.Wfd.clock);
               record_recovery ~at:(Clock.now fresh.Wfd.clock)
                 (Printf.sprintf "restart %s attempt %d (backoff %s)" fn (n + 1)
                    (Units.to_string wait));
               attempt fresh (n + 1)
             end
       in
-      let final_thread, ctx = attempt thread 1 in
+      let final_thread, ctx =
+        match attempt thread 1 with
+        | result -> result
+        | exception e ->
+            (* A terminal failure escapes to the workflow-retry layer;
+               the function span stays zero-length and the lost attempt
+               surfaces as unattributed ("other") time of the stage. *)
+            wfd.Wfd.span <- saved_span;
+            raise e
+      in
       Hashtbl.iter
         (fun name t ->
           let prev =
@@ -349,7 +383,10 @@ let exec_stage ectx ~ready nodes =
           in
           Hashtbl.replace ectx.ephase_totals name (Units.add prev t))
         ctx.Asstd.phases;
+      wfd.Wfd.span <- saved_span;
+      Span.end_span Span.global fn_span ~at:(Clock.now final_thread.Wfd.clock);
       let on_cpu = Clock.elapsed_since final_thread.Wfd.clock start in
+      Metrics.observe_time fn_histo on_cpu;
       match config.cpu_quota with
       | Some q -> Hostos.Cgroup.stretch (Hostos.Cgroup.create ~quota:q) on_cpu
       | None -> on_cpu)
@@ -359,6 +396,7 @@ let exec_stage ectx ~ready nodes =
    stage's ready time. *)
 let record_stage ectx ~stage_index ~ready ~durations ~placements =
   let makespan = Hostos.Sched.makespan placements in
+  Metrics.observe_time stage_histo (Units.sub makespan ready);
   ectx.epeak_rss :=
     Stdlib.max !(ectx.epeak_rss) (Hostos.Process.total_rss ectx.ewfd.Wfd.proc_table);
   ectx.estage_reports :=
@@ -375,6 +413,7 @@ let record_stage ectx ~stage_index ~ready ~durations ~placements =
 
 let build_report ectx ~finish ~cold_fallback ~admission =
   let wfd = ectx.ewfd in
+  Metrics.observe_time e2e_histo (Units.sub finish ectx.et0);
   let stdout = Libos_stdio.output wfd in
   let loaded_modules =
     Hashtbl.fold (fun k () acc -> k :: acc) wfd.Wfd.loaded_modules []
@@ -409,6 +448,10 @@ let run_once ?retries ~(config : config) ~workflow ~bindings () =
   let proc_table = Hostos.Process.create_table () in
   let clock = Clock.create () in
   let t0 = Clock.now clock in
+  let wf_span =
+    Span.begin_span Span.global ~parent:Span.none ~at:t0 ~category:"workflow"
+      ~label:workflow.Workflow.wf_name ()
+  in
   (* (1) The watchdog receives the invocation event. *)
   Clock.advance clock Cost.visor_dispatch;
   (* as-visor instantiates the WFD for the workflow. *)
@@ -422,26 +465,44 @@ let run_once ?retries ~(config : config) ~workflow ~bindings () =
   Fun.protect
     ~finally:(fun () -> Wfd.destroy wfd)
     (fun () ->
+      (* Dispatch + WFD instantiation + entry table (+ the load-all
+         configuration's up-front module loads) are the boot phase. *)
+      let boot_span =
+        Span.begin_span Span.global ~parent:wf_span ~at:t0 ~category:"boot"
+          ~label:"wfd-boot" ()
+      in
+      wfd.Wfd.span <- boot_span;
       Clock.advance clock Cost.entry_table_init;
       Trace.recordf Trace.global ~at:(Clock.now clock) ~category:"visor"
         ~label:"wfd-created" "wfd%d for %s" wfd.Wfd.id workflow.Workflow.wf_name;
       if not config.features.Wfd.on_demand then Libos.load_all wfd ~clock;
+      Span.end_span Span.global boot_span ~at:(Clock.now clock);
+      wfd.Wfd.span <- wf_span;
       let rt = { engine_started = false; python_booted = false } in
       let retries = match retries with Some r -> r | None -> ref 0 in
       let ectx = make_exec_ctx ~config ~bindings ~wfd ~rt ~retries ~t0 in
       let ready = ref (Clock.now clock) in
       List.iteri
         (fun stage_index nodes ->
+          let stage_span =
+            Span.begin_span Span.global ~parent:wf_span ~at:!ready ~category:"stage"
+              ~label:(Printf.sprintf "stage %d" stage_index)
+              ()
+          in
+          if stage_span <> Span.none then wfd.Wfd.span <- stage_span;
           let durations = exec_stage ectx ~ready:!ready nodes in
           let placements =
             Hostos.Sched.schedule ~cores:config.cores ~ready:!ready
               ~dispatch_latency:config.dispatch_latency durations
           in
-          ready := record_stage ectx ~stage_index ~ready:!ready ~durations ~placements)
+          ready := record_stage ectx ~stage_index ~ready:!ready ~durations ~placements;
+          wfd.Wfd.span <- wf_span;
+          Span.end_span Span.global stage_span ~at:!ready)
         (Workflow.stages workflow);
       (* (7) after the last function completes, as-visor destroys the
          WFD and reclaims the resources. *)
       let finish = !ready in
+      Span.end_span Span.global wf_span ~at:finish;
       Trace.recordf Trace.global ~at:finish ~category:"visor" ~label:"wfd-destroyed"
         "wfd%d" wfd.Wfd.id;
       build_report ectx ~finish ~cold_fallback:(Clock.now clock) ~admission)
@@ -636,11 +697,16 @@ module Server = struct
      critical path. *)
   let build_template t endpoint reg =
     let clock = Clock.create () in
+    let tpl_span =
+      Span.begin_span Span.global ~parent:Span.none ~at:(Clock.now clock)
+        ~category:"template" ~label:("template " ^ endpoint) ()
+    in
     let wfd =
       Wfd.create ~features:t.scfg.features ?vfs:t.scfg.vfs ?fault:t.scfg.fault
         ~proc_table:t.proc_table ~clock
         ~workflow_name:(endpoint ^ ":template") ()
     in
+    wfd.Wfd.span <- tpl_span;
     Clock.advance clock Cost.entry_table_init;
     if not t.scfg.features.Wfd.on_demand then Libos.load_all wfd ~clock
     else
@@ -662,6 +728,8 @@ module Server = struct
       Clock.advance clock runtime.Wasm.Runtime.startup
     end;
     if needs_python then Clock.advance clock Wasm.Runtime.cpython_init;
+    wfd.Wfd.span <- Span.none;
+    Span.end_span Span.global tpl_span ~at:(Clock.now clock);
     Trace.recordf Trace.global ~at:(Clock.now clock) ~category:"server"
       ~label:"template-built" "wfd%d for %s" wfd.Wfd.id endpoint;
     {
@@ -713,12 +781,13 @@ module Server = struct
      the endpoint's warm template when one is pooled, the full cold
      path otherwise.  Returns the WFD, its initial runtime state and
      whether the start was warm. *)
-  let boot_request t endpoint reg ~clock =
+  let boot_request t endpoint reg ~span ~clock =
     match if t.warm_enabled then Hashtbl.find_opt t.templates endpoint else None with
     | Some tpl ->
         touch t tpl;
         t.warm_hit_count <- t.warm_hit_count + 1;
         let wfd = Wfd.clone_template tpl.tpl_wfd ~proc_table:t.proc_table ~clock in
+        wfd.Wfd.span <- span;
         Libos.attach_warm wfd ~clock;
         if tpl.tpl_engine || tpl.tpl_python then
           Clock.advance clock Cost.warm_runtime_resume;
@@ -733,6 +802,7 @@ module Server = struct
             ~proc_table:t.proc_table ~clock
             ~workflow_name:(endpoint ^ ":" ^ reg.reg_workflow.Workflow.wf_name) ()
         in
+        wfd.Wfd.span <- span;
         Clock.advance clock Cost.entry_table_init;
         if not t.scfg.features.Wfd.on_demand then Libos.load_all wfd ~clock;
         let rt = { engine_started = false; python_booted = false } in
@@ -752,6 +822,7 @@ module Server = struct
     mutable fl_warm : bool;
     mutable fl_attempt : int;
     fl_retries : int ref;
+    fl_span : Span.id;  (** The request's root span. *)
   }
 
   type ev = Arrival of request | Advance of inflight
@@ -763,11 +834,22 @@ module Server = struct
 
   (* Boot one request's WFD (warm clone or cold create) at [at] and
      return its execution context, whether it started warm, and the
-     virtual instant the first stage may begin. *)
-  let boot_ectx t ~endpoint ~(reg : registration) ~retries ~at =
+     virtual instant the first stage may begin.  The boot is one span
+     under the request's root span — category "boot" for the first
+     boot, "retry" when rebooting a failed request, so workflow-level
+     retries show up in the latency breakdown. *)
+  let boot_ectx t ~endpoint ~(reg : registration) ~retries ~span ~boot_category ~at =
     let clock = Clock.create ~at () in
+    let boot_span =
+      Span.begin_span Span.global ~parent:span ~at ~category:boot_category
+        ~label:(boot_category ^ "-boot " ^ endpoint)
+        ()
+    in
     Clock.advance clock Cost.visor_dispatch;
-    let wfd, rt, warm = boot_request t endpoint reg ~clock in
+    let wfd, rt, warm = boot_request t endpoint reg ~span:boot_span ~clock in
+    Span.end_span Span.global boot_span ~at:(Clock.now clock);
+    Span.set_attr Span.global boot_span "warm" (string_of_bool warm);
+    wfd.Wfd.span <- span;
     let ectx =
       make_exec_ctx ~config:t.scfg ~bindings:reg.reg_bindings ~wfd ~rt ~retries
         ~t0:at
@@ -785,10 +867,15 @@ module Server = struct
     let failed = ref 0 in
     let first_arrival = ref None in
     let last_finish = ref Units.zero in
+    let req_histo = Metrics.histogram "server.request_latency_ns" in
+    let inflight_gauge = Metrics.gauge "server.max_inflight" in
     let finish_request fl ~now ~ok =
       Wfd.destroy fl.fl_ectx.ewfd;
       decr inflight_now;
       let latency = Units.sub now fl.fl_req.arrival in
+      Span.set_attr Span.global fl.fl_span "ok" (string_of_bool ok);
+      Span.end_span Span.global fl.fl_span ~at:now;
+      Metrics.observe_time req_histo latency;
       if ok then begin
         incr completed;
         Stats.add_time lat latency
@@ -812,7 +899,7 @@ module Server = struct
     let reboot_inflight fl ~at =
       let ectx, warm, ready =
         boot_ectx t ~endpoint:fl.fl_req.endpoint ~reg:fl.fl_reg
-          ~retries:fl.fl_retries ~at
+          ~retries:fl.fl_retries ~span:fl.fl_span ~boot_category:"retry" ~at
       in
       fl.fl_ectx <- ectx;
       fl.fl_warm <- warm;
@@ -824,6 +911,13 @@ module Server = struct
       match List.nth_opt fl.fl_stages fl.fl_stage_index with
       | None -> finish_request fl ~now ~ok:true
       | Some nodes -> (
+          let wfd = fl.fl_ectx.ewfd in
+          let stage_span =
+            Span.begin_span Span.global ~parent:fl.fl_span ~at:now ~category:"stage"
+              ~label:(Printf.sprintf "stage %d" fl.fl_stage_index)
+              ()
+          in
+          if stage_span <> Span.none then wfd.Wfd.span <- stage_span;
           match
             let durations = exec_stage fl.fl_ectx ~ready:now nodes in
             let placements =
@@ -834,10 +928,15 @@ module Server = struct
               ~durations ~placements
           with
           | makespan ->
+              wfd.Wfd.span <- fl.fl_span;
+              Span.end_span Span.global stage_span ~at:makespan;
               fl.fl_stage_index <- fl.fl_stage_index + 1;
               note_rss t;
               Eventq.push q ~at:makespan (Advance fl)
           | exception ((Function_failed _ | Function_hung _) as e) ->
+              (* The failed attempt's stage span stays zero-length; a
+                 retry attributes the reboot under "retry" instead. *)
+              Span.end_span Span.global stage_span ~at:now;
               Wfd.destroy fl.fl_ectx.ewfd;
               if fl.fl_attempt < max_workflow_attempts t.scfg then begin
                 (* Workflow-level retry: a brand-new WFD, carried
@@ -865,7 +964,12 @@ module Server = struct
             | Some _ -> ());
             incr inflight_now;
             max_inflight := Stdlib.max !max_inflight !inflight_now;
+            Metrics.max_gauge inflight_gauge (float_of_int !inflight_now);
             let reg = find_registration t req.endpoint in
+            let req_span =
+              Span.begin_span Span.global ~parent:Span.none ~at:now
+                ~category:"request" ~label:req.endpoint ()
+            in
             (* Blacklist admission runs (cached) before the workflow is
                triggered; its cost stays off the critical path, as in
                run_once. *)
@@ -873,7 +977,8 @@ module Server = struct
             | (_ : Units.time) ->
                 let retries = ref 0 in
                 let ectx, warm, ready =
-                  boot_ectx t ~endpoint:req.endpoint ~reg ~retries ~at:now
+                  boot_ectx t ~endpoint:req.endpoint ~reg ~retries ~span:req_span
+                    ~boot_category:"boot" ~at:now
                 in
                 let fl =
                   {
@@ -885,11 +990,14 @@ module Server = struct
                     fl_warm = warm;
                     fl_attempt = 1;
                     fl_retries = retries;
+                    fl_span = req_span;
                   }
                 in
                 note_rss t;
                 Eventq.push q ~at:ready (Advance fl)
             | exception Admission_failed _ ->
+                Span.set_attr Span.global req_span "ok" "false";
+                Span.end_span Span.global req_span ~at:now;
                 decr inflight_now;
                 incr failed;
                 last_finish := Units.max !last_finish now;

@@ -32,6 +32,7 @@ type t = {
   mutable entry_misses : int;
   mutable entry_hits : int;
   mutable trampoline_crossings : int;
+  mutable span : Span.id;
 }
 
 let system_key = Prot.key_of_int 1
@@ -108,6 +109,7 @@ let create ?(features = default_features) ?vfs ?fault ~proc_table ~clock ~workfl
     entry_misses = 0;
     entry_hits = 0;
     trampoline_crossings = 0;
+    span = Span.none;
   }
 
 let kib n = n * 1024
@@ -206,6 +208,7 @@ let clone_template template ~proc_table ~clock =
     entry_misses = 0;
     entry_hits = 0;
     trampoline_crossings = 0;
+    span = Span.none;
   }
 
 let destroy t =

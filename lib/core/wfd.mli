@@ -44,6 +44,11 @@ type t = {
   mutable entry_misses : int;
   mutable entry_hits : int;
   mutable trampoline_crossings : int;
+  mutable span : Sim.Span.id;
+      (** Current enclosing span in {!Sim.Span.global} — the trace
+          context the visor threads through stages and that substrate
+          layers (loader, buffers, sockets) parent their spans under.
+          {!Sim.Span.none} when tracing is off. *)
 }
 
 (** {1 Keys} *)

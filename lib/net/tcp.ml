@@ -103,6 +103,7 @@ let connect ?fault ~client ~server ~link ~client_profile ~server_profile () =
   (* Three-way handshake: SYN ->, <- SYN/ACK, ACK ->.  The connection is
      established on the client after one RTT and on the server after
      1.5 RTT (when the final ACK lands). *)
+  let hs_begin = Clock.now client in
   t.client_state <- Syn_sent;
   let syn_arrive = Units.add (Clock.now client) t.link.Link.latency in
   Clock.advance_to server syn_arrive;
@@ -115,6 +116,12 @@ let connect ?fault ~client ~server ~link ~client_profile ~server_profile () =
   let ack_arrive = Units.add (Clock.now client) t.link.Link.latency in
   Clock.advance_to server ack_arrive;
   t.server_state <- Established;
+  if Span.enabled Span.global then begin
+    let sp =
+      Span.begin_span Span.global ~at:hs_begin ~category:"network" ~label:"handshake" ()
+    in
+    Span.end_span Span.global sp ~at:(Clock.now client)
+  end;
   t
 
 let state t = (t.client_state, t.server_state)
@@ -128,8 +135,10 @@ let require_established t =
 let rto t = Units.max (Units.scale t.link.Link.latency 8.0) (Units.us 200)
 
 (* One retransmission round per fired injection: the lost burst costs
-   its wall time, an RTO wait, then the full resend. *)
-let fault_penalty t ~at ~burst_wall =
+   its wall time, an RTO wait, then the full resend.  A fired drop /
+   corruption also opens a "retry" span under [parent] covering the RTO
+   wait plus the resend, so retransmissions surface in the breakdown. *)
+let fault_penalty t ~at ~burst_wall ~parent =
   match t.fault with
   | None -> Units.zero
   | Some plan ->
@@ -146,16 +155,35 @@ let fault_penalty t ~at ~burst_wall =
         Fault.record_recovery plan ~at:resend_at
           ~site:(if dropped then Fault.site_link_tx else Fault.site_link_corrupt)
           "retransmitted burst after RTO";
+        if Span.enabled Span.global then begin
+          let b = Units.add at (Units.add delay burst_wall) in
+          let sp =
+            Span.begin_span Span.global ~parent ~at:b ~category:"retry"
+              ~label:"retransmit" ()
+          in
+          Span.end_span Span.global sp ~at:(Units.add b (Units.add (rto t) burst_wall))
+        end;
         Units.add delay (Units.add (rto t) burst_wall)
       end
       else delay
 
+let stream_histo = Metrics.histogram "net.stream_bytes"
+
 (* Move [data] from [src_clock] to [dst_clock] in window-sized bursts.
    Each burst's wall time is the max of wire serialisation and the
    slower endpoint's per-segment CPU; window pacing adds one RTT of ack
-   wait between bursts. *)
+   wait between bursts.  The whole stream is one "network" span hung
+   off the ambient parent (the as-std socket span when driven through
+   the libos, no parent when driven directly). *)
 let stream t ~tx ~rx ~src_clock ~dst_clock ~sink data =
   let len = Bytes.length data in
+  Metrics.observe stream_histo (float_of_int len);
+  let g = Span.global in
+  let sp =
+    Span.begin_span g
+      ~at:(Units.max (Clock.now src_clock) (Clock.now dst_clock))
+      ~category:"network" ~label:"stream" ()
+  in
   let mss = Stdlib.min tx.mss rx.mss in
   let window = Stdlib.min tx.window rx.window in
   let sent = ref 0 in
@@ -172,7 +200,7 @@ let stream t ~tx ~rx ~src_clock ~dst_clock ~sink data =
     let start = Units.max (Clock.now src_clock) (Clock.now dst_clock) in
     let burst_wall =
       let nominal = Units.max wire (Units.max cpu_tx cpu_rx) in
-      Units.add nominal (fault_penalty t ~at:start ~burst_wall:nominal)
+      Units.add nominal (fault_penalty t ~at:start ~burst_wall:nominal ~parent:sp)
     in
     let finish = Units.add start (Units.add burst_wall t.link.Link.latency) in
     Clock.advance_to src_clock (Units.add start burst_wall);
@@ -183,7 +211,12 @@ let stream t ~tx ~rx ~src_clock ~dst_clock ~sink data =
       Clock.advance_to src_clock (Units.add finish t.link.Link.latency);
     Buffer.add_subbytes sink data !sent burst;
     sent := !sent + burst
-  done
+  done;
+  if sp <> Span.none then begin
+    Span.set_attr g sp "bytes" (string_of_int len);
+    Span.end_span g sp
+      ~at:(Units.max (Clock.now src_clock) (Clock.now dst_clock))
+  end
 
 let send t ~from_client data =
   require_established t;

@@ -1,0 +1,108 @@
+type histogram = {
+  h_name : string;
+  buckets : int array;  (* 64 log2 buckets; index via [bucket_index] *)
+  samples : Stats.t;
+}
+
+type gauge = { g_name : string; mutable g_value : float }
+
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+      let h = { h_name = name; buckets = Array.make 64 0; samples = Stats.create () } in
+      Hashtbl.replace histograms name h;
+      h
+
+(* Bucket on the integer part so the boundary behaviour is exact:
+   bucket 0 <-> v < 1, bucket i <-> 2^(i-1) <= v < 2^i.  Int64 bit
+   length is deterministic where float log2 near powers of two is not. *)
+let bucket_index v =
+  let v = if v < 0.0 then 0.0 else v in
+  let n = Int64.of_float v in
+  let rec bits acc n = if n = 0L then acc else bits (acc + 1) (Int64.shift_right_logical n 1) in
+  let i = bits 0 n in
+  if i > 63 then 63 else i
+
+let bucket_bound i = 2.0 ** float_of_int i
+
+let observe h v =
+  let i = bucket_index v in
+  h.buckets.(i) <- h.buckets.(i) + 1;
+  Stats.add h.samples v
+
+let observe_time h d = observe h (Int64.to_float (Units.to_ns d))
+
+let histogram_count h = Stats.count h.samples
+let histogram_sum h = Stats.sum h.samples
+
+let gauge name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; g_value = 0.0 } in
+      Hashtbl.replace gauges name g;
+      g
+
+let set_gauge g v = g.g_value <- v
+let max_gauge g v = if v > g.g_value then g.g_value <- v
+let gauge_value g = g.g_value
+
+type histo_snapshot = {
+  hs_name : string;
+  hs_count : int;
+  hs_sum : float;
+  hs_min : float;
+  hs_max : float;
+  hs_p50 : float;
+  hs_p90 : float;
+  hs_p99 : float;
+  hs_buckets : (int * int) list;
+}
+
+type snapshot = {
+  snap_counters : (string * int) list;
+  snap_gauges : (string * float) list;
+  snap_histograms : histo_snapshot list;
+}
+
+let snapshot_histogram h =
+  let empty = Stats.is_empty h.samples in
+  let buckets = ref [] in
+  for i = 63 downto 0 do
+    if h.buckets.(i) > 0 then buckets := (i, h.buckets.(i)) :: !buckets
+  done;
+  {
+    hs_name = h.h_name;
+    hs_count = Stats.count h.samples;
+    hs_sum = Stats.sum h.samples;
+    hs_min = (if empty then 0.0 else Stats.min h.samples);
+    hs_max = (if empty then 0.0 else Stats.max h.samples);
+    hs_p50 = (if empty then 0.0 else Stats.p50 h.samples);
+    hs_p90 = (if empty then 0.0 else Stats.p90 h.samples);
+    hs_p99 = (if empty then 0.0 else Stats.p99 h.samples);
+    hs_buckets = !buckets;
+  }
+
+let snapshot () =
+  let gs =
+    Hashtbl.fold (fun n g acc -> (n, g.g_value) :: acc) gauges []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let hs =
+    Hashtbl.fold (fun _ h acc -> snapshot_histogram h :: acc) histograms []
+    |> List.sort (fun a b -> String.compare a.hs_name b.hs_name)
+  in
+  { snap_counters = Stats.counters (); snap_gauges = gs; snap_histograms = hs }
+
+let reset () =
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.buckets 0 64 0;
+      Stats.clear h.samples)
+    histograms;
+  Hashtbl.iter (fun _ g -> g.g_value <- 0.0) gauges;
+  Stats.reset_counters ()

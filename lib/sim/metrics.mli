@@ -1,0 +1,79 @@
+(** Process-global metrics registry.
+
+    Unifies the three instrument kinds the simulator needs under one
+    snapshotable registry:
+
+    - {e counters} — the existing {!Stats.Counter} registry (monotonic
+      event counts bumped on hot paths);
+    - {e histograms} — value distributions with deterministic
+      log2-bucketed bins plus exact percentiles from the retained
+      samples (powered by {!Stats}, so repeated percentile queries cost
+      one sort per batch of adds);
+    - {e gauges} — last-value (or high-watermark) instruments.
+
+    Everything is keyed by name and deterministic: two identically
+    seeded runs produce identical snapshots, which is what lets CI diff
+    exported metrics byte-for-byte.  JSON rendering lives in the core
+    library ([Obs]) — this module only exposes the plain snapshot. *)
+
+type histogram
+type gauge
+
+val histogram : string -> histogram
+(** Registered histogram for [name], created empty on first use.
+    Repeated calls with the same name share one instrument. *)
+
+val observe : histogram -> float -> unit
+(** Negative values are clamped to 0 for bucketing (the exact sample
+    is retained as given). *)
+
+val observe_time : histogram -> Units.time -> unit
+(** Records the duration in nanoseconds. *)
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val bucket_index : float -> int
+(** Bucket for a value: 0 holds values < 1; bucket [i >= 1] holds
+    values in [[2^(i-1), 2^i)].  Computed on the integer part, so it is
+    bit-deterministic across platforms. *)
+
+val bucket_bound : int -> float
+(** Upper bound (exclusive) of a bucket: [2^i]. *)
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+val max_gauge : gauge -> float -> unit
+(** High-watermark update: keeps the maximum of the current and given
+    values. *)
+
+val gauge_value : gauge -> float
+
+(** {1 Snapshots} *)
+
+type histo_snapshot = {
+  hs_name : string;
+  hs_count : int;
+  hs_sum : float;
+  hs_min : float;  (** 0 when empty. *)
+  hs_max : float;
+  hs_p50 : float;
+  hs_p90 : float;
+  hs_p99 : float;
+  hs_buckets : (int * int) list;
+      (** Non-empty buckets as [(index, count)], ascending index. *)
+}
+
+type snapshot = {
+  snap_counters : (string * int) list;  (** Sorted by name. *)
+  snap_gauges : (string * float) list;  (** Sorted by name. *)
+  snap_histograms : histo_snapshot list;  (** Sorted by name. *)
+}
+
+val snapshot : unit -> snapshot
+(** Snapshot of the whole registry, including every {!Stats.Counter}. *)
+
+val reset : unit -> unit
+(** Zeroes every histogram, gauge and {!Stats.Counter} (the instruments
+    stay registered).  Call at run boundaries so exported snapshots are
+    per-run. *)

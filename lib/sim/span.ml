@@ -1,0 +1,99 @@
+type id = int
+
+let none = 0
+
+type span = {
+  sp_id : id;
+  sp_parent : id;
+  sp_category : string;
+  sp_label : string;
+  sp_begin : Units.time;
+  mutable sp_end : Units.time;
+  mutable sp_attrs : (string * string) list;
+}
+
+type t = {
+  mutable store : span array;
+  mutable len : int;
+  mutable on : bool;
+  mutable amb : id;
+}
+
+let dummy =
+  {
+    sp_id = none;
+    sp_parent = none;
+    sp_category = "";
+    sp_label = "";
+    sp_begin = Units.zero;
+    sp_end = Units.zero;
+    sp_attrs = [];
+  }
+
+let create () = { store = Array.make 64 dummy; len = 0; on = false; amb = none }
+
+let global = create ()
+
+let enabled t = t.on
+let set_enabled t v = t.on <- v
+
+let clear t =
+  Array.fill t.store 0 t.len dummy;
+  t.len <- 0;
+  t.amb <- none
+
+let push t sp =
+  if t.len = Array.length t.store then begin
+    let bigger = Array.make (2 * t.len) dummy in
+    Array.blit t.store 0 bigger 0 t.len;
+    t.store <- bigger
+  end;
+  t.store.(t.len) <- sp;
+  t.len <- t.len + 1
+
+let begin_span t ?parent ~at ~category ~label () =
+  if not t.on then none
+  else begin
+    let parent = match parent with Some p -> p | None -> t.amb in
+    let id = t.len + 1 in
+    push t
+      {
+        sp_id = id;
+        sp_parent = parent;
+        sp_category = category;
+        sp_label = label;
+        sp_begin = at;
+        sp_end = at;
+        sp_attrs = [];
+      };
+    id
+  end
+
+let find t id = if id >= 1 && id <= t.len then Some t.store.(id - 1) else None
+
+let end_span t id ~at =
+  if id <> none then
+    match find t id with
+    | Some sp -> sp.sp_end <- Units.max sp.sp_begin at
+    | None -> ()
+
+let instant t ?parent ~at ~category ~label () =
+  if t.on then ignore (begin_span t ?parent ~at ~category ~label ())
+
+let set_attr t id key value =
+  if id <> none then
+    match find t id with
+    | Some sp -> sp.sp_attrs <- sp.sp_attrs @ [ (key, value) ]
+    | None -> ()
+
+let ambient t = t.amb
+let set_ambient t id = t.amb <- id
+
+let count t = t.len
+
+let spans t = List.init t.len (fun i -> t.store.(i))
+
+let children t id =
+  List.filter (fun sp -> sp.sp_parent = id && sp.sp_id <> id) (spans t)
+
+let roots t = children t none

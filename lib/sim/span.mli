@@ -1,0 +1,80 @@
+(** Hierarchical execution spans on the virtual timeline.
+
+    Where {!Trace} records flat point events, a span covers an interval
+    [[t_begin, t_end]] of virtual time and carries a parent link, so a
+    workflow execution yields a tree: workflow -> stages -> functions ->
+    loads / computes / transfers / network bursts.  The tree is what the
+    breakdown and exporter layers (core [Obs]) consume.
+
+    Spans are off by default and cost one branch when disabled — the
+    same discipline as {!Trace.record}: argument expressions at the call
+    site are still evaluated, but nothing is allocated or stored. *)
+
+type id = int
+(** Span identifier.  Ids are assigned densely from 1 in creation
+    order; {!none} (0) is the absent parent / disabled sentinel. *)
+
+val none : id
+
+type span = {
+  sp_id : id;
+  sp_parent : id;  (** {!none} for a root span. *)
+  sp_category : string;
+      (** Breakdown category for leaves (["boot"], ["load-slow"],
+          ["load-fast"], ["compute"], ["transfer"], ["network"], ["io"],
+          ["retry"]) or a structural kind (["workflow"], ["stage"],
+          ["function"], ["request"], ["template"]). *)
+  sp_label : string;
+  sp_begin : Units.time;
+  mutable sp_end : Units.time;  (** Equals [sp_begin] until ended. *)
+  mutable sp_attrs : (string * string) list;  (** Insertion order. *)
+}
+
+type t
+
+val create : unit -> t
+
+val global : t
+(** Process-wide collector used by the core library; disabled by
+    default. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val clear : t -> unit
+(** Drops every span, resets the id counter and the ambient parent. *)
+
+val begin_span :
+  t -> ?parent:id -> at:Units.time -> category:string -> label:string -> unit -> id
+(** Opens a span.  When the collector is disabled returns {!none}.
+    When [parent] is omitted the current {!ambient} parent is used —
+    this is how layers with no workflow context in scope (the TCP
+    stack) attach to the function span the visor installed. *)
+
+val end_span : t -> id -> at:Units.time -> unit
+(** Closes a span; no-op on {!none}.  The end instant is clamped to be
+    no earlier than the begin instant. *)
+
+val instant : t -> ?parent:id -> at:Units.time -> category:string -> label:string -> unit -> unit
+(** Zero-duration span (e.g. a fast-path entry hit). *)
+
+val set_attr : t -> id -> string -> string -> unit
+(** Attaches a key-value attribute; no-op on {!none}. *)
+
+val ambient : t -> id
+(** Current ambient parent ({!none} when unset). *)
+
+val set_ambient : t -> id -> unit
+
+val count : t -> int
+
+val spans : t -> span list
+(** All spans in creation (= id) order. *)
+
+val find : t -> id -> span option
+
+val children : t -> id -> span list
+(** Direct children in creation order. *)
+
+val roots : t -> span list
+(** Spans with parent {!none}, in creation order. *)

@@ -1,10 +1,14 @@
 type t = {
   mutable samples : float array;
   mutable len : int;
-  mutable sorted : bool;
+  mutable view : float array;
+      (** Cached sorted copy of the live prefix; valid iff [view_ok].
+          Percentile queries sort once after a batch of adds instead of
+          O(n log n) per query, and never disturb insertion order. *)
+  mutable view_ok : bool;
 }
 
-let create () = { samples = Array.make 16 0.0; len = 0; sorted = true }
+let create () = { samples = Array.make 16 0.0; len = 0; view = [||]; view_ok = false }
 
 let add t x =
   if t.len = Array.length t.samples then begin
@@ -14,7 +18,7 @@ let add t x =
   end;
   t.samples.(t.len) <- x;
   t.len <- t.len + 1;
-  t.sorted <- false
+  t.view_ok <- false
 
 let add_time t d = add t (Int64.to_float (Units.to_ns d))
 
@@ -43,28 +47,29 @@ let stddev t =
     sqrt (ss /. float_of_int (t.len - 1))
   end
 
-let ensure_sorted t =
-  if not t.sorted then begin
-    let live = Array.sub t.samples 0 t.len in
-    Array.sort Float.compare live;
-    Array.blit live 0 t.samples 0 t.len;
-    t.sorted <- true
-  end
+let sorted_view t =
+  if not t.view_ok then begin
+    t.view <- Array.sub t.samples 0 t.len;
+    Array.sort Float.compare t.view;
+    t.view_ok <- true
+  end;
+  t.view
 
 let percentile t p =
   if t.len = 0 then invalid_arg "Stats.percentile: empty";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
-  ensure_sorted t;
+  let view = sorted_view t in
   let rank = p /. 100.0 *. float_of_int (t.len - 1) in
   let lo = int_of_float (Float.floor rank) in
   let hi = int_of_float (Float.ceil rank) in
-  if lo = hi then t.samples.(lo)
+  if lo = hi then view.(lo)
   else begin
     let frac = rank -. float_of_int lo in
-    t.samples.(lo) +. (frac *. (t.samples.(hi) -. t.samples.(lo)))
+    view.(lo) +. (frac *. (view.(hi) -. view.(lo)))
   end
 
 let p50 t = percentile t 50.0
+let p90 t = percentile t 90.0
 let p99 t = percentile t 99.0
 
 let percentile_time t p = Units.ns_f (percentile t p)
@@ -72,7 +77,7 @@ let mean_time t = Units.ns_f (mean t)
 
 let clear t =
   t.len <- 0;
-  t.sorted <- true
+  t.view_ok <- false
 
 let to_list t = Array.to_list (Array.sub t.samples 0 t.len)
 

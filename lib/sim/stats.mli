@@ -17,9 +17,13 @@ val stddev : t -> float
 
 val percentile : t -> float -> float
 (** [percentile t p] with [p] in [0, 100], linear interpolation between
-    closest ranks.  Raises [Invalid_argument] on an empty collection. *)
+    closest ranks.  Raises [Invalid_argument] on an empty collection.
+    Queries read a cached sorted view that is invalidated by {!add} and
+    {!clear}, so a batch of percentile queries sorts once and insertion
+    order (as seen by {!to_list}) is never disturbed. *)
 
 val p50 : t -> float
+val p90 : t -> float
 val p99 : t -> float
 
 val percentile_time : t -> float -> Units.time
@@ -27,7 +31,9 @@ val percentile_time : t -> float -> Units.time
 
 val mean_time : t -> Units.time
 val clear : t -> unit
+
 val to_list : t -> float list
+(** Samples in insertion order. *)
 
 (** Named monotonic event counters with a process-global registry.
     Hot paths hold the counter and bump it with a single store; readers

@@ -22,4 +22,5 @@ let () =
       ("resilience", Test_resilience.suite);
       ("fault", Test_fault.suite);
       ("multilang", Test_multilang.suite);
+      ("obs", Test_obs.suite);
     ]
