@@ -4,7 +4,8 @@
    Usage:
      dune exec bench/main.exe                 -- all experiments
      dune exec bench/main.exe fig11 fig12     -- a subset
-     dune exec bench/main.exe --quick         -- reduced data sizes *)
+     dune exec bench/main.exe --quick         -- reduced data sizes
+     dune exec bench/main.exe --domains 4     -- host domain pool width *)
 
 open Sim
 open Baselines
@@ -14,6 +15,16 @@ let mib n = n * 1024 * 1024
 let kib n = n * 1024
 
 let quick = ref false
+
+(* --domains N: host domain pool width for the parallel serving / exec
+   experiments.  0 = auto (up to 4, bounded by the machine).  Virtual
+   results are bit-identical whatever this is set to — the bench
+   asserts that on every run. *)
+let domains_flag = ref 0
+
+let bench_domains () =
+  if !domains_flag > 0 then !domains_flag
+  else Stdlib.min 4 (Stdlib.max 1 (Domain.recommended_domain_count ()))
 
 let scale n = if !quick then Stdlib.max 4096 (n / 16) else n
 
@@ -877,16 +888,92 @@ let serving () =
                (Obs.categories @ [ "other" ])) );
       ]
   in
-  Span.set_enabled Span.global true;
-  let warm_r = run_mode ~warm:true in
-  let warm_breakdown = request_breakdown () in
-  let trace_doc = Obs.trace_json_string () in
-  let metrics_doc = Obs.metrics_json_string () in
-  reset_observability ();
-  let cold_r = run_mode ~warm:false in
-  let cold_breakdown = request_breakdown () in
-  Span.set_enabled Span.global false;
-  reset_observability ();
+  let mode_json (r : Visor.Server.serve_report) =
+    Jsonlite.Obj
+      [
+        ("completed", Jsonlite.Int r.Visor.Server.completed);
+        ("failed", Jsonlite.Int r.Visor.Server.failed);
+        ("throughput_rps", Jsonlite.Float r.Visor.Server.throughput_rps);
+        ("mean_us", Jsonlite.Float (Units.to_us r.Visor.Server.mean_latency));
+        ("p50_us", Jsonlite.Float (Units.to_us r.Visor.Server.p50_latency));
+        ("p99_us", Jsonlite.Float (Units.to_us r.Visor.Server.p99_latency));
+        ("max_inflight", Jsonlite.Int r.Visor.Server.max_inflight);
+        ("warm_starts", Jsonlite.Int r.Visor.Server.warm_starts);
+        ("cold_starts", Jsonlite.Int r.Visor.Server.cold_starts);
+        ("admission_hits", Jsonlite.Int r.Visor.Server.adm_hits);
+        ("admission_scans", Jsonlite.Int r.Visor.Server.adm_scans);
+        ("evictions", Jsonlite.Int r.Visor.Server.evictions);
+        ("peak_rss", Jsonlite.Int r.Visor.Server.machine_peak_rss);
+      ]
+  in
+  (* Every response field is virtual time or a deterministic counter:
+     the per-response fingerprint must match across domain counts. *)
+  let fingerprint (r : Visor.Server.serve_report) =
+    String.concat ";"
+      (List.map
+         (fun (p : Visor.Server.response) ->
+           Printf.sprintf "%s,%Ld,%Ld,%b,%b,%d,%d" p.Visor.Server.r_endpoint
+             (Units.to_ns p.Visor.Server.r_arrival)
+             (Units.to_ns p.Visor.Server.r_finish)
+             p.Visor.Server.r_warm p.Visor.Server.r_ok p.Visor.Server.r_attempts
+             p.Visor.Server.r_retries)
+         r.Visor.Server.responses)
+  in
+  (* Each pool mode runs on one domain and on the requested pool: wall
+     time is allowed to differ, every virtual artifact (responses,
+     summary, span breakdown, trace and metrics exports) must be
+     byte-identical.  CI re-checks this across separate --domains
+     invocations. *)
+  let run_at ~domains ~warm =
+    Par.set_domains domains;
+    reset_observability ();
+    Span.set_enabled Span.global true;
+    let t0 = Unix.gettimeofday () in
+    let r = run_mode ~warm in
+    let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    let bd = request_breakdown () in
+    let trace = Obs.trace_json_string () in
+    let metrics = Obs.metrics_json_string () in
+    Span.set_enabled Span.global false;
+    Par.set_domains 1;
+    (r, wall_ms, bd, trace, metrics)
+  in
+  let nd = bench_domains () in
+  let warm_r1, warm_ms1, warm_bd1, warm_tr1, warm_me1 =
+    run_at ~domains:1 ~warm:true
+  in
+  let cold_r1, cold_ms1, cold_bd1, cold_tr1, cold_me1 =
+    run_at ~domains:1 ~warm:false
+  in
+  let warm_r, warm_ms, warm_breakdown, trace_doc, metrics_doc =
+    run_at ~domains:nd ~warm:true
+  in
+  let cold_r, cold_ms, cold_breakdown, cold_tr, cold_me =
+    run_at ~domains:nd ~warm:false
+  in
+  let check label a b =
+    if not (String.equal a b) then begin
+      Printf.eprintf
+        "serving: %s differs between --domains 1 and --domains %d\n" label nd;
+      exit 1
+    end
+  in
+  check "warm responses" (fingerprint warm_r1) (fingerprint warm_r);
+  check "cold responses" (fingerprint cold_r1) (fingerprint cold_r);
+  check "warm summary"
+    (Jsonlite.to_string (mode_json warm_r1))
+    (Jsonlite.to_string (mode_json warm_r));
+  check "cold summary"
+    (Jsonlite.to_string (mode_json cold_r1))
+    (Jsonlite.to_string (mode_json cold_r));
+  check "warm breakdown" (Jsonlite.to_string warm_bd1)
+    (Jsonlite.to_string warm_breakdown);
+  check "cold breakdown" (Jsonlite.to_string cold_bd1)
+    (Jsonlite.to_string cold_breakdown);
+  check "warm trace export" warm_tr1 trace_doc;
+  check "cold trace export" cold_tr1 cold_tr;
+  check "warm metrics export" warm_me1 metrics_doc;
+  check "cold metrics export" cold_me1 cold_me;
   let t =
     Table.create
       ~title:
@@ -934,36 +1021,51 @@ let serving () =
     "single Python request: cold boot %s vs warm clone %s (%.1fx)\n\n" (pp_t cold_one)
     (pp_t warm_one)
     (Units.to_us cold_one /. Float.max 1e-9 (Units.to_us warm_one));
-  let mode_json (r : Visor.Server.serve_report) =
-    Jsonlite.Obj
-      [
-        ("completed", Jsonlite.Int r.Visor.Server.completed);
-        ("failed", Jsonlite.Int r.Visor.Server.failed);
-        ("throughput_rps", Jsonlite.Float r.Visor.Server.throughput_rps);
-        ("mean_us", Jsonlite.Float (Units.to_us r.Visor.Server.mean_latency));
-        ("p50_us", Jsonlite.Float (Units.to_us r.Visor.Server.p50_latency));
-        ("p99_us", Jsonlite.Float (Units.to_us r.Visor.Server.p99_latency));
-        ("max_inflight", Jsonlite.Int r.Visor.Server.max_inflight);
-        ("warm_starts", Jsonlite.Int r.Visor.Server.warm_starts);
-        ("cold_starts", Jsonlite.Int r.Visor.Server.cold_starts);
-        ("admission_hits", Jsonlite.Int r.Visor.Server.adm_hits);
-        ("admission_scans", Jsonlite.Int r.Visor.Server.adm_scans);
-        ("evictions", Jsonlite.Int r.Visor.Server.evictions);
-        ("peak_rss", Jsonlite.Int r.Visor.Server.machine_peak_rss);
-      ]
-  in
+  Printf.printf
+    "host parallel: %d domains; cold wall %.0f ms -> %.0f ms (%.2fx), warm %.0f ms -> %.0f ms (%.2fx)\n\n"
+    nd cold_ms1 cold_ms
+    (cold_ms1 /. Float.max 1e-9 cold_ms)
+    warm_ms1 warm_ms
+    (warm_ms1 /. Float.max 1e-9 warm_ms);
   let json =
     Jsonlite.Obj
       [
         ("seed", Jsonlite.Int seed);
         ("requests", Jsonlite.Int count);
         ("qps", Jsonlite.Float qps);
-        ("warm", mode_json warm_r);
-        ("cold", mode_json cold_r);
-        ("single_cold_us", Jsonlite.Float (Units.to_us cold_one));
-        ("single_warm_us", Jsonlite.Float (Units.to_us warm_one));
-        ( "breakdown",
-          Jsonlite.Obj [ ("warm", warm_breakdown); ("cold", cold_breakdown) ] );
+        (* Deterministic: identical for every domain count (asserted
+           above and diffed by CI). *)
+        ( "virtual",
+          Jsonlite.Obj
+            [
+              ("warm", mode_json warm_r);
+              ("cold", mode_json cold_r);
+              ("single_cold_us", Jsonlite.Float (Units.to_us cold_one));
+              ("single_warm_us", Jsonlite.Float (Units.to_us warm_one));
+              ( "breakdown",
+                Jsonlite.Obj
+                  [ ("warm", warm_breakdown); ("cold", cold_breakdown) ] );
+            ] );
+        (* Machine dependent: wall-clock of this run. *)
+        ( "host",
+          Jsonlite.Obj
+            [
+              ( "parallel",
+                Jsonlite.Obj
+                  [
+                    ("domains", Jsonlite.Int nd);
+                    ( "host_cores",
+                      Jsonlite.Int (Domain.recommended_domain_count ()) );
+                    ("warm_wall_ms_domains1", Jsonlite.Float warm_ms1);
+                    ("warm_wall_ms", Jsonlite.Float warm_ms);
+                    ("cold_wall_ms_domains1", Jsonlite.Float cold_ms1);
+                    ("cold_wall_ms", Jsonlite.Float cold_ms);
+                    ( "speedup_warm",
+                      Jsonlite.Float (warm_ms1 /. Float.max 1e-9 warm_ms) );
+                    ( "speedup_cold",
+                      Jsonlite.Float (cold_ms1 /. Float.max 1e-9 cold_ms) );
+                  ] );
+            ] );
       ]
   in
   let write path contents =
@@ -1088,6 +1190,51 @@ let exec () =
      identical with and without it. *)
   assert (Units.compare load_vt cached_vt = 0);
   let load_speedup = load_ms /. Float.max 1e-9 cached_ms in
+  (* --- host-parallel workflow repeats (Visor.run_many) ------------- *)
+  (* Each repeat AOT-compiles the big module inside its own WFD (no
+     shared compile cache), so the host work per repeat is real and the
+     domain pool can spread it.  Reports must be structurally identical
+     whatever the domain count. *)
+  let par_wf =
+    Workflow.create_exn ~name:"aotpar"
+      ~nodes:
+        [
+          {
+            Workflow.node_id = "compile";
+            language = Workflow.Rust;
+            instances = 1;
+            required_modules = [];
+          };
+        ]
+      ~edges:[]
+  in
+  let par_bindings =
+    [
+      ( "compile",
+        Visor.bind (fun ctx ~instance:_ ~total:_ ->
+            ignore (Asstd.load_wasm ctx profile big)) );
+    ]
+  in
+  let par_repeat = if !quick then 16 else 48 in
+  let run_repeats d =
+    Par.set_domains d;
+    let t0 = Unix.gettimeofday () in
+    let reports =
+      Visor.run_many ~workflow:par_wf ~bindings:par_bindings ~repeat:par_repeat ()
+    in
+    Par.set_domains 1;
+    ((Unix.gettimeofday () -. t0) *. 1000.0, reports)
+  in
+  let par1_ms, par_reports1 = run_repeats 1 in
+  let nd = bench_domains () in
+  let parn_ms, par_reports = run_repeats nd in
+  if par_reports1 <> par_reports then begin
+    Printf.eprintf
+      "exec: run_many reports differ between --domains 1 and --domains %d\n" nd;
+    exit 1
+  end;
+  let par_speedup = par1_ms /. Float.max 1e-9 parn_ms in
+  let par_e2e = par_reports.(0).Visor.e2e in
   let t =
     Table.create ~title:"Execution fast paths (host time vs virtual time)"
       ~columns:[ "path"; "host"; "virtual" ]
@@ -1110,6 +1257,12 @@ let exec () =
   Table.add_row t
     [ Printf.sprintf "cached AOT load (%.1fx)" load_speedup;
       Printf.sprintf "%.1f ms" cached_ms; pp_t cached_vt ];
+  Table.add_row t
+    [ Printf.sprintf "run_many x%d, 1 domain" par_repeat;
+      Printf.sprintf "%.1f ms" par1_ms; pp_t par_e2e ];
+  Table.add_row t
+    [ Printf.sprintf "run_many x%d, %d domains (%.1fx)" par_repeat nd par_speedup;
+      Printf.sprintf "%.1f ms" parn_ms; pp_t par_e2e ];
   Table.print t;
   Printf.printf "TLB: %d hits / %d misses / %d flushes; walk accesses %d\n"
     (Mem.Address_space.tlb_hit_count tlb_sp)
@@ -1142,6 +1295,13 @@ let exec () =
               ("cached_load_virtual_us", Jsonlite.Float (Units.to_us cached_vt));
               ("cache_misses", Jsonlite.Int (Wasm.Compile_cache.miss_count codec));
               ("cache_hits", Jsonlite.Int (Wasm.Compile_cache.hit_count codec));
+              ("run_many_repeat", Jsonlite.Int par_repeat);
+              ("run_many_e2e_us", Jsonlite.Float (Units.to_us par_e2e));
+              ( "run_many_retries",
+                Jsonlite.Int
+                  (Array.fold_left
+                     (fun acc (r : Visor.report) -> acc + r.Visor.retries)
+                     0 par_reports) );
             ] );
         (* Machine dependent: wall-clock of this run. *)
         ( "host",
@@ -1155,6 +1315,14 @@ let exec () =
               ("load_ms", Jsonlite.Float load_ms);
               ("cached_load_ms", Jsonlite.Float cached_ms);
               ("load_speedup", Jsonlite.Float load_speedup);
+              ( "parallel",
+                Jsonlite.Obj
+                  [
+                    ("domains", Jsonlite.Int nd);
+                    ("run_many_wall_ms_domains1", Jsonlite.Float par1_ms);
+                    ("run_many_wall_ms", Jsonlite.Float parn_ms);
+                    ("speedup", Jsonlite.Float par_speedup);
+                  ] );
             ] );
       ]
   in
@@ -1189,16 +1357,25 @@ let experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--quick" || a = "-q" then begin
-          quick := true;
-          false
-        end
-        else true)
-      args
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | ("--quick" | "-q") :: rest ->
+        quick := true;
+        parse acc rest
+    | "--domains" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some d when d >= 1 ->
+            domains_flag := d;
+            parse acc rest
+        | _ ->
+            Printf.eprintf "--domains expects a positive integer, got %S\n" n;
+            exit 2)
+    | [ "--domains" ] ->
+        Printf.eprintf "--domains expects a positive integer\n";
+        exit 2
+    | a :: rest -> parse (a :: acc) rest
   in
+  let args = parse [] args in
   let selected =
     match args with
     | [] | [ "all" ] -> experiments

@@ -209,8 +209,9 @@ let check_cmd dot file =
 
 (* Serve a synthetic open-loop request trace against the warm-pool
    server and print the latency/throughput summary. *)
-let serve_cmd requests qps seed cold trace trace_out metrics_out =
+let serve_cmd requests qps seed cold domains trace trace_out metrics_out =
   reset_observability ();
+  Sim.Par.set_domains domains;
   if trace then Sim.Trace.set_enabled Sim.Trace.global true;
   if trace || trace_out <> None then Sim.Span.set_enabled Sim.Span.global true;
   let open Alloystack_core in
@@ -246,6 +247,7 @@ let serve_cmd requests qps seed cold trace trace_out metrics_out =
   end;
   export_trace trace_out;
   export_metrics metrics_out;
+  Sim.Par.set_domains 1;
   0
 
 let app_arg =
@@ -317,14 +319,21 @@ let qps_arg =
 let cold_arg =
   Arg.(value & flag & info [ "cold" ] ~doc:"Disable the warm template pool.")
 
+let domains_arg =
+  Arg.(value & opt int 1
+       & info [ "domains" ]
+           ~doc:"Host domain pool width for request execution.  Virtual-time \
+                 results (latencies, trace, metrics) are bit-identical for \
+                 every value; only wall time changes.")
+
 let serve_info =
   Cmd.info "serve"
     ~doc:"Serve a seeded open-loop load through the warm-pool server and report latency."
 
 let serve_term =
   Term.(
-    const serve_cmd $ requests_arg $ qps_arg $ seed_arg $ cold_arg $ trace_arg
-    $ trace_out_arg $ metrics_out_arg)
+    const serve_cmd $ requests_arg $ qps_arg $ seed_arg $ cold_arg $ domains_arg
+    $ trace_arg $ trace_out_arg $ metrics_out_arg)
 
 let main =
   Cmd.group (Cmd.info "alloystack" ~doc:"AlloyStack reproduction CLI")

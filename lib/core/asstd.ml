@@ -51,7 +51,7 @@ let with_runtime ctx profile =
    stack, which cannot see the WFD, attaches its bursts here too).
    One branch when tracing is off. *)
 let with_span ctx ~category ~label f =
-  let g = Span.global in
+  let g = (Span.current ()) in
   if not (Span.enabled g) then f ()
   else begin
     let clock = ctx.thread.Wfd.clock in
@@ -135,13 +135,13 @@ let tcp_bind ctx ~port =
 
 let compute ctx native =
   let clock = ctx.thread.Wfd.clock in
-  if Span.enabled Span.global then begin
+  if Span.enabled (Span.current ()) then begin
     let sp =
-      Span.begin_span Span.global ~parent:ctx.wfd.Wfd.span ~at:(Clock.now clock)
+      Span.begin_span (Span.current ()) ~parent:ctx.wfd.Wfd.span ~at:(Clock.now clock)
         ~category:"compute" ~label:"compute" ()
     in
     Clock.advance clock (Units.scale native ctx.compute_factor);
-    Span.end_span Span.global sp ~at:(Clock.now clock)
+    Span.end_span (Span.current ()) sp ~at:(Clock.now clock)
   end
   else Clock.advance clock (Units.scale native ctx.compute_factor)
 

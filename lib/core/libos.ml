@@ -76,7 +76,7 @@ let rec load_module (wfd : Wfd.t) ~clock name =
        covers the transitive dependency loads too, so entry-miss time
        attributes to load-slow whichever module actually pulled it in. *)
     let sp =
-      Span.begin_span Span.global ~parent:wfd.Wfd.span ~at:t0 ~category:"load-slow"
+      Span.begin_span (Span.current ()) ~parent:wfd.Wfd.span ~at:t0 ~category:"load-slow"
         ~label:("load " ^ name) ()
     in
     let saved = wfd.Wfd.span in
@@ -84,7 +84,7 @@ let rec load_module (wfd : Wfd.t) ~clock name =
     Fun.protect
       ~finally:(fun () ->
         wfd.Wfd.span <- saved;
-        Span.end_span Span.global sp ~at:(Clock.now clock);
+        Span.end_span (Span.current ()) sp ~at:(Clock.now clock);
         Metrics.observe_time load_histo (Units.sub (Clock.now clock) t0))
       (fun () ->
         List.iter (load_module wfd ~clock) m.deps;
@@ -98,33 +98,33 @@ let rec load_module (wfd : Wfd.t) ~clock name =
         | Some plan when Fault.check ~at:(Clock.now clock) plan ~site:Fault.site_loader_load
           ->
             let rsp =
-              Span.begin_span Span.global ~parent:sp ~at:(Clock.now clock)
+              Span.begin_span (Span.current ()) ~parent:sp ~at:(Clock.now clock)
                 ~category:"retry" ~label:("reload " ^ name) ()
             in
             Clock.advance clock Cost.dlmopen_namespace;
             Fault.record_recovery plan ~at:(Clock.now clock) ~site:Fault.site_loader_load
               ("slow-path reload of module " ^ name);
-            Span.end_span Span.global rsp ~at:(Clock.now clock)
+            Span.end_span (Span.current ()) rsp ~at:(Clock.now clock)
         | _ -> ());
         Clock.advance clock (Cost.module_load name);
         m.init wfd ~clock;
         Hashtbl.replace wfd.Wfd.loaded_modules name ();
         List.iter (fun e -> Hashtbl.replace wfd.Wfd.entry_table e name) m.entries;
-        Trace.recordf Trace.global ~at:(Clock.now clock) ~category:"loader"
+        Trace.recordf (Trace.current ()) ~at:(Clock.now clock) ~category:"loader"
           ~label:"module-loaded" "wfd%d %s" wfd.Wfd.id name)
   end
 
 let ensure_entry (wfd : Wfd.t) ~clock entry =
   if Hashtbl.mem wfd.Wfd.entry_table entry then begin
     wfd.Wfd.entry_hits <- wfd.Wfd.entry_hits + 1;
-    if Span.enabled Span.global then
-      Span.instant Span.global ~parent:wfd.Wfd.span ~at:(Clock.now clock)
+    if Span.enabled (Span.current ()) then
+      Span.instant (Span.current ()) ~parent:wfd.Wfd.span ~at:(Clock.now clock)
         ~category:"load-fast" ~label:entry ();
     `Fast
   end
   else begin
     wfd.Wfd.entry_misses <- wfd.Wfd.entry_misses + 1;
-    Trace.recordf Trace.global ~at:(Clock.now clock) ~category:"loader"
+    Trace.recordf (Trace.current ()) ~at:(Clock.now clock) ~category:"loader"
       ~label:"entry-miss" "wfd%d %s" wfd.Wfd.id entry;
     let m = providing entry in
     load_module wfd ~clock m.mod_name;
@@ -138,7 +138,7 @@ let attach_warm (wfd : Wfd.t) ~clock =
      once on the template — the clone charges the small CoW-attach cost
      per module and runs init against a scratch clock. *)
   let sp =
-    Span.begin_span Span.global ~parent:wfd.Wfd.span ~at:(Clock.now clock)
+    Span.begin_span (Span.current ()) ~parent:wfd.Wfd.span ~at:(Clock.now clock)
       ~category:"load-fast" ~label:"attach-warm" ()
   in
   let scratch = Clock.create ~at:(Clock.now clock) () in
@@ -147,11 +147,11 @@ let attach_warm (wfd : Wfd.t) ~clock =
       if Wfd.is_loaded wfd m.mod_name then begin
         Clock.advance clock Cost.warm_module_attach;
         m.init wfd ~clock:scratch;
-        Trace.recordf Trace.global ~at:(Clock.now clock) ~category:"loader"
+        Trace.recordf (Trace.current ()) ~at:(Clock.now clock) ~category:"loader"
           ~label:"module-attached" "wfd%d %s (warm)" wfd.Wfd.id m.mod_name
       end)
     registry;
-  Span.end_span Span.global sp ~at:(Clock.now clock)
+  Span.end_span (Span.current ()) sp ~at:(Clock.now clock)
 
 let load_all (wfd : Wfd.t) ~clock =
   List.iter (fun m -> load_module wfd ~clock m.mod_name) registry;

@@ -285,7 +285,7 @@ let exec_stage ectx ~ready nodes =
       in
       let fn = node.Workflow.node_id in
       let fn_span =
-        Span.begin_span Span.global ~parent:wfd.Wfd.span ~at:start
+        Span.begin_span (Span.current ()) ~parent:wfd.Wfd.span ~at:start
           ~category:"function"
           ~label:(Printf.sprintf "%s#%d" fn i)
           ()
@@ -296,7 +296,7 @@ let exec_stage ectx ~ready nodes =
         match config.fault with
         | Some plan -> Fault.record_recovery plan ~at ~site:"visor.retry" detail
         | None ->
-            Trace.recordf Trace.global ~at ~category:"fault" ~label:"visor.retry"
+            Trace.recordf (Trace.current ()) ~at ~category:"fault" ~label:"visor.retry"
               "recovered: %s" detail
       in
       let rec attempt thread n =
@@ -345,7 +345,7 @@ let exec_stage ectx ~ready nodes =
                  restart cost + backoff wait) is a "retry" span under
                  the function. *)
               let rsp =
-                Span.begin_span Span.global ~parent:wfd.Wfd.span
+                Span.begin_span (Span.current ()) ~parent:wfd.Wfd.span
                   ~at:(Clock.now thread.Wfd.clock) ~category:"retry"
                   ~label:(Printf.sprintf "restart %s" fn)
                   ()
@@ -357,7 +357,7 @@ let exec_stage ectx ~ready nodes =
               Clock.advance fresh.Wfd.clock function_restart_cost;
               let wait = backoff_delay config.backoff ~attempt:(n + 1) in
               Clock.advance fresh.Wfd.clock wait;
-              Span.end_span Span.global rsp ~at:(Clock.now fresh.Wfd.clock);
+              Span.end_span (Span.current ()) rsp ~at:(Clock.now fresh.Wfd.clock);
               record_recovery ~at:(Clock.now fresh.Wfd.clock)
                 (Printf.sprintf "restart %s attempt %d (backoff %s)" fn (n + 1)
                    (Units.to_string wait));
@@ -384,7 +384,7 @@ let exec_stage ectx ~ready nodes =
           Hashtbl.replace ectx.ephase_totals name (Units.add prev t))
         ctx.Asstd.phases;
       wfd.Wfd.span <- saved_span;
-      Span.end_span Span.global fn_span ~at:(Clock.now final_thread.Wfd.clock);
+      Span.end_span (Span.current ()) fn_span ~at:(Clock.now final_thread.Wfd.clock);
       let on_cpu = Clock.elapsed_since final_thread.Wfd.clock start in
       Metrics.observe_time fn_histo on_cpu;
       match config.cpu_quota with
@@ -407,7 +407,7 @@ let record_stage ectx ~stage_index ~ready ~durations ~placements =
       fan_in_waits = Hostos.Sched.fan_in_wait placements;
     }
     :: !(ectx.estage_reports);
-  Trace.recordf Trace.global ~at:makespan ~category:"visor" ~label:"stage-done"
+  Trace.recordf (Trace.current ()) ~at:makespan ~category:"visor" ~label:"stage-done"
     "wfd%d stage %d (%d instances)" ectx.ewfd.Wfd.id stage_index (List.length durations);
   makespan
 
@@ -439,17 +439,24 @@ let build_report ectx ~finish ~cold_fallback ~admission =
     retries = !(ectx.eretries);
   }
 
-let run_once ?retries ~(config : config) ~workflow ~bindings () =
+let run_once ?retries ?admission_cost ~(config : config) ~workflow ~bindings () =
   (* Check bindings exist up front. *)
   List.iter
     (fun n -> ignore (lookup_binding bindings n.Workflow.node_id))
     workflow.Workflow.nodes;
-  let admission = admit_images ?cache:config.admission bindings in
+  (* [admission_cost] carries a verdict computed by a sequential
+     prologue ([run_many]); without it every call scans (or consults
+     the shared cache) itself. *)
+  let admission =
+    match admission_cost with
+    | Some a -> a
+    | None -> admit_images ?cache:config.admission bindings
+  in
   let proc_table = Hostos.Process.create_table () in
   let clock = Clock.create () in
   let t0 = Clock.now clock in
   let wf_span =
-    Span.begin_span Span.global ~parent:Span.none ~at:t0 ~category:"workflow"
+    Span.begin_span (Span.current ()) ~parent:Span.none ~at:t0 ~category:"workflow"
       ~label:workflow.Workflow.wf_name ()
   in
   (* (1) The watchdog receives the invocation event. *)
@@ -468,15 +475,15 @@ let run_once ?retries ~(config : config) ~workflow ~bindings () =
       (* Dispatch + WFD instantiation + entry table (+ the load-all
          configuration's up-front module loads) are the boot phase. *)
       let boot_span =
-        Span.begin_span Span.global ~parent:wf_span ~at:t0 ~category:"boot"
+        Span.begin_span (Span.current ()) ~parent:wf_span ~at:t0 ~category:"boot"
           ~label:"wfd-boot" ()
       in
       wfd.Wfd.span <- boot_span;
       Clock.advance clock Cost.entry_table_init;
-      Trace.recordf Trace.global ~at:(Clock.now clock) ~category:"visor"
+      Trace.recordf (Trace.current ()) ~at:(Clock.now clock) ~category:"visor"
         ~label:"wfd-created" "wfd%d for %s" wfd.Wfd.id workflow.Workflow.wf_name;
       if not config.features.Wfd.on_demand then Libos.load_all wfd ~clock;
-      Span.end_span Span.global boot_span ~at:(Clock.now clock);
+      Span.end_span (Span.current ()) boot_span ~at:(Clock.now clock);
       wfd.Wfd.span <- wf_span;
       let rt = { engine_started = false; python_booted = false } in
       let retries = match retries with Some r -> r | None -> ref 0 in
@@ -485,7 +492,7 @@ let run_once ?retries ~(config : config) ~workflow ~bindings () =
       List.iteri
         (fun stage_index nodes ->
           let stage_span =
-            Span.begin_span Span.global ~parent:wf_span ~at:!ready ~category:"stage"
+            Span.begin_span (Span.current ()) ~parent:wf_span ~at:!ready ~category:"stage"
               ~label:(Printf.sprintf "stage %d" stage_index)
               ()
           in
@@ -497,13 +504,13 @@ let run_once ?retries ~(config : config) ~workflow ~bindings () =
           in
           ready := record_stage ectx ~stage_index ~ready:!ready ~durations ~placements;
           wfd.Wfd.span <- wf_span;
-          Span.end_span Span.global stage_span ~at:!ready)
+          Span.end_span (Span.current ()) stage_span ~at:!ready)
         (Workflow.stages workflow);
       (* (7) after the last function completes, as-visor destroys the
          WFD and reclaims the resources. *)
       let finish = !ready in
-      Span.end_span Span.global wf_span ~at:finish;
-      Trace.recordf Trace.global ~at:finish ~category:"visor" ~label:"wfd-destroyed"
+      Span.end_span (Span.current ()) wf_span ~at:finish;
+      Trace.recordf (Trace.current ()) ~at:finish ~category:"visor" ~label:"wfd-destroyed"
         "wfd%d" wfd.Wfd.id;
       build_report ectx ~finish ~cold_fallback:(Clock.now clock) ~admission)
 
@@ -526,9 +533,9 @@ let cold_start_only ?(config = default_config) () =
   report.cold_start
 
 
-let run ?(config = default_config) ~workflow ~bindings () =
+let run_with ?admission_cost ~(config : config) ~workflow ~bindings () =
   match config.retry with
-  | No_retry | Retry_function _ -> run_once ~config ~workflow ~bindings ()
+  | No_retry | Retry_function _ -> run_once ?admission_cost ~config ~workflow ~bindings ()
   | Retry_workflow max_attempts ->
       (* Idempotent functions: a failed run is retried in a brand new
          WFD; inputs are still staged on the (shared) disk image.  The
@@ -539,12 +546,77 @@ let run ?(config = default_config) ~workflow ~bindings () =
       let carried = ref 0 in
       let max_attempts = Stdlib.max 1 max_attempts in
       let rec attempt n =
-        match run_once ~retries:carried ~config ~workflow ~bindings () with
+        match run_once ~retries:carried ?admission_cost ~config ~workflow ~bindings () with
         | report -> { report with retries = report.retries + (n - 1) }
         | exception (Function_failed _ | Function_hung _) when n < max_attempts ->
             attempt (n + 1)
       in
       attempt 1
+
+let run ?(config = default_config) ~workflow ~bindings () =
+  run_with ~config ~workflow ~bindings ()
+
+let max_attempts_of config =
+  match config.retry with
+  | Retry_workflow n -> Stdlib.max 1 n
+  | No_retry | Retry_function _ -> 1
+
+(* Repeat the workflow [repeat] times across the host domain pool.
+   Virtual time stays bit-identical whatever [Sim.Par.domains] says:
+
+   - admission runs in a sequential prologue, in submission order, so
+     the shared verdict cache sees the same hit/scan sequence as a
+     sequential loop (retried attempts reuse their repeat's verdict);
+   - each repeat gets a WFD id range reserved by submission index, a
+     fault plan split off the parent by index, and a collector shard;
+   - shards are merged (and fault counters absorbed) in submission
+     order after the pool joins.
+
+   A shared pre-staged disk image ([config.vfs]) is host-mutable state,
+   so that configuration runs the repeats on the submitting domain. *)
+let run_many ?(config = default_config) ~workflow ~bindings ~repeat () =
+  if repeat < 0 then invalid_arg "Visor.run_many: repeat must be non-negative";
+  if repeat = 0 then [||]
+  else begin
+    List.iter
+      (fun n -> ignore (lookup_binding bindings n.Workflow.node_id))
+      workflow.Workflow.nodes;
+    let max_attempts = max_attempts_of config in
+    let admission =
+      Array.init repeat (fun _ -> admit_images ?cache:config.admission bindings)
+    in
+    let bases = Array.init repeat (fun _ -> Wfd.reserve_ids max_attempts) in
+    let share_disk = config.vfs <> None in
+    let children =
+      match config.fault with
+      | Some plan when not share_disk ->
+          Array.init repeat (fun i -> Some (Fault.child plan ~index:i))
+      | Some _ | None -> Array.make repeat None
+    in
+    let cfg = Par.shard_config () in
+    let shards = Array.init repeat (fun _ -> Par.make_shard cfg) in
+    let tasks =
+      Array.init repeat (fun i () ->
+          Par.with_shard shards.(i) (fun () ->
+              Wfd.with_id_namespace ~base:bases.(i) (fun () ->
+                  let config =
+                    match children.(i) with
+                    | Some _ as f -> { config with fault = f; admission = None }
+                    | None -> { config with admission = None }
+                  in
+                  run_with ~admission_cost:admission.(i) ~config ~workflow
+                    ~bindings ())))
+    in
+    let reports =
+      if share_disk then Array.map (fun f -> f ()) tasks else Par.run tasks
+    in
+    Array.iter (fun s -> Par.merge_shard s) shards;
+    (match config.fault with
+    | Some plan ->
+        Array.iter (function Some c -> Fault.absorb plan c | None -> ()) children
+    | None -> ());
+    reports
+  end
 
 (* --- Multi-tenant serving layer ----------------------------------- *)
 
@@ -615,6 +687,10 @@ module Server = struct
     mutable warm_hit_count : int;
     mutable cold_boot_count : int;
     mutable machine_peak : int;
+    mutable doomed : Wfd.t list;
+        (* Templates evicted while a planned request may still hold a
+           reference to them: the WFD is destroyed only once no
+           trajectory can clone it (end of [serve] / [shutdown]). *)
   }
 
   let create ?(config = default_config) ?(pool_mem_cap = 512 * 1024 * 1024)
@@ -638,6 +714,7 @@ module Server = struct
       warm_hit_count = 0;
       cold_boot_count = 0;
       machine_peak = 0;
+      doomed = [];
     }
 
   let register t ~endpoint ~workflow ~bindings () =
@@ -652,17 +729,22 @@ module Server = struct
 
   let endpoints t = Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] |> List.sort compare
 
-  let note_rss t =
-    t.machine_peak <- Stdlib.max t.machine_peak (Hostos.Process.total_rss t.proc_table)
-
-  let touch t tpl =
-    t.tick <- t.tick + 1;
-    tpl.tpl_last_used <- t.tick
-
   let template_rss t tpl = Hostos.Process.rss t.proc_table tpl.tpl_wfd.Wfd.pid
 
   let pool_rss t =
     Hashtbl.fold (fun _ tpl acc -> acc + template_rss t tpl) t.templates 0
+
+  (* Machine resident memory is the live template pool plus whatever
+     the in-flight requests hold.  Requests live in private process
+     tables (one per trajectory), so the caller passes their sum;
+     [t.proc_table] is not consulted directly — it still carries
+     deferred-destroy templates. *)
+  let note_rss ?(live = 0) t =
+    t.machine_peak <- Stdlib.max t.machine_peak (pool_rss t + live)
+
+  let touch t tpl =
+    t.tick <- t.tick + 1;
+    tpl.tpl_last_used <- t.tick
 
   let pool_size t = Hashtbl.length t.templates
 
@@ -684,11 +766,18 @@ module Server = struct
     match victim with
     | None -> ()
     | Some (ep, tpl) ->
-        Wfd.destroy tpl.tpl_wfd;
+        (* Deferred destroy: a request planned against this template in
+           the serve prologue may clone it from a worker domain later;
+           the WFD dies at the next quiescent point instead. *)
+        t.doomed <- tpl.tpl_wfd :: t.doomed;
         Hashtbl.remove t.templates ep;
         t.evicted <- t.evicted + 1;
-        Trace.recordf Trace.global ~at:Units.zero ~category:"server" ~label:"pool-evict"
+        Trace.recordf (Trace.current ()) ~at:Units.zero ~category:"server" ~label:"pool-evict"
           "template %s evicted (LRU)" ep
+
+  let flush_doomed t =
+    List.iter Wfd.destroy t.doomed;
+    t.doomed <- []
 
   (* Build the warm template for an endpoint: full WFD boot, entry
      table, the workflow's declared modules preloaded, and the WASM
@@ -698,7 +787,7 @@ module Server = struct
   let build_template t endpoint reg =
     let clock = Clock.create () in
     let tpl_span =
-      Span.begin_span Span.global ~parent:Span.none ~at:(Clock.now clock)
+      Span.begin_span (Span.current ()) ~parent:Span.none ~at:(Clock.now clock)
         ~category:"template" ~label:("template " ^ endpoint) ()
     in
     let wfd =
@@ -729,8 +818,8 @@ module Server = struct
     end;
     if needs_python then Clock.advance clock Wasm.Runtime.cpython_init;
     wfd.Wfd.span <- Span.none;
-    Span.end_span Span.global tpl_span ~at:(Clock.now clock);
-    Trace.recordf Trace.global ~at:(Clock.now clock) ~category:"server"
+    Span.end_span (Span.current ()) tpl_span ~at:(Clock.now clock);
+    Trace.recordf (Trace.current ()) ~at:(Clock.now clock) ~category:"server"
       ~label:"template-built" "wfd%d for %s" wfd.Wfd.id endpoint;
     {
       tpl_wfd = wfd;
@@ -777,88 +866,326 @@ module Server = struct
           | Some tpl -> Some tpl.tpl_build
           | None -> None)
 
-  (* Boot a WFD for one request at [clock]'s instant: a CoW clone of
-     the endpoint's warm template when one is pooled, the full cold
-     path otherwise.  Returns the WFD, its initial runtime state and
-     whether the start was warm. *)
-  let boot_request t endpoint reg ~span ~clock =
-    match if t.warm_enabled then Hashtbl.find_opt t.templates endpoint else None with
-    | Some tpl ->
-        touch t tpl;
-        t.warm_hit_count <- t.warm_hit_count + 1;
-        let wfd = Wfd.clone_template tpl.tpl_wfd ~proc_table:t.proc_table ~clock in
-        wfd.Wfd.span <- span;
-        Libos.attach_warm wfd ~clock;
-        if tpl.tpl_engine || tpl.tpl_python then
-          Clock.advance clock Cost.warm_runtime_resume;
-        let rt =
-          { engine_started = tpl.tpl_engine; python_booted = tpl.tpl_python }
-        in
-        (wfd, rt, true)
-    | None ->
-        t.cold_boot_count <- t.cold_boot_count + 1;
-        let wfd =
-          Wfd.create ~features:t.scfg.features ?vfs:t.scfg.vfs ?fault:t.scfg.fault
-            ~proc_table:t.proc_table ~clock
-            ~workflow_name:(endpoint ^ ":" ^ reg.reg_workflow.Workflow.wf_name) ()
-        in
-        wfd.Wfd.span <- span;
-        Clock.advance clock Cost.entry_table_init;
-        if not t.scfg.features.Wfd.on_demand then Libos.load_all wfd ~clock;
-        let rt = { engine_started = false; python_booted = false } in
-        (* Seed the pool so subsequent requests to this endpoint start
-           warm (built off the request path, like a background prewarm
-           kicked off by the first cold start). *)
-        if t.warm_enabled && not (Hashtbl.mem t.templates endpoint) then
-          ignore (install_template t endpoint (build_template t endpoint reg));
-        (wfd, rt, false)
+  (* --- Host-parallel serving --------------------------------------- *)
 
-  type inflight = {
-    fl_req : request;
-    fl_reg : registration;
-    mutable fl_ectx : exec_ctx;
-    fl_stages : Workflow.node list list;
-    mutable fl_stage_index : int;
-    mutable fl_warm : bool;
-    mutable fl_attempt : int;
-    fl_retries : int ref;
-    fl_span : Span.id;  (** The request's root span. *)
+  (* [serve] runs in three phases:
+
+     Prologue (sequential): requests are walked in arrival-event order.
+     Admission verdicts come off the shared cache, warm-or-cold boot
+     plans are fixed against the template pool (cold boots seed their
+     template here, off every request's critical path), WFD id ranges
+     are reserved and fault plans split per submission index.
+
+     Trajectories (parallel): each admitted request's full execution —
+     every boot and stage of every workflow-level attempt — runs on a
+     private relative timeline whose zero is the instant the attempt
+     starts.  All collector writes land in per-segment shards; stage
+     ready times come from a private core pool of the machine's width.
+     On-CPU durations are start-time-invariant, so computing them
+     before the real start instants are known loses nothing.
+
+     Merge (sequential): the event queue replays arrivals and stage
+     completions in virtual time exactly as the sequential server did,
+     placing each precomputed stage's durations on the *shared* core
+     pool and importing each segment's shard at its real event instant.
+     Nothing here depends on how many domains ran phase two, which is
+     what makes `--domains 1` and `--domains N` byte-identical. *)
+
+  type boot_plan = Warm of template | Cold
+
+  (* One boot or stage of a trajectory: its collector shard, the
+     private-timeline instant its frame starts at, the task durations
+     to place on the shared pool, and the request's resident set once
+     the segment is done. *)
+  type segment = {
+    sg_shard : Par.shard;
+    sg_base : Units.time;
+    sg_durations : Units.time list;
+    sg_rss : int;
   }
 
-  type ev = Arrival of request | Advance of inflight
+  type attempt_traj = {
+    at_warm : bool;
+    at_wfd_id : int;
+    at_boot : segment;
+    at_boot_elapsed : Units.time;
+    at_stages : segment list;
+    at_failed : [ `Hang | `Failure ] option;
+        (* The stage after [at_stages] raised; its partial work is in
+           [at_fail_seg]. *)
+    at_fail_seg : segment option;
+  }
 
-  let max_workflow_attempts cfg =
-    match cfg.retry with
-    | Retry_workflow n -> Stdlib.max 1 n
-    | No_retry | Retry_function _ -> 1
+  type traj = {
+    tj_attempts : attempt_traj list;  (* executed attempts, in order *)
+    tj_retries : int;  (* function restarts across all attempts *)
+  }
 
-  (* Boot one request's WFD (warm clone or cold create) at [at] and
-     return its execution context, whether it started warm, and the
-     virtual instant the first stage may begin.  The boot is one span
-     under the request's root span — category "boot" for the first
-     boot, "retry" when rebooting a failed request, so workflow-level
-     retries show up in the latency breakdown. *)
-  let boot_ectx t ~endpoint ~(reg : registration) ~retries ~span ~boot_category ~at =
-    let clock = Clock.create ~at () in
-    let boot_span =
-      Span.begin_span Span.global ~parent:span ~at ~category:boot_category
-        ~label:(boot_category ^ "-boot " ^ endpoint)
-        ()
+  type plan = {
+    pl_reg : registration;
+    pl_boots : boot_plan array;  (* one per potential attempt *)
+    pl_base : int;  (* reserved WFD id range *)
+    pl_fault : Fault.t option;  (* per-request fault plan split *)
+  }
+
+  (* Fix the boot type of every potential attempt of one request from
+     the pool state at prologue time.  Attempt 1 follows the pool: a
+     pooled template means warm, otherwise cold (seeding the template
+     for later requests, like the background prewarm a first cold start
+     kicks off).  Retry attempts reboot after their predecessor fails,
+     by which point the endpoint's template exists unless seeding
+     failed — so they are warm whenever attempt 1 was warm or seeded. *)
+  let plan_boots t endpoint reg ~max_attempts =
+    let first =
+      match if t.warm_enabled then Hashtbl.find_opt t.templates endpoint else None with
+      | Some tpl ->
+          touch t tpl;
+          `Warm tpl
+      | None ->
+          if t.warm_enabled then
+            match install_template t endpoint (build_template t endpoint reg) with
+            | Some tpl -> `Cold_seeded tpl
+            | None -> `Cold
+          else `Cold
     in
-    Clock.advance clock Cost.visor_dispatch;
-    let wfd, rt, warm = boot_request t endpoint reg ~span:boot_span ~clock in
-    Span.end_span Span.global boot_span ~at:(Clock.now clock);
-    Span.set_attr Span.global boot_span "warm" (string_of_bool warm);
-    wfd.Wfd.span <- span;
-    let ectx =
-      make_exec_ctx ~config:t.scfg ~bindings:reg.reg_bindings ~wfd ~rt ~retries
-        ~t0:at
+    Array.init max_attempts (fun k ->
+        match first with
+        | `Warm tpl -> Warm tpl
+        | `Cold_seeded tpl -> if k = 0 then Cold else Warm tpl
+        | `Cold -> Cold)
+
+  (* Compute one request's trajectory.  Runs on any domain: every
+     observable write goes to a segment shard, WFD ids come from the
+     request's reserved namespace, faults and the disk image are
+     request-private (unless the server was configured with a shared
+     pre-staged disk, in which case [serve] stays on one domain). *)
+  let run_trajectory t ~cfg ~endpoint ~(reg : registration) ~boots ~fault_child =
+    let scfg =
+      match fault_child with
+      | Some _ as f -> { t.scfg with fault = f }
+      | None -> t.scfg
     in
-    (ectx, warm, Clock.now clock)
+    let stages = Workflow.stages reg.reg_workflow in
+    let retries = ref 0 in
+    let max_a = Array.length boots in
+    let rec attempts_from a acc =
+      let proc_table = Hostos.Process.create_table () in
+      let clock = Clock.create () in
+      let boot_sh = Par.make_shard cfg in
+      let wfd, rt, warm =
+        Par.with_shard boot_sh (fun () ->
+            let category = if a = 1 then "boot" else "retry" in
+            let boot_span =
+              Span.begin_span (Span.current ()) ~parent:Span.none ~at:Units.zero
+                ~category
+                ~label:(category ^ "-boot " ^ endpoint)
+                ()
+            in
+            Clock.advance clock Cost.visor_dispatch;
+            let wfd, rt, warm =
+              match boots.(a - 1) with
+              | Warm tpl ->
+                  let vfs =
+                    match scfg.vfs with
+                    | Some _ -> None (* shared pre-staged disk: inherit *)
+                    | None ->
+                        (* The template's image is host-shared mutable
+                           state; every clone gets a private disk wired
+                           to its own fault plan. *)
+                        let disk = Fsim.Vfs.fresh_fat () in
+                        Some
+                          (match fault_child with
+                          | Some plan -> Fsim.Vfs.with_faults plan disk
+                          | None -> disk)
+                  in
+                  let wfd =
+                    Wfd.clone_template ?vfs ?fault:fault_child tpl.tpl_wfd
+                      ~proc_table ~clock
+                  in
+                  wfd.Wfd.span <- boot_span;
+                  Libos.attach_warm wfd ~clock;
+                  if tpl.tpl_engine || tpl.tpl_python then
+                    Clock.advance clock Cost.warm_runtime_resume;
+                  ( wfd,
+                    { engine_started = tpl.tpl_engine; python_booted = tpl.tpl_python },
+                    true )
+              | Cold ->
+                  let wfd =
+                    Wfd.create ~features:scfg.features ?vfs:scfg.vfs
+                      ?fault:scfg.fault ~proc_table ~clock
+                      ~workflow_name:(endpoint ^ ":" ^ reg.reg_workflow.Workflow.wf_name)
+                      ()
+                  in
+                  wfd.Wfd.span <- boot_span;
+                  Clock.advance clock Cost.entry_table_init;
+                  if not scfg.features.Wfd.on_demand then Libos.load_all wfd ~clock;
+                  (wfd, { engine_started = false; python_booted = false }, false)
+            in
+            Span.end_span (Span.current ()) boot_span ~at:(Clock.now clock);
+            Span.set_attr (Span.current ()) boot_span "warm" (string_of_bool warm);
+            (* Function spans become shard roots; the merge re-parents
+               them under the real stage spans. *)
+            wfd.Wfd.span <- Span.none;
+            (wfd, rt, warm))
+      in
+      let boot_seg =
+        {
+          sg_shard = boot_sh;
+          sg_base = Units.zero;
+          sg_durations = [];
+          sg_rss = Hostos.Process.total_rss proc_table;
+        }
+      in
+      let boot_elapsed = Clock.now clock in
+      let at =
+        Fun.protect
+          ~finally:(fun () -> Wfd.destroy wfd)
+          (fun () ->
+            let ectx =
+              make_exec_ctx ~config:scfg ~bindings:reg.reg_bindings ~wfd ~rt
+                ~retries ~t0:Units.zero
+            in
+            (* Stage ready times on the private timeline come from a
+               private pool of the same width as the shared one: gaps
+               here are never larger than the contended gaps the merge
+               produces, so the WFD's internal clocks stay behind every
+               real stage start. *)
+            let priv = Hostos.Sched.pool ~cores:scfg.cores in
+            let rel_ready = ref boot_elapsed in
+            let done_stages = ref [] in
+            let failure = ref None in
+            (try
+               List.iter
+                 (fun nodes ->
+                   let sh = Par.make_shard cfg in
+                   match Par.with_shard sh (fun () -> exec_stage ectx ~ready:!rel_ready nodes) with
+                   | durations ->
+                       let placements =
+                         Hostos.Sched.schedule_on priv ~ready:!rel_ready
+                           ~dispatch_latency:scfg.dispatch_latency durations
+                       in
+                       done_stages :=
+                         {
+                           sg_shard = sh;
+                           sg_base = !rel_ready;
+                           sg_durations = durations;
+                           sg_rss = Hostos.Process.total_rss proc_table;
+                         }
+                         :: !done_stages;
+                       rel_ready := Hostos.Sched.makespan placements
+                   | exception ((Function_failed _ | Function_hung _) as e) ->
+                       let kind =
+                         match e with Function_hung _ -> `Hang | _ -> `Failure
+                       in
+                       failure :=
+                         Some
+                           ( kind,
+                             {
+                               sg_shard = sh;
+                               sg_base = !rel_ready;
+                               sg_durations = [];
+                               sg_rss = Hostos.Process.total_rss proc_table;
+                             } );
+                       raise Exit)
+                 stages
+             with Exit -> ());
+            {
+              at_warm = warm;
+              at_wfd_id = wfd.Wfd.id;
+              at_boot = boot_seg;
+              at_boot_elapsed = boot_elapsed;
+              at_stages = List.rev !done_stages;
+              at_failed = Option.map fst !failure;
+              at_fail_seg = Option.map snd !failure;
+            })
+      in
+      if at.at_failed <> None && a < max_a then attempts_from (a + 1) (at :: acc)
+      else List.rev (at :: acc)
+    in
+    let attempts = attempts_from 1 [] in
+    { tj_attempts = attempts; tj_retries = !retries }
+
+  (* Merge-phase state of one request. *)
+  type mstate = {
+    ms_req : request;
+    ms_traj : traj option;  (* [None]: rejected at admission *)
+    mutable ms_span : Span.id;
+    mutable ms_attempts_left : attempt_traj list;
+    mutable ms_attempt : attempt_traj option;  (* currently executing *)
+    mutable ms_attempt_no : int;
+    mutable ms_stages_left : segment list;
+    mutable ms_rss : int;
+  }
+
+  type ev = Arrival of mstate | Advance of mstate
 
   let serve t requests =
+    let max_attempts = max_attempts_of t.scfg in
+    let share_disk = t.scfg.vfs <> None in
+    (* --- Prologue: admission + boot plans in arrival-event order --- *)
+    let order =
+      List.mapi (fun i r -> (i, r)) requests
+      |> List.stable_sort (fun (_, a) (_, b) -> Units.compare a.arrival b.arrival)
+    in
+    let plans = Array.make (List.length requests) None in
+    List.iter
+      (fun (i, r) ->
+        let reg = find_registration t r.endpoint in
+        match admit_images ~cache:t.adm reg.reg_bindings with
+        | (_ : Units.time) ->
+            let boots = plan_boots t r.endpoint reg ~max_attempts in
+            let base = Wfd.reserve_ids max_attempts in
+            let fault_child =
+              match t.scfg.fault with
+              | Some plan when not share_disk -> Some (Fault.child plan ~index:i)
+              | Some _ | None -> None
+            in
+            plans.(i) <-
+              Some { pl_reg = reg; pl_boots = boots; pl_base = base; pl_fault = fault_child }
+        | exception Admission_failed _ -> plans.(i) <- None)
+      order;
+    (* --- Trajectories: host-parallel, shard-isolated --------------- *)
+    let cfg = Par.shard_config () in
+    let tasks =
+      Array.mapi
+        (fun i (r : request) ->
+          match plans.(i) with
+          | None -> fun () -> None
+          | Some p ->
+              fun () ->
+                Wfd.with_id_namespace ~base:p.pl_base (fun () ->
+                    Some
+                      (run_trajectory t ~cfg ~endpoint:r.endpoint ~reg:p.pl_reg
+                         ~boots:p.pl_boots ~fault_child:p.pl_fault)))
+        (Array.of_list requests)
+    in
+    let trajs = if share_disk then Array.map (fun f -> f ()) tasks else Par.run tasks in
+    (match t.scfg.fault with
+    | Some plan ->
+        Array.iter
+          (function
+            | Some { pl_fault = Some c; _ } -> Fault.absorb plan c
+            | Some { pl_fault = None; _ } | None -> ())
+          plans
+    | None -> ());
+    (* --- Merge: replay the event loop over the shared pool --------- *)
     let q : ev Eventq.t = Eventq.create () in
-    List.iter (fun r -> Eventq.push q ~at:r.arrival (Arrival r)) requests;
+    let states =
+      List.mapi
+        (fun i r ->
+          {
+            ms_req = r;
+            ms_traj = trajs.(i);
+            ms_span = Span.none;
+            ms_attempts_left = [];
+            ms_attempt = None;
+            ms_attempt_no = 0;
+            ms_stages_left = [];
+            ms_rss = 0;
+          })
+        requests
+    in
+    List.iter (fun ms -> Eventq.push q ~at:ms.ms_req.arrival (Arrival ms)) states;
     let responses = ref [] in
     let lat = Stats.create () in
     let inflight_now = ref 0 in
@@ -867,14 +1194,19 @@ module Server = struct
     let failed = ref 0 in
     let first_arrival = ref None in
     let last_finish = ref Units.zero in
+    let live_rss = ref 0 in
     let req_histo = Metrics.histogram "server.request_latency_ns" in
     let inflight_gauge = Metrics.gauge "server.max_inflight" in
-    let finish_request fl ~now ~ok =
-      Wfd.destroy fl.fl_ectx.ewfd;
+    let set_rss ms rss =
+      live_rss := !live_rss - ms.ms_rss + rss;
+      ms.ms_rss <- rss;
+      note_rss ~live:!live_rss t
+    in
+    let finish_request ms ~now ~ok =
       decr inflight_now;
-      let latency = Units.sub now fl.fl_req.arrival in
-      Span.set_attr Span.global fl.fl_span "ok" (string_of_bool ok);
-      Span.end_span Span.global fl.fl_span ~at:now;
+      let latency = Units.sub now ms.ms_req.arrival in
+      Span.set_attr (Span.current ()) ms.ms_span "ok" (string_of_bool ok);
+      Span.end_span (Span.current ()) ms.ms_span ~at:now;
       Metrics.observe_time req_histo latency;
       if ok then begin
         incr completed;
@@ -884,127 +1216,118 @@ module Server = struct
       last_finish := Units.max !last_finish now;
       responses :=
         {
-          r_endpoint = fl.fl_req.endpoint;
-          r_arrival = fl.fl_req.arrival;
+          r_endpoint = ms.ms_req.endpoint;
+          r_arrival = ms.ms_req.arrival;
           r_finish = now;
           r_latency = latency;
-          r_warm = fl.fl_warm;
+          r_warm = (match ms.ms_attempt with Some a -> a.at_warm | None -> false);
           r_ok = ok;
-          r_attempts = fl.fl_attempt;
-          r_retries = !(fl.fl_retries);
+          r_attempts = ms.ms_attempt_no;
+          r_retries =
+            (match ms.ms_traj with Some tj -> tj.tj_retries | None -> 0);
         }
         :: !responses;
-      note_rss t
+      set_rss ms 0
     in
-    let reboot_inflight fl ~at =
-      let ectx, warm, ready =
-        boot_ectx t ~endpoint:fl.fl_req.endpoint ~reg:fl.fl_reg
-          ~retries:fl.fl_retries ~span:fl.fl_span ~boot_category:"retry" ~at
-      in
-      fl.fl_ectx <- ectx;
-      fl.fl_warm <- warm;
-      fl.fl_stage_index <- 0;
-      note_rss t;
-      Eventq.push q ~at:ready (Advance fl)
+    (* Begin the next attempt at [now]: counters, the boot segment's
+       shard (its "boot"/"retry" span attaches under the request), and
+       the first stage scheduled at boot completion. *)
+    let start_attempt ms ~now =
+      match ms.ms_attempts_left with
+      | [] -> assert false
+      | a :: rest ->
+          ms.ms_attempt <- Some a;
+          ms.ms_attempts_left <- rest;
+          ms.ms_attempt_no <- ms.ms_attempt_no + 1;
+          ms.ms_stages_left <- a.at_stages;
+          if a.at_warm then t.warm_hit_count <- t.warm_hit_count + 1
+          else t.cold_boot_count <- t.cold_boot_count + 1;
+          Par.merge_shard ~attach:ms.ms_span ~offset:now a.at_boot.sg_shard;
+          set_rss ms a.at_boot.sg_rss;
+          Eventq.push q ~at:(Units.add now a.at_boot_elapsed) (Advance ms)
     in
-    let step fl ~now =
-      match List.nth_opt fl.fl_stages fl.fl_stage_index with
-      | None -> finish_request fl ~now ~ok:true
-      | Some nodes -> (
-          let wfd = fl.fl_ectx.ewfd in
+    let step ms ~now =
+      let a = match ms.ms_attempt with Some a -> a | None -> assert false in
+      match ms.ms_stages_left with
+      | sg :: rest ->
+          let stage_index = List.length a.at_stages - List.length ms.ms_stages_left in
           let stage_span =
-            Span.begin_span Span.global ~parent:fl.fl_span ~at:now ~category:"stage"
-              ~label:(Printf.sprintf "stage %d" fl.fl_stage_index)
+            Span.begin_span (Span.current ()) ~parent:ms.ms_span ~at:now
+              ~category:"stage"
+              ~label:(Printf.sprintf "stage %d" stage_index)
               ()
           in
-          if stage_span <> Span.none then wfd.Wfd.span <- stage_span;
-          match
-            let durations = exec_stage fl.fl_ectx ~ready:now nodes in
-            let placements =
-              Hostos.Sched.schedule_on t.cpu ~ready:now
-                ~dispatch_latency:t.scfg.dispatch_latency durations
-            in
-            record_stage fl.fl_ectx ~stage_index:fl.fl_stage_index ~ready:now
-              ~durations ~placements
-          with
-          | makespan ->
-              wfd.Wfd.span <- fl.fl_span;
-              Span.end_span Span.global stage_span ~at:makespan;
-              fl.fl_stage_index <- fl.fl_stage_index + 1;
-              note_rss t;
-              Eventq.push q ~at:makespan (Advance fl)
-          | exception ((Function_failed _ | Function_hung _) as e) ->
-              (* The failed attempt's stage span stays zero-length; a
-                 retry attributes the reboot under "retry" instead. *)
-              Span.end_span Span.global stage_span ~at:now;
-              Wfd.destroy fl.fl_ectx.ewfd;
-              if fl.fl_attempt < max_workflow_attempts t.scfg then begin
-                (* Workflow-level retry: a brand-new WFD, carried
-                   restart accounting, re-admitted from the cache. *)
-                fl.fl_attempt <- fl.fl_attempt + 1;
-                Trace.recordf Trace.global ~at:now ~category:"server"
-                  ~label:"workflow-retry" "%s attempt %d (%s)" fl.fl_req.endpoint
-                  fl.fl_attempt
-                  (match e with
-                  | Function_hung _ -> "hang"
-                  | _ -> "failure");
-                reboot_inflight fl ~at:now
+          Par.merge_shard ~attach:stage_span ~offset:(Units.sub now sg.sg_base)
+            sg.sg_shard;
+          let placements =
+            Hostos.Sched.schedule_on t.cpu ~ready:now
+              ~dispatch_latency:t.scfg.dispatch_latency sg.sg_durations
+          in
+          let makespan = Hostos.Sched.makespan placements in
+          Metrics.observe_time stage_histo (Units.sub makespan now);
+          Trace.recordf (Trace.current ()) ~at:makespan ~category:"visor"
+            ~label:"stage-done" "wfd%d stage %d (%d instances)" a.at_wfd_id
+            stage_index
+            (List.length sg.sg_durations);
+          Span.end_span (Span.current ()) stage_span ~at:makespan;
+          ms.ms_stages_left <- rest;
+          set_rss ms sg.sg_rss;
+          Eventq.push q ~at:makespan (Advance ms)
+      | [] -> (
+          match a.at_failed with
+          | None -> finish_request ms ~now ~ok:true
+          | Some kind ->
+              (* The failed attempt's stage span stays zero-length; its
+                 partial function spans still attach under it. *)
+              let stage_span =
+                Span.begin_span (Span.current ()) ~parent:ms.ms_span ~at:now
+                  ~category:"stage"
+                  ~label:(Printf.sprintf "stage %d" (List.length a.at_stages))
+                  ()
+              in
+              (match a.at_fail_seg with
+              | Some sg ->
+                  Par.merge_shard ~attach:stage_span
+                    ~offset:(Units.sub now sg.sg_base) sg.sg_shard
+              | None -> ());
+              Span.end_span (Span.current ()) stage_span ~at:now;
+              if ms.ms_attempts_left <> [] then begin
+                Trace.recordf (Trace.current ()) ~at:now ~category:"server"
+                  ~label:"workflow-retry" "%s attempt %d (%s)" ms.ms_req.endpoint
+                  (ms.ms_attempt_no + 1)
+                  (match kind with `Hang -> "hang" | `Failure -> "failure");
+                start_attempt ms ~now
               end
-              else begin
-                (* finish_request destroys an already-destroyed WFD;
-                   Wfd.destroy is idempotent. *)
-                finish_request fl ~now ~ok:false
-              end)
+              else finish_request ms ~now ~ok:false)
     in
     Eventq.drain q (fun now ev ->
         match ev with
-        | Arrival req ->
+        | Arrival ms -> (
             (match !first_arrival with
             | None -> first_arrival := Some now
             | Some _ -> ());
             incr inflight_now;
             max_inflight := Stdlib.max !max_inflight !inflight_now;
             Metrics.max_gauge inflight_gauge (float_of_int !inflight_now);
-            let reg = find_registration t req.endpoint in
-            let req_span =
-              Span.begin_span Span.global ~parent:Span.none ~at:now
-                ~category:"request" ~label:req.endpoint ()
-            in
-            (* Blacklist admission runs (cached) before the workflow is
-               triggered; its cost stays off the critical path, as in
-               run_once. *)
-            (match admit_images ~cache:t.adm reg.reg_bindings with
-            | (_ : Units.time) ->
-                let retries = ref 0 in
-                let ectx, warm, ready =
-                  boot_ectx t ~endpoint:req.endpoint ~reg ~retries ~span:req_span
-                    ~boot_category:"boot" ~at:now
-                in
-                let fl =
-                  {
-                    fl_req = req;
-                    fl_reg = reg;
-                    fl_ectx = ectx;
-                    fl_stages = Workflow.stages reg.reg_workflow;
-                    fl_stage_index = 0;
-                    fl_warm = warm;
-                    fl_attempt = 1;
-                    fl_retries = retries;
-                    fl_span = req_span;
-                  }
-                in
-                note_rss t;
-                Eventq.push q ~at:ready (Advance fl)
-            | exception Admission_failed _ ->
-                Span.set_attr Span.global req_span "ok" "false";
-                Span.end_span Span.global req_span ~at:now;
+            ms.ms_span <-
+              Span.begin_span (Span.current ()) ~parent:Span.none ~at:now
+                ~category:"request" ~label:ms.ms_req.endpoint ();
+            match ms.ms_traj with
+            | Some tj ->
+                ms.ms_attempts_left <- tj.tj_attempts;
+                start_attempt ms ~now
+            | None ->
+                (* Rejected at admission: fails immediately, off the
+                   execution path. *)
+                Span.set_attr (Span.current ()) ms.ms_span "ok" "false";
+                Span.end_span (Span.current ()) ms.ms_span ~at:now;
                 decr inflight_now;
                 incr failed;
                 last_finish := Units.max !last_finish now;
                 responses :=
                   {
-                    r_endpoint = req.endpoint;
-                    r_arrival = req.arrival;
+                    r_endpoint = ms.ms_req.endpoint;
+                    r_arrival = ms.ms_req.arrival;
                     r_finish = now;
                     r_latency = Units.zero;
                     r_warm = false;
@@ -1013,7 +1336,8 @@ module Server = struct
                     r_retries = 0;
                   }
                   :: !responses)
-        | Advance fl -> step fl ~now);
+        | Advance ms -> step ms ~now);
+    flush_doomed t;
     let t_start = match !first_arrival with Some a -> a | None -> Units.zero in
     let duration = Units.sub !last_finish t_start in
     let secs = Units.to_sec duration in
@@ -1041,5 +1365,6 @@ module Server = struct
 
   let shutdown t =
     Hashtbl.iter (fun _ tpl -> Wfd.destroy tpl.tpl_wfd) t.templates;
-    Hashtbl.reset t.templates
+    Hashtbl.reset t.templates;
+    flush_doomed t
 end

@@ -53,15 +53,40 @@ let system_pkru = Prot.pkru_allow_all
 let user_pkru_for t slot =
   Prot.pkru_deny_all_except [ function_key t slot; buffer_key; Prot.default_key ]
 
-let next_id = ref 0
+let next_id = Atomic.make 0
 
-let live = ref 0
+let live = Atomic.make 0
 
-let live_count () = !live
+let live_count () = Atomic.get live
+
+let rec live_decr () =
+  let v = Atomic.get live in
+  if v > 0 && not (Atomic.compare_and_set live v (v - 1)) then live_decr ()
+
+(* WFD ids leak into traces ("wfd%d ..."), so parallel tasks must not
+   draw them from the shared counter in completion order.  A task runs
+   under [with_id_namespace ~base] over a range pre-reserved with
+   [reserve_ids]; ids then depend only on the task's submission index,
+   never on host interleaving. *)
+let id_ns_key : int ref option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let fresh_id () =
+  match Domain.DLS.get id_ns_key with
+  | Some r ->
+      incr r;
+      !r
+  | None -> Atomic.fetch_and_add next_id 1 + 1
+
+let reserve_ids n = Atomic.fetch_and_add next_id n
+
+let with_id_namespace ~base f =
+  let old = Domain.DLS.get id_ns_key in
+  Domain.DLS.set id_ns_key (Some (ref base));
+  Fun.protect ~finally:(fun () -> Domain.DLS.set id_ns_key old) f
 
 let create ?(features = default_features) ?vfs ?fault ~proc_table ~clock ~workflow_name () =
-  incr next_id;
-  incr live;
+  let id = fresh_id () in
+  Atomic.incr live;
   let aspace = Address_space.create () in
   (* System partition: visor and libos code, both on the system key.
      The libos heap region is *address space* for AsBuffers; its pages
@@ -88,7 +113,7 @@ let create ?(features = default_features) ?vfs ?fault ~proc_table ~clock ~workfl
   Clock.advance clock (Hostos.Syscall.cost Hostos.Syscall.Pkey_alloc);
   Clock.advance clock (Hostos.Syscall.cost Hostos.Syscall.Pkey_mprotect);
   {
-    id = !next_id;
+    id;
     workflow_name;
     features;
     aspace;
@@ -166,10 +191,16 @@ let respawn_function_thread t ~slot ~clock =
    its own process-table entry charged the same resident base as a
    created WFD, and pays Cost.wfd_clone instead of wfd_create +
    entry_table_init. *)
-let clone_template template ~proc_table ~clock =
+let clone_template ?vfs ?fault template ~proc_table ~clock =
   if template.destroyed then invalid_arg "Wfd.clone_template: template destroyed";
-  incr next_id;
-  incr live;
+  (* [vfs] / [fault] override the template's shared disk image and plan
+     for this clone.  Parallel serving uses this: the template's vfs is
+     host-shared mutable state, so each request clones onto a private
+     image wrapped with its own fault plan. *)
+  let vfs = match vfs with Some v -> v | None -> template.vfs in
+  let fault = match fault with Some _ as f -> f | None -> template.fault in
+  let id = fresh_id () in
+  Atomic.incr live;
   let aspace = Address_space.create () in
   Address_space.map aspace ~addr:Layout.visor_code.Layout.base
     ~len:Layout.visor_code.Layout.size ~perm:Page.rx ~pkey:system_key ();
@@ -187,18 +218,18 @@ let clone_template template ~proc_table ~clock =
   Clock.advance clock Cost.wfd_clone;
   Clock.advance clock (Hostos.Syscall.cost Hostos.Syscall.Pkey_alloc);
   {
-    id = !next_id;
+    id;
     workflow_name = template.workflow_name;
     features = template.features;
     aspace;
     buffer_alloc =
-      Alloc.create ?fault:template.fault ~base:Layout.libos_heap.Layout.base
+      Alloc.create ?fault ~base:Layout.libos_heap.Layout.base
         ~size:Layout.libos_heap.Layout.size ();
     loaded_modules = Hashtbl.copy template.loaded_modules;
     entry_table = Hashtbl.copy template.entry_table;
     ext = Ext.create ();
-    vfs = template.vfs;
-    fault = template.fault;
+    vfs;
+    fault;
     tap = None;
     stdout = Buffer.create 256;
     pid;
@@ -214,7 +245,7 @@ let clone_template template ~proc_table ~clock =
 let destroy t =
   if not t.destroyed then begin
     t.destroyed <- true;
-    live := Stdlib.max 0 (!live - 1);
+    live_decr ();
     (match t.tap with Some _ -> t.tap <- None | None -> ());
     Hostos.Process.exit_process t.proc_table t.pid
   end

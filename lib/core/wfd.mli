@@ -99,14 +99,23 @@ val respawn_function_thread : t -> slot:int -> clock:Sim.Clock.t -> thread
     slot.  Intermediate-data buffers live in the libos heap and are
     untouched. *)
 
-val clone_template : t -> proc_table:Hostos.Process.t -> clock:Sim.Clock.t -> t
+val clone_template :
+  ?vfs:Fsim.Vfs.t ->
+  ?fault:Sim.Fault.t ->
+  t ->
+  proc_table:Hostos.Process.t ->
+  clock:Sim.Clock.t ->
+  t
 (** CoW-clone a warm template WFD for one request (the warm-pool fast
     path): the loaded-module set and entry table are inherited, the
     buffer heap / module state / stdout / function slots start fresh,
     and the clone is charged {!Cost.wfd_clone} instead of the full
-    create + entry-table path.  The clone shares the template's disk
-    image and fault plan, and lives in [proc_table] under its own pid.
-    Raises [Invalid_argument] if the template was destroyed. *)
+    create + entry-table path.  By default the clone shares the
+    template's disk image and fault plan; [vfs] / [fault] substitute a
+    per-request image and plan — required when clones execute on
+    different domains, since the shared vfs is host-mutable state.
+    The clone lives in [proc_table] under its own pid.  Raises
+    [Invalid_argument] if the template was destroyed. *)
 
 val destroy : t -> unit
 (** Unmap everything and reclaim resources.  Idempotent. *)
@@ -114,6 +123,22 @@ val destroy : t -> unit
 val live_count : unit -> int
 (** Number of created-but-not-destroyed WFDs across the whole process —
     the leak detector long-lived servers watch. *)
+
+(** {1 Deterministic id allocation}
+
+    WFD ids appear in trace text (["wfd%d ..."]), so parallel tasks
+    must not draw them from the shared counter in host-completion
+    order.  A submitter reserves a contiguous range per task with
+    {!reserve_ids} and the task allocates inside it under
+    {!with_id_namespace}; ids then depend only on submission index. *)
+
+val reserve_ids : int -> int
+(** [reserve_ids n] claims [n] ids from the global counter and returns
+    [base]; the reserved ids are [base+1 .. base+n]. *)
+
+val with_id_namespace : base:int -> (unit -> 'a) -> 'a
+(** Run [f] with WFD ids allocated locally as [base+1, base+2, ...]
+    (domain-local; restored on exit, exceptions included). *)
 
 val mapped_bytes : t -> int
 val is_loaded : t -> string -> bool

@@ -10,6 +10,13 @@ let pool ~cores =
 
 let pool_cores pool = Array.length pool.free_at
 
+let copy_pool pool = { free_at = Array.copy pool.free_at }
+
+let restore_pool dst src =
+  if Array.length dst.free_at <> Array.length src.free_at then
+    invalid_arg "Sched.restore_pool: core counts differ";
+  Array.blit src.free_at 0 dst.free_at 0 (Array.length dst.free_at)
+
 let busy_until pool = Array.fold_left Units.max Units.zero pool.free_at
 
 let schedule_on pool ?(ready = Units.zero) ?(dispatch_latency = Units.zero) durations =

@@ -22,6 +22,17 @@ val pool : cores:int -> pool
 
 val pool_cores : pool -> int
 
+val copy_pool : pool -> pool
+(** Snapshot of the pool's per-core busy horizons.  {!schedule_on}
+    mutates the pool it is given, so planners probing placements
+    (what-if scheduling, parallel merges) work on a copy and leave the
+    shared horizons untouched. *)
+
+val restore_pool : pool -> pool -> unit
+(** [restore_pool dst src] overwrites [dst]'s horizons with [src]'s
+    (checkpoint rollback).  Raises [Invalid_argument] when the core
+    counts differ. *)
+
 val busy_until : pool -> Sim.Units.time
 (** Latest instant at which any core of the pool is still busy. *)
 

@@ -116,11 +116,11 @@ let connect ?fault ~client ~server ~link ~client_profile ~server_profile () =
   let ack_arrive = Units.add (Clock.now client) t.link.Link.latency in
   Clock.advance_to server ack_arrive;
   t.server_state <- Established;
-  if Span.enabled Span.global then begin
+  if Span.enabled (Span.current ()) then begin
     let sp =
-      Span.begin_span Span.global ~at:hs_begin ~category:"network" ~label:"handshake" ()
+      Span.begin_span (Span.current ()) ~at:hs_begin ~category:"network" ~label:"handshake" ()
     in
-    Span.end_span Span.global sp ~at:(Clock.now client)
+    Span.end_span (Span.current ()) sp ~at:(Clock.now client)
   end;
   t
 
@@ -155,13 +155,13 @@ let fault_penalty t ~at ~burst_wall ~parent =
         Fault.record_recovery plan ~at:resend_at
           ~site:(if dropped then Fault.site_link_tx else Fault.site_link_corrupt)
           "retransmitted burst after RTO";
-        if Span.enabled Span.global then begin
+        if Span.enabled (Span.current ()) then begin
           let b = Units.add at (Units.add delay burst_wall) in
           let sp =
-            Span.begin_span Span.global ~parent ~at:b ~category:"retry"
+            Span.begin_span (Span.current ()) ~parent ~at:b ~category:"retry"
               ~label:"retransmit" ()
           in
-          Span.end_span Span.global sp ~at:(Units.add b (Units.add (rto t) burst_wall))
+          Span.end_span (Span.current ()) sp ~at:(Units.add b (Units.add (rto t) burst_wall))
         end;
         Units.add delay (Units.add (rto t) burst_wall)
       end
@@ -178,7 +178,7 @@ let stream_histo = Metrics.histogram "net.stream_bytes"
 let stream t ~tx ~rx ~src_clock ~dst_clock ~sink data =
   let len = Bytes.length data in
   Metrics.observe stream_histo (float_of_int len);
-  let g = Span.global in
+  let g = (Span.current ()) in
   let sp =
     Span.begin_span g
       ~at:(Units.max (Clock.now src_clock) (Clock.now dst_clock))

@@ -17,7 +17,10 @@ type site_state = {
 
 type t = {
   plan_seed : int;
-  trace : Trace.t;
+  trace : Trace.t option;
+      (** [None] routes fault records to [Trace.current ()] at record
+          time, so a plan shared with parallel tasks traces into each
+          task's shard rather than across domains into one buffer. *)
   table : (string, site_state) Hashtbl.t;
 }
 
@@ -31,10 +34,11 @@ let site_loader_load = "loader.load"
 let site_fn_crash = "visor.fn.crash"
 let site_fn_hang = "visor.fn.hang"
 
-let create ?(trace = Trace.global) ~seed () =
-  { plan_seed = seed; trace; table = Hashtbl.create 8 }
+let create ?trace ~seed () = { plan_seed = seed; trace; table = Hashtbl.create 8 }
 
 let seed t = t.plan_seed
+
+let trace_of t = match t.trace with Some tr -> tr | None -> Trace.current ()
 
 (* FNV-1a over the site name, independent of Hashtbl.hash so the
    per-site stream survives compiler upgrades. *)
@@ -83,7 +87,7 @@ let check ?(at = Units.zero) t ~site =
       let fires = scheduled && not capped in
       if fires then begin
         st.fired <- st.fired + 1;
-        Trace.recordf t.trace ~at ~category:"fault" ~label:site
+        Trace.recordf (trace_of t) ~at ~category:"fault" ~label:site
           "injected #%d (occurrence %d)" st.fired st.occurrences
       end;
       fires
@@ -106,7 +110,47 @@ let schedule t =
   |> List.sort compare
 
 let record_recovery t ~at ~site detail =
-  Trace.recordf t.trace ~at ~category:"fault" ~label:site "recovered: %s" detail
+  Trace.recordf (trace_of t) ~at ~category:"fault" ~label:site "recovered: %s" detail
+
+(* Split a per-task plan off [t].  The child's seed is derived from
+   (plan seed, task index) alone — never from host scheduling — so the
+   same task draws the same fault stream whatever the interleaving.
+   Site states are re-derived from the child's seed with fresh
+   counters. *)
+let child t ~index =
+  let child_seed =
+    Int64.to_int
+      (Rng.mix
+         (Int64.add (Int64.of_int t.plan_seed)
+            (Int64.mul Rng.golden_gamma (Int64.of_int (index + 1)))))
+  in
+  let c = { plan_seed = child_seed; trace = None; table = Hashtbl.create 8 } in
+  Hashtbl.iter
+    (fun site st ->
+      Hashtbl.replace c.table site
+        {
+          trigger = st.trigger;
+          max_fires = st.max_fires;
+          rng = site_rng c site;
+          occurrences = 0;
+          fired = 0;
+        })
+    t.table;
+  c
+
+(* Fold a finished child's occurrence/fire counts back into the parent
+   so plan-level accounting ([fired], [schedule], ...) covers the whole
+   run.  Sums are order-insensitive; call at a deterministic join
+   anyway so traces stay aligned. *)
+let absorb t c =
+  Hashtbl.fold (fun site st acc -> (site, st) :: acc) c.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (site, (cst : site_state)) ->
+         match Hashtbl.find_opt t.table site with
+         | Some st ->
+             st.occurrences <- st.occurrences + cst.occurrences;
+             st.fired <- st.fired + cst.fired
+         | None -> Hashtbl.replace t.table site cst)
 
 let reset t =
   let fresh =

@@ -36,9 +36,24 @@ type t
 
 val create : ?trace:Trace.t -> seed:int -> unit -> t
 (** A fresh plan with no rules.  Fired injections are recorded to
-    [trace] (default {!Trace.global}) when tracing is enabled. *)
+    [trace] when tracing is enabled; when omitted they go to
+    {!Trace.current} resolved at record time ({!Trace.global} on the
+    main domain), so a plan used inside a parallel task traces into
+    that task's shard. *)
 
 val seed : t -> int
+
+val child : t -> index:int -> t
+(** Per-task plan split deterministically off the parent: same rules,
+    fresh counters, site streams re-derived from a seed mixed from
+    [(seed t, index)] alone — so task [index] draws the same fault
+    schedule whatever the host interleaving.  Records to
+    {!Trace.current}. *)
+
+val absorb : t -> t -> unit
+(** [absorb parent c] folds a finished child's occurrence and fire
+    counts back into [parent] (sites visited in sorted order), so
+    plan-level accounting covers the whole run. *)
 
 val inject : t -> site:string -> ?max_fires:int -> trigger -> unit
 (** Install (or replace) the rule for [site].  [max_fires] caps the

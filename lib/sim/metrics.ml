@@ -1,21 +1,53 @@
-type histogram = {
-  h_name : string;
+(* Histogram / gauge registry.  Handles are names; the backing cells
+   live in a registry resolved through domain-local storage, so
+   [Par.with_shard] can route a parallel task's observations into a
+   private shard (no locks on the hot path) and [merge_into] folds
+   them back at a deterministic join point. *)
+
+type histo = {
   buckets : int array;  (* 64 log2 buckets; index via [bucket_index] *)
   samples : Stats.t;
 }
 
-type gauge = { g_name : string; mutable g_value : float }
+type registry = {
+  r_histograms : (string, histo) Hashtbl.t;
+  r_gauges : (string, float ref) Hashtbl.t;
+}
 
-let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
-let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+type histogram = string
+type gauge = string
 
-let histogram name =
-  match Hashtbl.find_opt histograms name with
+let create_registry () =
+  { r_histograms = Hashtbl.create 16; r_gauges = Hashtbl.create 16 }
+
+let default = create_registry ()
+
+let current_key = Domain.DLS.new_key create_registry
+let () = Domain.DLS.set current_key default
+let current () = Domain.DLS.get current_key
+let set_current r = Domain.DLS.set current_key r
+
+let histo_cell r name =
+  match Hashtbl.find_opt r.r_histograms name with
   | Some h -> h
   | None ->
-      let h = { h_name = name; buckets = Array.make 64 0; samples = Stats.create () } in
-      Hashtbl.replace histograms name h;
+      let h = { buckets = Array.make 64 0; samples = Stats.create () } in
+      Hashtbl.replace r.r_histograms name h;
       h
+
+let gauge_cell r name =
+  match Hashtbl.find_opt r.r_gauges name with
+  | Some g -> g
+  | None ->
+      let g = ref 0.0 in
+      Hashtbl.replace r.r_gauges name g;
+      g
+
+(* Registration persists across [reset] so never-observed series still
+   export (with zero counts). *)
+let histogram name =
+  ignore (histo_cell (current ()) name);
+  name
 
 (* Bucket on the integer part so the boundary behaviour is exact:
    bucket 0 <-> v < 1, bucket i <-> 2^(i-1) <= v < 2^i.  Int64 bit
@@ -30,26 +62,27 @@ let bucket_index v =
 let bucket_bound i = 2.0 ** float_of_int i
 
 let observe h v =
+  let cell = histo_cell (current ()) h in
   let i = bucket_index v in
-  h.buckets.(i) <- h.buckets.(i) + 1;
-  Stats.add h.samples v
+  cell.buckets.(i) <- cell.buckets.(i) + 1;
+  Stats.add cell.samples v
 
 let observe_time h d = observe h (Int64.to_float (Units.to_ns d))
 
-let histogram_count h = Stats.count h.samples
-let histogram_sum h = Stats.sum h.samples
+let histogram_count h = Stats.count (histo_cell (current ()) h).samples
+let histogram_sum h = Stats.sum (histo_cell (current ()) h).samples
 
 let gauge name =
-  match Hashtbl.find_opt gauges name with
-  | Some g -> g
-  | None ->
-      let g = { g_name = name; g_value = 0.0 } in
-      Hashtbl.replace gauges name g;
-      g
+  ignore (gauge_cell (current ()) name);
+  name
 
-let set_gauge g v = g.g_value <- v
-let max_gauge g v = if v > g.g_value then g.g_value <- v
-let gauge_value g = g.g_value
+let set_gauge g v = gauge_cell (current ()) g := v
+
+let max_gauge g v =
+  let cell = gauge_cell (current ()) g in
+  if v > !cell then cell := v
+
+let gauge_value g = !(gauge_cell (current ()) g)
 
 type histo_snapshot = {
   hs_name : string;
@@ -69,14 +102,14 @@ type snapshot = {
   snap_histograms : histo_snapshot list;
 }
 
-let snapshot_histogram h =
+let snapshot_histogram name (h : histo) =
   let empty = Stats.is_empty h.samples in
   let buckets = ref [] in
   for i = 63 downto 0 do
     if h.buckets.(i) > 0 then buckets := (i, h.buckets.(i)) :: !buckets
   done;
   {
-    hs_name = h.h_name;
+    hs_name = name;
     hs_count = Stats.count h.samples;
     hs_sum = Stats.sum h.samples;
     hs_min = (if empty then 0.0 else Stats.min h.samples);
@@ -88,21 +121,46 @@ let snapshot_histogram h =
   }
 
 let snapshot () =
+  let r = current () in
   let gs =
-    Hashtbl.fold (fun n g acc -> (n, g.g_value) :: acc) gauges []
+    Hashtbl.fold (fun n g acc -> (n, !g) :: acc) r.r_gauges []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   let hs =
-    Hashtbl.fold (fun _ h acc -> snapshot_histogram h :: acc) histograms []
+    Hashtbl.fold (fun n h acc -> snapshot_histogram n h :: acc) r.r_histograms []
     |> List.sort (fun a b -> String.compare a.hs_name b.hs_name)
   in
   { snap_counters = Stats.counters (); snap_gauges = gs; snap_histograms = hs }
 
 let reset () =
+  let r = current () in
   Hashtbl.iter
     (fun _ h ->
       Array.fill h.buckets 0 64 0;
       Stats.clear h.samples)
-    histograms;
-  Hashtbl.iter (fun _ g -> g.g_value <- 0.0) gauges;
+    r.r_histograms;
+  Hashtbl.iter (fun _ g -> g := 0.0) r.r_gauges;
   Stats.reset_counters ()
+
+(* Fold a shard registry into the current one.  Histogram samples are
+   re-observed in the shard's insertion order and series are visited
+   in sorted-name order, so the merged sample sequence — and therefore
+   float sums and percentile views — depends only on the submission
+   order of the merges, never on host completion order.  Gauges merge
+   with max (every gauge in the tree is a high-watermark). *)
+let merge_into (src : registry) =
+  let dst = current () in
+  Hashtbl.fold (fun n h acc -> (n, h) :: acc) src.r_histograms []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (n, (h : histo)) ->
+         let cell = histo_cell dst n in
+         List.iter
+           (fun v ->
+             let i = bucket_index v in
+             cell.buckets.(i) <- cell.buckets.(i) + 1;
+             Stats.add cell.samples v)
+           (Stats.to_list h.samples));
+  Hashtbl.fold (fun n g acc -> (n, !g) :: acc) src.r_gauges []
+  |> List.iter (fun (n, v) ->
+         let cell = gauge_cell dst n in
+         if v > !cell then cell := v)

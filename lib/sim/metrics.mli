@@ -19,6 +19,24 @@
 type histogram
 type gauge
 
+type registry
+(** One set of histogram/gauge cells.  Handles are names, resolved in
+    the {e current} registry (domain-local; the process default on the
+    main domain) at every observation — that indirection lets
+    [Par.with_shard] route a parallel task's observations into a
+    private shard with no locks, and {!merge_into} fold them back at a
+    deterministic join. *)
+
+val create_registry : unit -> registry
+val current : unit -> registry
+val set_current : registry -> unit
+
+val merge_into : registry -> unit
+(** Fold a shard registry into the current one.  Histogram samples are
+    re-observed in the shard's insertion order with series visited in
+    sorted-name order, so the merged sample sequence depends only on
+    the order of [merge_into] calls; gauges merge as high-watermarks. *)
+
 val histogram : string -> histogram
 (** Registered histogram for [name], created empty on first use.
     Repeated calls with the same name share one instrument. *)

@@ -1,0 +1,115 @@
+(* Host-parallel execution of independent tasks on OCaml 5 domains.
+
+   The contract that keeps virtual time deterministic:
+
+   - Tasks are submitted as an array; results come back indexed by
+     submission position, never by completion order.
+   - A task must route every collector write (spans, trace events,
+     metrics, counters) through a [shard] installed with [with_shard].
+     Shards are domain-local swaps, so the hot path takes no locks.
+   - Shards are merged with [merge_shard] at points chosen by the
+     (sequential, virtual-time) merge loop — keyed by submission
+     index, so the merged timeline is bit-identical whether the tasks
+     ran on 1 domain or N.
+   - Per-task randomness/faults must be split from the seed by task
+     index ([Fault.child], [Rng.split]) before submission, never drawn
+     from a stream shared across tasks. *)
+
+let domain_count = Atomic.make 1
+
+let set_domains n = Atomic.set domain_count (if n < 1 then 1 else n)
+let domains () = Atomic.get domain_count
+
+(* --- Per-task collector shards ------------------------------------- *)
+
+type shard = {
+  sh_span : Span.t;
+  sh_trace : Trace.t;
+  sh_metrics : Metrics.registry;
+  sh_counters : Stats.Counter.registry;
+}
+
+type shard_config = { cfg_span_on : bool; cfg_trace_on : bool }
+
+(* Capture enablement from the submitting domain's collectors so
+   shards observe exactly what the sequential run would. *)
+let shard_config () =
+  {
+    cfg_span_on = Span.enabled (Span.current ());
+    cfg_trace_on = Trace.enabled (Trace.current ());
+  }
+
+let make_shard cfg =
+  let sp = Span.create () in
+  Span.set_enabled sp cfg.cfg_span_on;
+  let tr = Trace.create () in
+  Trace.set_enabled tr cfg.cfg_trace_on;
+  {
+    sh_span = sp;
+    sh_trace = tr;
+    sh_metrics = Metrics.create_registry ();
+    sh_counters = Stats.Counter.create_registry ();
+  }
+
+let with_shard shard f =
+  let old_span = Span.current () in
+  let old_trace = Trace.current () in
+  let old_metrics = Metrics.current () in
+  let old_counters = Stats.Counter.current () in
+  Span.set_current shard.sh_span;
+  Trace.set_current shard.sh_trace;
+  Metrics.set_current shard.sh_metrics;
+  Stats.Counter.set_current shard.sh_counters;
+  Fun.protect
+    ~finally:(fun () ->
+      Span.set_current old_span;
+      Trace.set_current old_trace;
+      Metrics.set_current old_metrics;
+      Stats.Counter.set_current old_counters)
+    f
+
+(* Fold a shard into the *current* collectors, shifting the shard's
+   relative virtual times by [offset] and attaching its root spans
+   under [attach]. *)
+let merge_shard ?(attach = Span.none) ?(offset = Units.zero) shard =
+  Span.import (Span.current ()) ~offset ~attach shard.sh_span;
+  Trace.import (Trace.current ()) ~offset shard.sh_trace;
+  Metrics.merge_into shard.sh_metrics;
+  Stats.merge_counters shard.sh_counters
+
+(* --- The pool ------------------------------------------------------ *)
+
+(* Run [tasks] and return their results by submission index.  Work is
+   claimed from a shared atomic cursor; the submitting domain
+   participates, so [domains () = 1] costs no spawn.  The first
+   failing task *by submission index* re-raises after every domain has
+   joined — completion order never leaks, even through errors. *)
+let run (tasks : (unit -> 'a) array) : 'a array =
+  let n = Array.length tasks in
+  let d = min (domains ()) n in
+  if d <= 1 then Array.map (fun f -> f ()) tasks
+  else begin
+    let results : 'a option array = Array.make n None in
+    let errors : exn option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (match tasks.(i) () with
+        | v -> results.(i) <- Some v
+        | exception e -> errors.(i) <- Some e);
+        worker ()
+      end
+    in
+    let spawned = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    let first_error = ref None in
+    for i = n - 1 downto 0 do
+      match errors.(i) with Some e -> first_error := Some e | None -> ()
+    done;
+    (match !first_error with Some e -> raise e | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map f arr = run (Array.map (fun x () -> f x) arr)

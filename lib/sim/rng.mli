@@ -9,6 +9,15 @@ type t
 val create : int -> t
 (** [create seed] makes a fresh generator. *)
 
+val golden_gamma : int64
+(** The splitmix64 stream increment; exposed so seed-derivation schemes
+    (per-task fault plans, shard streams) can mix indices the same way
+    the generator itself does. *)
+
+val mix : int64 -> int64
+(** The splitmix64 finalizer: a bijective avalanche over 64 bits.
+    Deterministic seed derivation for split streams. *)
+
 val split : t -> t
 (** [split t] derives an independent stream, advancing [t]. *)
 

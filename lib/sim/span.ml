@@ -34,6 +34,16 @@ let create () = { store = Array.make 64 dummy; len = 0; on = false; amb = none }
 
 let global = create ()
 
+(* Domain-local "current" collector.  The main domain's slot is bound
+   to [global] at module init; worker domains default to a private
+   throwaway instance so a task that forgets to install a shard can
+   never race on [global].  [Par.with_shard] swaps this slot around
+   each parallel task. *)
+let current_key = Domain.DLS.new_key create
+let () = Domain.DLS.set current_key global
+let current () = Domain.DLS.get current_key
+let set_current t = Domain.DLS.set current_key t
+
 let enabled t = t.on
 let set_enabled t v = t.on <- v
 
@@ -90,6 +100,32 @@ let ambient t = t.amb
 let set_ambient t id = t.amb <- id
 
 let count t = t.len
+
+(* Graft a shard's spans onto [t], shifting times by [offset] and
+   remapping ids.  Shard ids are dense 1..len (see [begin_span]), so
+   [base + id] keeps [t] dense too.  A shard-local root (parent =
+   [none]) is re-parented under [attach], which lets the merge loop
+   hang each task's subtree off the span it creates for that task.
+   Spans are copied, never aliased, so later mutation of the shard
+   cannot corrupt the merged timeline. *)
+let import t ~offset ~attach shard =
+  if t.on then begin
+    let base = t.len in
+    for i = 0 to shard.len - 1 do
+      let sp = shard.store.(i) in
+      let parent =
+        if sp.sp_parent = none then attach else base + sp.sp_parent
+      in
+      push t
+        {
+          sp with
+          sp_id = base + sp.sp_id;
+          sp_parent = parent;
+          sp_begin = Units.add sp.sp_begin offset;
+          sp_end = Units.add sp.sp_end offset;
+        }
+    done
+  end
 
 let spans t = List.init t.len (fun i -> t.store.(i))
 

@@ -38,6 +38,15 @@ val global : t
 (** Process-wide collector used by the core library; disabled by
     default. *)
 
+val current : unit -> t
+(** Domain-local current collector.  On the main domain this is
+    {!global} unless {!set_current} swapped it; on a worker domain it
+    defaults to a private throwaway instance so stray writes never race
+    on {!global}.  [Par.with_shard] uses this slot to route a parallel
+    task's spans into a per-task shard. *)
+
+val set_current : t -> unit
+
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
 
@@ -67,6 +76,13 @@ val ambient : t -> id
 val set_ambient : t -> id -> unit
 
 val count : t -> int
+
+val import : t -> offset:Units.time -> attach:id -> t -> unit
+(** [import t ~offset ~attach shard] grafts [shard]'s spans onto [t]:
+    ids are remapped past [t]'s current count (both stay dense), times
+    shift by [offset], and shard-local roots re-parent under [attach]
+    ({!none} keeps them roots).  Spans are copied, never aliased.
+    No-op while [t] is disabled. *)
 
 val spans : t -> span list
 (** All spans in creation (= id) order. *)

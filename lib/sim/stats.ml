@@ -83,35 +83,69 @@ let to_list t = Array.to_list (Array.sub t.samples 0 t.len)
 
 (* --- Named monotonic counters ------------------------------------- *)
 
+(* A counter handle is just its name; the value cell lives in a
+   registry resolved through domain-local storage at every bump.  That
+   indirection is what lets [Par.with_shard] route a parallel task's
+   counts into a private shard with no locks on the hot path, then
+   fold them back into the main registry in submission order. *)
 module Counter = struct
-  type counter = { c_name : string; mutable c_value : int }
-  type t = counter
+  type t = string
 
-  let registry : (string, counter) Hashtbl.t = Hashtbl.create 32
+  type registry = (string, int ref) Hashtbl.t
 
-  let make name =
-    match Hashtbl.find_opt registry name with
+  let create_registry () : registry = Hashtbl.create 32
+
+  let default : registry = create_registry ()
+
+  let current_key = Domain.DLS.new_key create_registry
+  let () = Domain.DLS.set current_key default
+  let current () = Domain.DLS.get current_key
+  let set_current r = Domain.DLS.set current_key r
+
+  let cell (r : registry) name =
+    match Hashtbl.find_opt r name with
     | Some c -> c
     | None ->
-        let c = { c_name = name; c_value = 0 } in
-        Hashtbl.replace registry name c;
+        let c = ref 0 in
+        Hashtbl.replace r name c;
         c
 
-  let incr c = c.c_value <- c.c_value + 1
-  let add c n = c.c_value <- c.c_value + n
-  let value c = c.c_value
-  let name c = c.c_name
-  let reset c = c.c_value <- 0
+  (* Pre-register in [default] so never-bumped counters still show up
+     (as zeros) in exports.  All [make] calls are module-init, i.e. on
+     the main domain. *)
+  let make name =
+    ignore (cell default name);
+    name
+
+  let incr c = Stdlib.incr (cell (current ()) c)
+
+  let add c n =
+    let cl = cell (current ()) c in
+    cl := !cl + n
+
+  let value c = !(cell (current ()) c)
+  let name c = c
+  let reset c = cell (current ()) c := 0
 end
 
 let counter_value name =
-  match Hashtbl.find_opt Counter.registry name with
-  | Some c -> c.Counter.c_value
+  match Hashtbl.find_opt (Counter.current ()) name with
+  | Some c -> !c
   | None -> 0
 
 let counters () =
-  Hashtbl.fold (fun n c acc -> (n, c.Counter.c_value) :: acc) Counter.registry []
+  Hashtbl.fold (fun n c acc -> (n, !c) :: acc) (Counter.current ()) []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let reset_counters () =
-  Hashtbl.iter (fun _ c -> c.Counter.c_value <- 0) Counter.registry
+let reset_counters () = Hashtbl.iter (fun _ c -> c := 0) (Counter.current ())
+
+(* Fold a shard registry into the current one.  Sums are
+   order-insensitive, so this is safe at any deterministic join. *)
+let merge_counters (src : Counter.registry) =
+  let dst = Counter.current () in
+  Hashtbl.fold (fun n c acc -> (n, !c) :: acc) src []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (n, v) ->
+         if v <> 0 then
+           let cl = Counter.cell dst n in
+           cl := !cl + v)

@@ -35,16 +35,31 @@ val clear : t -> unit
 val to_list : t -> float list
 (** Samples in insertion order. *)
 
-(** Named monotonic event counters with a process-global registry.
-    Hot paths hold the counter and bump it with a single store; readers
-    query by name.  [reset_counters] zeroes every registered counter
-    (tests and repeated bench runs). *)
+(** Named monotonic event counters.  A handle is just the counter's
+    name; the value cell lives in a {e registry} resolved through
+    domain-local storage on every bump.  On the main domain that is the
+    default process registry, so behaviour is unchanged for sequential
+    code; [Par.with_shard] swaps in a per-task registry so parallel
+    tasks count without locks, then {!merge_counters} folds the shard
+    back at a deterministic join.  [reset_counters] zeroes every
+    counter in the current registry (tests and repeated bench runs). *)
 module Counter : sig
   type t
 
+  type registry
+
+  val create_registry : unit -> registry
+
+  val current : unit -> registry
+  (** Domain-local current registry (the process default on the main
+      domain unless {!set_current} swapped it). *)
+
+  val set_current : registry -> unit
+
   val make : string -> t
-  (** Returns the registered counter for [name], creating it at zero on
-      first use.  Repeated calls with the same name share one counter. *)
+  (** Returns the counter handle for [name] and pre-registers it (at
+      zero) in the default registry so never-bumped counters still
+      export.  Call at module init, on the main domain. *)
 
   val incr : t -> unit
   val add : t -> int -> unit
@@ -57,6 +72,10 @@ val counter_value : string -> int
 (** Current value of the named counter; 0 if never registered. *)
 
 val counters : unit -> (string * int) list
-(** All registered counters, sorted by name. *)
+(** All counters registered in the current registry, sorted by name. *)
 
 val reset_counters : unit -> unit
+
+val merge_counters : Counter.registry -> unit
+(** Add every count in the given shard registry into the current one
+    (names visited in sorted order; sums are order-insensitive). *)

@@ -54,3 +54,21 @@ let dump t =
   String.concat "\n" (List.map (Format.asprintf "%a" pp_event) (events t))
 
 let global = create ()
+
+(* Graft a shard's events onto [t] with times shifted by [offset].
+   Replaying through [record] keeps the ring-buffer drop accounting
+   identical to having recorded the events directly. *)
+let import t ~offset shard =
+  List.iter
+    (fun e ->
+      record t ~at:(Units.add e.at offset) ~category:e.category ~label:e.label
+        e.detail)
+    (events shard)
+
+(* Domain-local "current" buffer: main domain -> [global], workers
+   default to a private instance until [Par.with_shard] installs a
+   per-task shard. *)
+let current_key = Domain.DLS.new_key (fun () -> create ())
+let () = Domain.DLS.set current_key global
+let current () = Domain.DLS.get current_key
+let set_current t = Domain.DLS.set current_key t

@@ -50,3 +50,16 @@ val dump : t -> string
 
 val global : t
 (** Process-wide trace used by the core library; disabled by default. *)
+
+val current : unit -> t
+(** Domain-local current buffer: {!global} on the main domain (unless
+    {!set_current} swapped it), a private throwaway instance on worker
+    domains.  [Par.with_shard] uses this slot to route a parallel
+    task's events into a per-task shard. *)
+
+val set_current : t -> unit
+
+val import : t -> offset:Units.time -> t -> unit
+(** [import t ~offset shard] replays [shard]'s events into [t] with
+    times shifted by [offset], oldest first.  No-op while [t] is
+    disabled. *)

@@ -27,7 +27,14 @@ val hash_module : Wmodule.t -> string
 val find_or_compile : t -> Wmodule.t -> compile:(unit -> Aot.compiled) -> Aot.compiled
 (** Return the cached compilation for [m], or run [compile], cache the
     result and return it.  On overflow the least-recently-used entry is
-    evicted first. *)
+    evicted first.
+
+    Domain-safe: lookups and commits are mutex-guarded, and a key being
+    compiled is marked in-flight so concurrent loads of the same
+    content hash wait for the one compilation instead of duplicating it
+    (they count as hits).  The lock is released while the compile thunk
+    runs, and a failing thunk withdraws the in-flight claim — the next
+    waiter becomes the builder, matching sequential retry accounting. *)
 
 val length : t -> int
 val hit_count : t -> int

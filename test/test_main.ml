@@ -23,4 +23,5 @@ let () =
       ("fault", Test_fault.suite);
       ("multilang", Test_multilang.suite);
       ("obs", Test_obs.suite);
+      ("par", Test_par.suite);
     ]

@@ -1,0 +1,270 @@
+(* Tests for Sim.Par, the host domain pool: virtual-time outputs must
+   be bit-identical whatever the domain count, shared caches must stay
+   coherent under concurrent clients, and pool snapshots must round
+   trip.  Domain counts deliberately exceed the machine's cores — the
+   determinism contract is independent of physical parallelism. *)
+
+open Sim
+open Alloystack_core
+
+let with_domains n f =
+  Par.set_domains n;
+  Fun.protect ~finally:(fun () -> Par.set_domains 1) f
+
+let reset_observability () =
+  Trace.clear Trace.global;
+  Span.clear Span.global;
+  Metrics.reset ()
+
+(* --- Par.run ordering and error routing --------------------------- *)
+
+let test_run_submission_order () =
+  with_domains 8 (fun () ->
+      let results = Par.run (Array.init 64 (fun i () -> i * i)) in
+      Array.iteri
+        (fun i v -> Alcotest.(check int) (Printf.sprintf "slot %d" i) (i * i) v)
+        results)
+
+let test_run_first_error_wins () =
+  (* Whatever domain finishes first, the exception that escapes is the
+     lowest submission index's. *)
+  with_domains 8 (fun () ->
+      let task i () = if i mod 3 = 0 && i > 0 then failwith (string_of_int i) else i in
+      match Par.run (Array.init 32 (fun i -> task i)) with
+      | _ -> Alcotest.fail "expected a failure"
+      | exception Failure msg -> Alcotest.(check string) "lowest index" "3" msg)
+
+(* --- Sched pool snapshot / restore -------------------------------- *)
+
+let test_pool_snapshot_roundtrip () =
+  let pool = Hostos.Sched.pool ~cores:2 in
+  let durations = List.map Units.ms [ 4; 7; 2; 9 ] in
+  ignore (Hostos.Sched.schedule_on pool durations);
+  let snap = Hostos.Sched.copy_pool pool in
+  let probe = Hostos.Sched.schedule_on pool (List.map Units.ms [ 5; 5 ]) in
+  Alcotest.(check bool) "probe advanced the horizons" true
+    (Units.( > ) (Hostos.Sched.busy_until pool) (Hostos.Sched.busy_until snap));
+  Hostos.Sched.restore_pool pool snap;
+  Alcotest.(check bool) "restore rolled the horizons back" true
+    (Units.equal (Hostos.Sched.busy_until pool) (Hostos.Sched.busy_until snap));
+  let replay = Hostos.Sched.schedule_on pool (List.map Units.ms [ 5; 5 ]) in
+  Alcotest.(check bool) "replay reproduces the probe placements" true (replay = probe);
+  match
+    Hostos.Sched.restore_pool (Hostos.Sched.pool ~cores:3) snap
+  with
+  | () -> Alcotest.fail "core-count mismatch must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* --- Compile cache under concurrent clients ----------------------- *)
+
+let test_compile_cache_stress () =
+  (* 16 tasks over 8 domains race to load the same module through one
+     shared cache: exactly one compile happens, everyone else hits, and
+     per-load virtual time is charged identically regardless. *)
+  let big =
+    let chunk i =
+      [ Wasm.Builder.const i; Wasm.Builder.const (i + 1); Wasm.Builder.add;
+        Wasm.Instr.Drop ]
+    in
+    let body = List.concat (List.init 400 chunk) @ [ Wasm.Builder.const 0 ] in
+    Wasm.Wmodule.create ~name:"stress" ~exports:[ ("f", 0) ]
+      [ Wasm.Builder.func ~name:"f" body ]
+  in
+  let profile = Wasm.Runtime.wasmtime in
+  let cache = Wasm.Compile_cache.create () in
+  let load () =
+    let clock = Clock.create () in
+    ignore (Wasm.Runtime.load ~cache profile ~clock big);
+    Clock.now clock
+  in
+  let times = with_domains 8 (fun () -> Par.run (Array.make 16 load)) in
+  Alcotest.(check int) "one compile" 1 (Wasm.Compile_cache.miss_count cache);
+  Alcotest.(check int) "the rest hit" 15 (Wasm.Compile_cache.hit_count cache);
+  Array.iter
+    (fun t ->
+      Alcotest.(check bool) "virtual load time identical" true
+        (Units.equal t times.(0)))
+    times
+
+(* --- Serving determinism across domain counts --------------------- *)
+
+let node ?(instances = 1) ?(language = Workflow.Rust) ?(modules = []) id =
+  { Workflow.node_id = id; language; instances; required_modules = modules }
+
+let endpoints_spec =
+  let chain_wf =
+    Workflow.create_exn ~name:"chain"
+      ~nodes:[ node ~modules:[ "fdtab" ] "a"; node "b" ]
+      ~edges:[ ("a", "b") ]
+  in
+  let fan_wf =
+    Workflow.create_exn ~name:"fan" ~nodes:[ node ~instances:6 "f" ] ~edges:[]
+  in
+  let py_wf =
+    Workflow.create_exn ~name:"py" ~nodes:[ node ~language:Workflow.Python "p" ] ~edges:[]
+  in
+  let io_kernel (ctx : Asstd.ctx) ~instance:_ ~total:_ =
+    Asstd.write_whole_file ctx "/t" (Bytes.make 8192 'x');
+    Asstd.compute ctx (Units.ms 3);
+    ignore (Asstd.read_whole_file ctx "/t")
+  in
+  let compute_kernel ms (ctx : Asstd.ctx) ~instance:_ ~total:_ =
+    Asstd.compute ctx (Units.ms ms)
+  in
+  [
+    ("chain", chain_wf,
+     [ ("a", Visor.bind io_kernel); ("b", Visor.bind (compute_kernel 4)) ]);
+    ("fan", fan_wf, [ ("f", Visor.bind (compute_kernel 5)) ]);
+    ("py", py_wf, [ ("p", Visor.bind (compute_kernel 4)) ]);
+  ]
+
+let requests_for ~seed ~count =
+  let rng = Rng.create seed in
+  let eps = Array.of_list (List.map (fun (e, _, _) -> e) endpoints_spec) in
+  let t = ref 0.0 in
+  List.init count (fun _ ->
+      t := !t +. Rng.exponential rng ~mean:(1.0 /. 700.0);
+      { Visor.Server.endpoint = Rng.pick rng eps; arrival = Units.ns_f (!t *. 1e9) })
+
+let serve_once ?config ~requests () =
+  let server = Visor.Server.create ?config () in
+  List.iter
+    (fun (endpoint, workflow, bindings) ->
+      Visor.Server.register server ~endpoint ~workflow ~bindings ())
+    endpoints_spec;
+  let r = Visor.Server.serve server requests in
+  Visor.Server.shutdown server;
+  r
+
+let fingerprint (r : Visor.Server.serve_report) =
+  String.concat ";"
+    (List.map
+       (fun (p : Visor.Server.response) ->
+         Printf.sprintf "%s,%Ld,%Ld,%b,%b,%d,%d" p.Visor.Server.r_endpoint
+           (Units.to_ns p.Visor.Server.r_arrival)
+           (Units.to_ns p.Visor.Server.r_finish)
+           p.Visor.Server.r_warm p.Visor.Server.r_ok p.Visor.Server.r_attempts
+           p.Visor.Server.r_retries)
+       r.Visor.Server.responses)
+
+let summary (r : Visor.Server.serve_report) =
+  Printf.sprintf "%d/%d w%d c%d h%d s%d e%d rss%d infl%d" r.Visor.Server.completed
+    r.Visor.Server.failed r.Visor.Server.warm_starts r.Visor.Server.cold_starts
+    r.Visor.Server.adm_hits r.Visor.Server.adm_scans r.Visor.Server.evictions
+    r.Visor.Server.machine_peak_rss r.Visor.Server.max_inflight
+
+let test_serve_identical_across_domains () =
+  (* The full observable surface — responses, counters, span tree,
+     trace and metrics exports — at 1, 2 and 8 domains. *)
+  let requests = requests_for ~seed:7 ~count:60 in
+  let observe domains =
+    with_domains domains (fun () ->
+        reset_observability ();
+        Span.set_enabled Span.global true;
+        let r = serve_once ~requests () in
+        let tr = Obs.trace_json_string () in
+        let me = Obs.metrics_json_string () in
+        Span.set_enabled Span.global false;
+        reset_observability ();
+        (fingerprint r ^ "|" ^ summary r, tr, me))
+  in
+  let base_fp, base_tr, base_me = observe 1 in
+  List.iter
+    (fun d ->
+      let fp, tr, me = observe d in
+      Alcotest.(check string) (Printf.sprintf "responses at %d domains" d) base_fp fp;
+      Alcotest.(check string) (Printf.sprintf "trace export at %d domains" d) base_tr tr;
+      Alcotest.(check string) (Printf.sprintf "metrics export at %d domains" d) base_me me)
+    [ 2; 8 ]
+
+let test_chaos_identical_across_domains () =
+  (* Same fault seed, retries enabled: crash/hang scheduling, retry
+     counts and fault accounting must not depend on the domain count. *)
+  let requests = requests_for ~seed:11 ~count:40 in
+  let run domains =
+    with_domains domains (fun () ->
+        let plan = Fault.create ~seed:5 () in
+        Fault.inject plan ~site:Fault.site_fn_crash (Fault.Every 7);
+        Fault.inject plan ~site:Fault.site_vfs_write (Fault.Every 9);
+        let config =
+          {
+            Visor.default_config with
+            Visor.fault = Some plan;
+            retry = Visor.Retry_workflow 3;
+          }
+        in
+        let r = serve_once ~config ~requests () in
+        Printf.sprintf "%s|%s|crash%d vfs%d" (fingerprint r) (summary r)
+          (Fault.fired plan ~site:Fault.site_fn_crash)
+          (Fault.fired plan ~site:Fault.site_vfs_write))
+  in
+  let base = run 1 in
+  List.iter
+    (fun d ->
+      Alcotest.(check string) (Printf.sprintf "chaos at %d domains" d) base (run d))
+    [ 2; 8 ]
+
+let test_seeded_stress_across_domains () =
+  (* 20 seeded traces, domain count far above the machine's cores: each
+     seed's parallel serve must replay its sequential serve exactly,
+     and no WFDs may leak. *)
+  let live0 = Wfd.live_count () in
+  for seed = 0 to 19 do
+    let requests = requests_for ~seed ~count:25 in
+    let sequential = serve_once ~requests () in
+    let parallel = with_domains 8 (fun () -> serve_once ~requests ()) in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d" seed)
+      (fingerprint sequential ^ "|" ^ summary sequential)
+      (fingerprint parallel ^ "|" ^ summary parallel)
+  done;
+  Alcotest.(check int) "no WFD leak" live0 (Wfd.live_count ())
+
+(* --- run_many ------------------------------------------------------ *)
+
+let test_run_many_identical () =
+  let wf =
+    Workflow.create_exn ~name:"many"
+      ~nodes:[ node ~instances:3 "f" ]
+      ~edges:[]
+  in
+  let bindings =
+    [
+      ( "f",
+        Visor.bind (fun (ctx : Asstd.ctx) ~instance ~total:_ ->
+            Asstd.compute ctx (Units.ms (2 + instance))) );
+    ]
+  in
+  let run domains =
+    with_domains domains (fun () ->
+        Visor.run_many ~workflow:wf ~bindings ~repeat:12 ())
+  in
+  let live0 = Wfd.live_count () in
+  let seq = run 1 in
+  let par = run 8 in
+  Alcotest.(check int) "all repeats" 12 (Array.length par);
+  Alcotest.(check bool) "reports identical across domain counts" true (seq = par);
+  Array.iter
+    (fun (r : Visor.report) ->
+      Alcotest.(check bool) "repeat replays repeat 0" true (r = seq.(0)))
+    seq;
+  Alcotest.(check int) "no WFD leak" live0 (Wfd.live_count ())
+
+let suite =
+  [
+    Alcotest.test_case "Par.run keeps submission order" `Quick test_run_submission_order;
+    Alcotest.test_case "Par.run re-raises lowest-index error" `Quick
+      test_run_first_error_wins;
+    Alcotest.test_case "Sched pool snapshot round-trips" `Quick
+      test_pool_snapshot_roundtrip;
+    Alcotest.test_case "compile cache: 1 compile, 15 hits" `Quick
+      test_compile_cache_stress;
+    Alcotest.test_case "serve identical at 1/2/8 domains" `Quick
+      test_serve_identical_across_domains;
+    Alcotest.test_case "chaos identical across domains" `Quick
+      test_chaos_identical_across_domains;
+    Alcotest.test_case "20 seeds, domains > cores" `Slow
+      test_seeded_stress_across_domains;
+    Alcotest.test_case "run_many identical across domains" `Quick
+      test_run_many_identical;
+  ]
