@@ -16,6 +16,11 @@ let kib n = n * 1024
 
 let quick = ref false
 
+(* --sweep: extend the serving experiment with a qps sweep (latency vs
+   offered load, saturation knee) and a 10^5-request scale leg run
+   through the streaming server with sampled observability. *)
+let sweep_flag = ref false
+
 (* --domains N: host domain pool width for the parallel serving / exec
    experiments.  0 = auto (up to 4, bounded by the machine).  Virtual
    results are bit-identical whatever this is set to — the bench
@@ -788,11 +793,16 @@ let serving () =
     { Workflow.node_id = id; language; instances; required_modules = modules }
   in
   (* Small admitted images so the content-hash admission cache has real
-     work: one scan per distinct image, then cache hits. *)
+     work: one scan per distinct image, then cache hits.  The admission
+     cache keys on instruction content (the name is not hashed), so
+     each image salts its instruction stream with its name — four
+     distinct images means exactly four scans, everything else hits. *)
   let image name =
+    let salt = Hashtbl.hash name in
     Isa.Image.create ~name ~toolchain:Isa.Image.Rust_as_std
-      (List.init 160 (fun i ->
-           if i mod 5 = 0 then Isa.Inst.Mov_imm (Int32.of_int i) else Isa.Inst.Add))
+      (Isa.Inst.Mov_imm (Int32.of_int (salt land 0xffff))
+      :: List.init 160 (fun i ->
+             if i mod 5 = 0 then Isa.Inst.Mov_imm (Int32.of_int i) else Isa.Inst.Add))
   in
   let io_kernel path ms (ctx : Asstd.ctx) ~instance:_ ~total:_ =
     Asstd.write_whole_file ctx path (Bytes.make (kib 32) 'd');
@@ -841,16 +851,22 @@ let serving () =
   let seed = 42 in
   let qps = 900.0 in
   let count = if !quick then 150 else 400 in
+  let eps = Array.of_list (List.map (fun (e, _, _) -> e) endpoints_spec) in
+  (* Streaming seeded generator (constant memory); draws are identical
+     to the old materialised List.init, so the schedule is unchanged. *)
+  let stream_requests ~qps ~count () =
+    let next = Loadgen.request_stream ~seed ~qps ~endpoints:eps ~count () in
+    fun () ->
+      match next () with
+      | None -> None
+      | Some (endpoint, arrival) -> Some { Visor.Server.endpoint; arrival }
+  in
   let requests =
-    let rng = Rng.create seed in
-    let eps = Array.of_list (List.map (fun (e, _, _) -> e) endpoints_spec) in
-    let t = ref 0.0 in
-    List.init count (fun _ ->
-        t := !t +. Rng.exponential rng ~mean:(1.0 /. qps);
-        {
-          Visor.Server.endpoint = Rng.pick rng eps;
-          arrival = Units.ns_f (!t *. 1e9);
-        })
+    let next = stream_requests ~qps ~count () in
+    let rec all acc =
+      match next () with None -> List.rev acc | Some r -> all (r :: acc)
+    in
+    all []
   in
   let run_mode ~warm =
     let server = Visor.Server.create ~warm () in
@@ -1027,6 +1043,170 @@ let serving () =
     (cold_ms1 /. Float.max 1e-9 cold_ms)
     warm_ms1 warm_ms
     (warm_ms1 /. Float.max 1e-9 warm_ms);
+  (* --sweep: qps sweep (latency-vs-load curve + saturation knee) and
+     the 10^5-request streaming scale leg.  Observability is sampled
+     1-in-k so trace/span state stays O(n/k); metrics raw reservoirs
+     are thinned the same way.  Virtual outputs stay deterministic and
+     the scale leg is asserted byte-identical across domain counts. *)
+  let register_all server =
+    List.iter
+      (fun (endpoint, workflow, bindings) ->
+        Visor.Server.register server ~endpoint ~workflow ~bindings ())
+      endpoints_spec
+  in
+  let sample_every = 64 in
+  let sweep_sections =
+    if not !sweep_flag then []
+    else begin
+      let sweep_count = if !quick then 300 else 1500 in
+      let points = [ 300.0; 600.0; 900.0; 1200.0; 1500.0; 1800.0 ] in
+      let run_point q =
+        reset_observability ();
+        Metrics.set_raw_sample_every ~seed sample_every;
+        let server =
+          Visor.Server.create ~warm:true ~sample_every ~sample_seed:seed ()
+        in
+        register_all server;
+        let r =
+          Visor.Server.serve_stream server
+            (stream_requests ~qps:q ~count:sweep_count ())
+        in
+        Visor.Server.shutdown server;
+        Metrics.set_raw_sample_every 1;
+        r
+      in
+      let results = List.map (fun q -> (q, run_point q)) points in
+      (* Saturation knee: the first offered load whose p99 blows past
+         2x the lightest point's p99 (the curve's elbow); if the sweep
+         never saturates, the knee is the last point. *)
+      let base_p99 =
+        match results with
+        | (_, r0) :: _ -> Units.to_us r0.Visor.Server.p99_latency
+        | [] -> 0.0
+      in
+      let knee_qps =
+        match
+          List.find_opt
+            (fun (_, (r : Visor.Server.serve_report)) ->
+              Units.to_us r.Visor.Server.p99_latency > 2.0 *. base_p99)
+            results
+        with
+        | Some (q, _) -> q
+        | None -> ( match List.rev results with (q, _) :: _ -> q | [] -> 0.0)
+      in
+      let st =
+        Table.create
+          ~title:
+            (Printf.sprintf "Serving sweep: %d requests/point, knee ~%.0f qps"
+               sweep_count knee_qps)
+          ~columns:[ "qps"; "done"; "req/s"; "p50"; "p99"; "max inflight" ]
+      in
+      List.iter
+        (fun (q, (r : Visor.Server.serve_report)) ->
+          Table.add_row st
+            [
+              Printf.sprintf "%.0f" q;
+              string_of_int r.Visor.Server.completed;
+              Printf.sprintf "%.0f" r.Visor.Server.throughput_rps;
+              pp_t r.Visor.Server.p50_latency;
+              pp_t r.Visor.Server.p99_latency;
+              string_of_int r.Visor.Server.max_inflight;
+            ])
+        results;
+      Table.print st;
+      let point_json (q, (r : Visor.Server.serve_report)) =
+        Jsonlite.Obj
+          [
+            ("qps", Jsonlite.Float q);
+            ("completed", Jsonlite.Int r.Visor.Server.completed);
+            ("failed", Jsonlite.Int r.Visor.Server.failed);
+            ("throughput_rps", Jsonlite.Float r.Visor.Server.throughput_rps);
+            ("p50_us", Jsonlite.Float (Units.to_us r.Visor.Server.p50_latency));
+            ("p99_us", Jsonlite.Float (Units.to_us r.Visor.Server.p99_latency));
+            ("max_inflight", Jsonlite.Int r.Visor.Server.max_inflight);
+          ]
+      in
+      let sweep_json =
+        Jsonlite.Obj
+          [
+            ("requests_per_point", Jsonlite.Int sweep_count);
+            ("sample_every", Jsonlite.Int sample_every);
+            ("knee_qps", Jsonlite.Float knee_qps);
+            ("points", Jsonlite.List (List.map point_json results));
+          ]
+      in
+      (* Scale leg: 10^5 requests streamed through the server with
+         sampled observability, once on one domain and once on the
+         requested pool; responses and summary must be byte-identical
+         (the fingerprint is MD5'd — 10^5 responses make a long
+         string). *)
+      let scale_count = if !quick then 20_000 else 100_000 in
+      (* Below the knee: the scale leg demonstrates sustained healthy
+         serving (bounded in-flight, bounded memory), not queue
+         collapse — the sweep above covers the saturated regime. *)
+      let scale_qps = 300.0 in
+      let run_scale ~domains =
+        Par.set_domains domains;
+        reset_observability ();
+        Metrics.set_raw_sample_every ~seed sample_every;
+        let server =
+          Visor.Server.create ~warm:true ~sample_every ~sample_seed:seed ()
+        in
+        register_all server;
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Visor.Server.serve_stream server
+            (stream_requests ~qps:scale_qps ~count:scale_count ())
+        in
+        let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+        Visor.Server.shutdown server;
+        Metrics.set_raw_sample_every 1;
+        Par.set_domains 1;
+        let live_words = (Gc.stat ()).Gc.live_words in
+        (r, wall_ms, live_words)
+      in
+      let scale_r1, scale_ms1, scale_live1 = run_scale ~domains:1 in
+      let scale_rn, scale_msn, scale_liven = run_scale ~domains:nd in
+      let fp1 = Digest.to_hex (Digest.string (fingerprint scale_r1)) in
+      let fpn = Digest.to_hex (Digest.string (fingerprint scale_rn)) in
+      check "scale responses (fingerprint)" fp1 fpn;
+      check "scale summary"
+        (Jsonlite.to_string (mode_json scale_r1))
+        (Jsonlite.to_string (mode_json scale_rn));
+      Printf.printf
+        "scale: %d requests, sample 1/%d: p50 %s p99 %s, %d warm / %d cold; wall %.0f ms (1 domain) -> %.0f ms (%d domains)\n\n"
+        scale_count sample_every
+        (pp_t scale_rn.Visor.Server.p50_latency)
+        (pp_t scale_rn.Visor.Server.p99_latency)
+        scale_rn.Visor.Server.warm_starts scale_rn.Visor.Server.cold_starts
+        scale_ms1 scale_msn nd;
+      let scale_json =
+        Jsonlite.Obj
+          [
+            ("requests", Jsonlite.Int scale_count);
+            ("qps", Jsonlite.Float scale_qps);
+            ("sample_every", Jsonlite.Int sample_every);
+            (* Deterministic across domain counts (asserted above). *)
+            ( "virtual",
+              Jsonlite.Obj
+                [
+                  ("summary", mode_json scale_rn);
+                  ("response_fingerprint_md5", Jsonlite.String fpn);
+                ] );
+            ( "host",
+              Jsonlite.Obj
+                [
+                  ("domains", Jsonlite.Int nd);
+                  ("wall_ms_domains1", Jsonlite.Float scale_ms1);
+                  ("wall_ms", Jsonlite.Float scale_msn);
+                  ("live_words_domains1", Jsonlite.Int scale_live1);
+                  ("live_words", Jsonlite.Int scale_liven);
+                ] );
+          ]
+      in
+      [ ("sweep", sweep_json); ("scale", scale_json) ]
+    end
+  in
   let json =
     Jsonlite.Obj
       [
@@ -1067,6 +1247,12 @@ let serving () =
                   ] );
             ] );
       ]
+  in
+  let json =
+    match (json, sweep_sections) with
+    | _, [] -> json
+    | Jsonlite.Obj fields, extra -> Jsonlite.Obj (fields @ extra)
+    | _ -> json
   in
   let write path contents =
     let oc = open_out path in
@@ -1361,6 +1547,9 @@ let () =
     | [] -> List.rev acc
     | ("--quick" | "-q") :: rest ->
         quick := true;
+        parse acc rest
+    | "--sweep" :: rest ->
+        sweep_flag := true;
         parse acc rest
     | "--domains" :: n :: rest -> (
         match int_of_string_opt n with

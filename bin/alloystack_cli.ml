@@ -209,28 +209,37 @@ let check_cmd dot file =
 
 (* Serve a synthetic open-loop request trace against the warm-pool
    server and print the latency/throughput summary. *)
-let serve_cmd requests qps seed cold domains trace trace_out metrics_out =
+let serve_cmd requests qps seed cold domains sample_every trace trace_out metrics_out =
   reset_observability ();
   Sim.Par.set_domains domains;
   if trace then Sim.Trace.set_enabled Sim.Trace.global true;
   if trace || trace_out <> None then Sim.Span.set_enabled Sim.Span.global true;
+  if sample_every > 1 then Sim.Metrics.set_raw_sample_every ~seed sample_every;
   let open Alloystack_core in
   let wf = Workflow.chain ~name:"serve-chain" 3 in
   let kernel (ctx : Asstd.ctx) ~instance:_ ~total:_ = Asstd.compute ctx (Sim.Units.ms 5) in
   let bindings =
     List.map (fun (n : Workflow.node) -> (n.Workflow.node_id, Visor.bind kernel)) wf.Workflow.nodes
   in
-  let server = Visor.Server.create ~warm:(not cold) () in
-  Visor.Server.register server ~endpoint:"chain" ~workflow:wf ~bindings ();
-  let rng = Sim.Rng.create seed in
-  let t = ref 0.0 in
-  let trace_reqs =
-    List.init requests (fun _ ->
-        t := !t +. Sim.Rng.exponential rng ~mean:(1.0 /. qps);
-        { Visor.Server.endpoint = "chain"; arrival = Sim.Units.ns_f (!t *. 1e9) })
+  let server =
+    Visor.Server.create ~warm:(not cold) ~sample_every ~sample_seed:seed ()
   in
-  let r = Visor.Server.serve server trace_reqs in
+  Visor.Server.register server ~endpoint:"chain" ~workflow:wf ~bindings ();
+  (* Streamed seeded arrivals: constant memory in the request count,
+     same draws (one exponential per arrival) as materialising the
+     whole trace. *)
+  let next =
+    Baselines.Loadgen.request_stream ~seed ~qps ~endpoints:[| "chain" |]
+      ~count:requests ()
+  in
+  let r =
+    Visor.Server.serve_stream server (fun () ->
+        match next () with
+        | None -> None
+        | Some (endpoint, arrival) -> Some { Visor.Server.endpoint; arrival })
+  in
   Visor.Server.shutdown server;
+  if sample_every > 1 then Sim.Metrics.set_raw_sample_every 1;
   Format.printf "requests:     %d (%d ok, %d failed)@." requests
     r.Visor.Server.completed r.Visor.Server.failed;
   Format.printf "throughput:   %.1f req/s@." r.Visor.Server.throughput_rps;
@@ -326,6 +335,14 @@ let domains_arg =
                  results (latencies, trace, metrics) are bit-identical for \
                  every value; only wall time changes.")
 
+let sample_every_arg =
+  Arg.(value & opt int 1
+       & info [ "sample-every" ]
+           ~doc:"Sample per-request observability 1-in-K: only every Kth \
+                 request carries spans/trace events and metrics raw-sample \
+                 reservoirs are thinned the same way.  Latency percentiles \
+                 and counters stay exact.  1 (default) records everything.")
+
 let serve_info =
   Cmd.info "serve"
     ~doc:"Serve a seeded open-loop load through the warm-pool server and report latency."
@@ -333,7 +350,7 @@ let serve_info =
 let serve_term =
   Term.(
     const serve_cmd $ requests_arg $ qps_arg $ seed_arg $ cold_arg $ domains_arg
-    $ trace_arg $ trace_out_arg $ metrics_out_arg)
+    $ sample_every_arg $ trace_arg $ trace_out_arg $ metrics_out_arg)
 
 let main =
   Cmd.group (Cmd.info "alloystack" ~doc:"AlloyStack reproduction CLI")

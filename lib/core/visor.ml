@@ -20,13 +20,38 @@ let backoff_delay backoff ~attempt =
     | Exponential { base; factor; limit } ->
         Units.min limit (Units.scale base (factor ** float_of_int (attempt - 2)))
 
+(* Content-hash -> verdict store, sharded by the hash's leading bits.
+   Sharding keeps per-table occupancy (and worst-case probe chains)
+   small when thousands of distinct images pass admission, and gives
+   concurrent tenants distinct tables to touch.  The content hash is
+   hex, so its leading digit gives a uniform 4-bit shard index. *)
+let admission_shard_bits = 4
+
 type admission_cache = {
-  verdicts : (string, (unit, string) result) Hashtbl.t;
+  shards : (string, (unit, string) result) Hashtbl.t array;
   mutable cache_hits : int;
   mutable cache_scans : int;
 }
 
-let admission_cache () = { verdicts = Hashtbl.create 16; cache_hits = 0; cache_scans = 0 }
+let admission_cache () =
+  {
+    shards = Array.init (1 lsl admission_shard_bits) (fun _ -> Hashtbl.create 16);
+    cache_hits = 0;
+    cache_scans = 0;
+  }
+
+let admission_shard c key =
+  (* [key] is a hex digest; its first digit is uniform over 0..15. *)
+  let d =
+    if String.length key = 0 then 0
+    else
+      match key.[0] with
+      | '0' .. '9' as ch -> Char.code ch - Char.code '0'
+      | 'a' .. 'f' as ch -> Char.code ch - Char.code 'a' + 10
+      | 'A' .. 'F' as ch -> Char.code ch - Char.code 'A' + 10
+      | ch -> Char.code ch
+  in
+  c.shards.(d land ((1 lsl admission_shard_bits) - 1))
 
 let admission_hits c = c.cache_hits
 let admission_scans c = c.cache_scans
@@ -121,7 +146,8 @@ let admit_images ?cache bindings =
             | None -> scan ()
             | Some c -> begin
                 let key = Isa.Image.content_hash image in
-                match Hashtbl.find_opt c.verdicts key with
+                let shard = admission_shard c key in
+                match Hashtbl.find_opt shard key with
                 | Some v ->
                     c.cache_hits <- c.cache_hits + 1;
                     Clock.advance clock Cost.admission_cache_hit;
@@ -129,7 +155,7 @@ let admit_images ?cache bindings =
                 | None ->
                     c.cache_scans <- c.cache_scans + 1;
                     let v = scan () in
-                    Hashtbl.replace c.verdicts key v;
+                    Hashtbl.replace shard key v;
                     v
               end
           in
@@ -660,13 +686,19 @@ module Server = struct
 
   (* A warm template: a WFD whose entry table, preloaded modules and
      booted runtime state were paid for once, off the request path.
-     Requests CoW-clone it instead of cold-booting. *)
+     Requests CoW-clone it instead of cold-booting.  Templates thread
+     an intrusive doubly-linked recency list (head = most recent), so
+     touch and LRU eviction are O(1) with no membership scan. *)
   type template = {
     tpl_wfd : Wfd.t;
     tpl_engine : bool;
     tpl_python : bool;
     tpl_build : Units.time;
-    mutable tpl_last_used : int;
+    tpl_ep : string;
+    tpl_rss : int;  (* resident size at install; templates are frozen *)
+    mutable tpl_prev : template option;  (* towards most recent *)
+    mutable tpl_next : template option;  (* towards least recent *)
+    mutable tpl_linked : bool;
   }
 
   type t = {
@@ -682,7 +714,11 @@ module Server = struct
            shares scan verdicts.  Virtual time is unaffected. *)
     proc_table : Hostos.Process.t;
     cpu : Hostos.Sched.pool;
-    mutable tick : int;
+    mutable lru_head : template option;  (* most recently used *)
+    mutable lru_tail : template option;  (* least recently used *)
+    mutable pool_bytes : int;  (* cached sum of pooled template rss *)
+    obs_every : int;  (* span/trace sampling: keep 1 request in k *)
+    obs_phase : int;
     mutable evicted : int;
     mutable warm_hit_count : int;
     mutable cold_boot_count : int;
@@ -690,12 +726,14 @@ module Server = struct
     mutable doomed : Wfd.t list;
         (* Templates evicted while a planned request may still hold a
            reference to them: the WFD is destroyed only once no
-           trajectory can clone it (end of [serve] / [shutdown]). *)
+           trajectory can clone it (end of a serve window / [shutdown]). *)
   }
 
   let create ?(config = default_config) ?(pool_mem_cap = 512 * 1024 * 1024)
-      ?(warm = true) () =
+      ?(warm = true) ?(sample_every = 1) ?(sample_seed = 0) () =
     if pool_mem_cap < 0 then invalid_arg "Visor.Server.create: negative pool cap";
+    if sample_every < 1 then
+      invalid_arg "Visor.Server.create: sample_every must be >= 1";
     let codec =
       match config.code_cache with Some c -> c | None -> Wasm.Compile_cache.create ()
     in
@@ -709,7 +747,11 @@ module Server = struct
       codec;
       proc_table = Hostos.Process.create_table ();
       cpu = Hostos.Sched.pool ~cores:config.cores;
-      tick = 0;
+      lru_head = None;
+      lru_tail = None;
+      pool_bytes = 0;
+      obs_every = sample_every;
+      obs_phase = ((sample_seed mod sample_every) + sample_every) mod sample_every;
       evicted = 0;
       warm_hit_count = 0;
       cold_boot_count = 0;
@@ -729,10 +771,7 @@ module Server = struct
 
   let endpoints t = Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] |> List.sort compare
 
-  let template_rss t tpl = Hostos.Process.rss t.proc_table tpl.tpl_wfd.Wfd.pid
-
-  let pool_rss t =
-    Hashtbl.fold (fun _ tpl acc -> acc + template_rss t tpl) t.templates 0
+  let pool_rss t = t.pool_bytes
 
   (* Machine resident memory is the live template pool plus whatever
      the in-flight requests hold.  Requests live in private process
@@ -740,11 +779,37 @@ module Server = struct
      [t.proc_table] is not consulted directly — it still carries
      deferred-destroy templates. *)
   let note_rss ?(live = 0) t =
-    t.machine_peak <- Stdlib.max t.machine_peak (pool_rss t + live)
+    t.machine_peak <- Stdlib.max t.machine_peak (t.pool_bytes + live)
+
+  (* --- O(1) recency list over pooled templates --------------------- *)
+
+  let lru_unlink t tpl =
+    if tpl.tpl_linked then begin
+      (match tpl.tpl_prev with
+      | Some p -> p.tpl_next <- tpl.tpl_next
+      | None -> t.lru_head <- tpl.tpl_next);
+      (match tpl.tpl_next with
+      | Some n -> n.tpl_prev <- tpl.tpl_prev
+      | None -> t.lru_tail <- tpl.tpl_prev);
+      tpl.tpl_prev <- None;
+      tpl.tpl_next <- None;
+      tpl.tpl_linked <- false
+    end
+
+  let lru_push_front t tpl =
+    tpl.tpl_prev <- None;
+    tpl.tpl_next <- t.lru_head;
+    (match t.lru_head with Some h -> h.tpl_prev <- Some tpl | None -> ());
+    t.lru_head <- Some tpl;
+    (match t.lru_tail with None -> t.lru_tail <- Some tpl | Some _ -> ());
+    tpl.tpl_linked <- true
 
   let touch t tpl =
-    t.tick <- t.tick + 1;
-    tpl.tpl_last_used <- t.tick
+    match t.lru_head with
+    | Some h when h == tpl -> ()
+    | _ ->
+        lru_unlink t tpl;
+        lru_push_front t tpl
 
   let pool_size t = Hashtbl.length t.templates
 
@@ -755,25 +820,19 @@ module Server = struct
   let code_cache t = t.codec
 
   let evict_lru t =
-    let victim =
-      Hashtbl.fold
-        (fun ep tpl acc ->
-          match acc with
-          | Some (_, best) when best.tpl_last_used <= tpl.tpl_last_used -> acc
-          | _ -> Some (ep, tpl))
-        t.templates None
-    in
-    match victim with
+    match t.lru_tail with
     | None -> ()
-    | Some (ep, tpl) ->
+    | Some tpl ->
         (* Deferred destroy: a request planned against this template in
            the serve prologue may clone it from a worker domain later;
            the WFD dies at the next quiescent point instead. *)
+        lru_unlink t tpl;
         t.doomed <- tpl.tpl_wfd :: t.doomed;
-        Hashtbl.remove t.templates ep;
+        Hashtbl.remove t.templates tpl.tpl_ep;
+        t.pool_bytes <- t.pool_bytes - tpl.tpl_rss;
         t.evicted <- t.evicted + 1;
         Trace.recordf (Trace.current ()) ~at:Units.zero ~category:"server" ~label:"pool-evict"
-          "template %s evicted (LRU)" ep
+          "template %s evicted (LRU)" tpl.tpl_ep
 
   let flush_doomed t =
     List.iter Wfd.destroy t.doomed;
@@ -826,24 +885,29 @@ module Server = struct
       tpl_engine = needs_engine;
       tpl_python = needs_python;
       tpl_build = Clock.now clock;
-      tpl_last_used = 0;
+      tpl_ep = endpoint;
+      tpl_rss = Hostos.Process.rss t.proc_table wfd.Wfd.pid;
+      tpl_prev = None;
+      tpl_next = None;
+      tpl_linked = false;
     }
 
   (* Install a template under the memory cap, evicting least-recently
      used templates until it fits.  A template bigger than the whole
      cap is not kept. *)
   let install_template t endpoint tpl =
-    let rss = template_rss t tpl in
+    let rss = tpl.tpl_rss in
     if rss > t.pool_cap then begin
       Wfd.destroy tpl.tpl_wfd;
       None
     end
     else begin
-      while pool_rss t + rss > t.pool_cap && Hashtbl.length t.templates > 0 do
+      while t.pool_bytes + rss > t.pool_cap && Hashtbl.length t.templates > 0 do
         evict_lru t
       done;
-      touch t tpl;
       Hashtbl.replace t.templates endpoint tpl;
+      t.pool_bytes <- t.pool_bytes + rss;
+      touch t tpl;
       note_rss t;
       Some tpl
     end
@@ -1108,6 +1172,8 @@ module Server = struct
   (* Merge-phase state of one request. *)
   type mstate = {
     ms_req : request;
+    ms_index : int;  (* global arrival-order index *)
+    ms_sampled : bool;  (* spans/trace kept for this request *)
     ms_traj : traj option;  (* [None]: rejected at admission *)
     mutable ms_span : Span.id;
     mutable ms_attempts_left : attempt_traj list;
@@ -1119,73 +1185,166 @@ module Server = struct
 
   type ev = Arrival of mstate | Advance of mstate
 
-  let serve t requests =
+  (* Event priority classes: every arrival at instant T precedes every
+     stage completion at T, exactly as when all arrivals were enqueued
+     before the drain started. *)
+  let pri_arrival = 0
+  let pri_advance = 1
+
+  (* Prologue for one request: admission verdict off the shared cache,
+     warm-or-cold boot plan fixed against the template pool (a cold
+     boot seeds the template here, off every request's critical path),
+     WFD id range reserved and the fault plan split by global arrival
+     index. *)
+  let plan_request t ~share_disk ~max_attempts ~index (r : request) =
+    let reg = find_registration t r.endpoint in
+    match admit_images ~cache:t.adm reg.reg_bindings with
+    | (_ : Units.time) ->
+        let boots = plan_boots t r.endpoint reg ~max_attempts in
+        let base = Wfd.reserve_ids max_attempts in
+        let fault_child =
+          match t.scfg.fault with
+          | Some plan when not share_disk -> Some (Fault.child plan ~index)
+          | Some _ | None -> None
+        in
+        Some { pl_reg = reg; pl_boots = boots; pl_base = base; pl_fault = fault_child }
+    | exception Admission_failed _ -> None
+
+  (* [serve_stream] pulls requests lazily (arrivals must be
+     nondecreasing) and pipelines them through the three phases in
+     windows, so live memory is O(window + in-flight), never O(total):
+
+     Prologue (sequential): the next [window] requests are walked in
+     arrival order and planned against the shared caches and pool.
+
+     Trajectories (parallel): the window's admitted requests execute on
+     private relative timelines across domains, collector writes going
+     to per-segment shards.  On-CPU durations are start-time-invariant,
+     so computing them before the real start instants are known loses
+     nothing.
+
+     Merge (sequential): one event queue replays arrivals and stage
+     completions in virtual time over the *shared* core pool, importing
+     each segment's shard at its real instant.  A new window is planned
+     exactly when the earliest unplanned arrival is due no later than
+     the next queued event, so the merged timeline — and therefore all
+     virtual output — is independent of the window size and of how many
+     domains ran the trajectories.
+
+     When the server samples observability (sample_every = k > 1), only
+     every k-th request (by arrival index, phase seed mod k) carries
+     spans and trace events; metrics and counters stay exact for every
+     request.  With k = 1 output is bit-identical to always-on. *)
+  let serve_stream t ?(window = 2048) next =
+    if window < 1 then invalid_arg "Visor.Server.serve_stream: window must be >= 1";
     let max_attempts = max_attempts_of t.scfg in
     let share_disk = t.scfg.vfs <> None in
-    (* --- Prologue: admission + boot plans in arrival-event order --- *)
-    let order =
-      List.mapi (fun i r -> (i, r)) requests
-      |> List.stable_sort (fun (_, a) (_, b) -> Units.compare a.arrival b.arrival)
-    in
-    let plans = Array.make (List.length requests) None in
-    List.iter
-      (fun (i, r) ->
-        let reg = find_registration t r.endpoint in
-        match admit_images ~cache:t.adm reg.reg_bindings with
-        | (_ : Units.time) ->
-            let boots = plan_boots t r.endpoint reg ~max_attempts in
-            let base = Wfd.reserve_ids max_attempts in
-            let fault_child =
-              match t.scfg.fault with
-              | Some plan when not share_disk -> Some (Fault.child plan ~index:i)
-              | Some _ | None -> None
-            in
-            plans.(i) <-
-              Some { pl_reg = reg; pl_boots = boots; pl_base = base; pl_fault = fault_child }
-        | exception Admission_failed _ -> plans.(i) <- None)
-      order;
-    (* --- Trajectories: host-parallel, shard-isolated --------------- *)
-    let cfg = Par.shard_config () in
-    let tasks =
-      Array.mapi
-        (fun i (r : request) ->
-          match plans.(i) with
-          | None -> fun () -> None
-          | Some p ->
-              fun () ->
-                Wfd.with_id_namespace ~base:p.pl_base (fun () ->
-                    Some
-                      (run_trajectory t ~cfg ~endpoint:r.endpoint ~reg:p.pl_reg
-                         ~boots:p.pl_boots ~fault_child:p.pl_fault)))
-        (Array.of_list requests)
-    in
-    let trajs = if share_disk then Array.map (fun f -> f ()) tasks else Par.run tasks in
-    (match t.scfg.fault with
-    | Some plan ->
-        Array.iter
-          (function
-            | Some { pl_fault = Some c; _ } -> Fault.absorb plan c
-            | Some { pl_fault = None; _ } | None -> ())
-          plans
-    | None -> ());
-    (* --- Merge: replay the event loop over the shared pool --------- *)
+    let base_cfg = Par.shard_config () in
     let q : ev Eventq.t = Eventq.create () in
-    let states =
-      List.mapi
-        (fun i r ->
-          {
-            ms_req = r;
-            ms_traj = trajs.(i);
-            ms_span = Span.none;
-            ms_attempts_left = [];
-            ms_attempt = None;
-            ms_attempt_no = 0;
-            ms_stages_left = [];
-            ms_rss = 0;
-          })
-        requests
+    let pending = ref (next ()) in
+    let next_index = ref 0 in
+    let last_arrival = ref Units.zero in
+    let plan_window () =
+      (* Pull up to [window] requests, in arrival order. *)
+      let batch = ref [] in
+      let filled = ref 0 in
+      let continue = ref true in
+      while !continue && !filled < window do
+        match !pending with
+        | None -> continue := false
+        | Some (r : request) ->
+            if Units.( < ) r.arrival !last_arrival then
+              invalid_arg
+                "Visor.Server.serve_stream: arrivals must be nondecreasing";
+            last_arrival := r.arrival;
+            batch := (!next_index, r) :: !batch;
+            incr next_index;
+            incr filled;
+            pending := next ()
+      done;
+      let batch = List.rev !batch in
+      (* Prologue, in arrival order. *)
+      let planned =
+        List.map
+          (fun (i, r) ->
+            let sampled =
+              t.obs_every <= 1 || i mod t.obs_every = t.obs_phase
+            in
+            (i, r, sampled, plan_request t ~share_disk ~max_attempts ~index:i r))
+          batch
+      in
+      (* Trajectories: host-parallel, shard-isolated.  An unsampled
+         request's shards are created with spans and trace off, so it
+         allocates no observability state at all. *)
+      let tasks =
+        Array.of_list
+          (List.map
+             (fun (_, (r : request), sampled, plan) ->
+               match plan with
+               | None -> fun () -> None
+               | Some p ->
+                   let cfg =
+                     {
+                       Par.cfg_span_on = base_cfg.Par.cfg_span_on && sampled;
+                       cfg_trace_on = base_cfg.Par.cfg_trace_on && sampled;
+                     }
+                   in
+                   fun () ->
+                     Wfd.with_id_namespace ~base:p.pl_base (fun () ->
+                         Some
+                           (run_trajectory t ~cfg ~endpoint:r.endpoint
+                              ~reg:p.pl_reg ~boots:p.pl_boots
+                              ~fault_child:p.pl_fault)))
+             planned)
+      in
+      let trajs =
+        if share_disk then Array.map (fun f -> f ()) tasks else Par.run tasks
+      in
+      (match t.scfg.fault with
+      | Some plan ->
+          List.iter
+            (fun (_, _, _, pl) ->
+              match pl with
+              | Some { pl_fault = Some c; _ } -> Fault.absorb plan c
+              | Some { pl_fault = None; _ } | None -> ())
+            planned
+      | None -> ());
+      List.iteri
+        (fun k (i, r, sampled, _) ->
+          let ms =
+            {
+              ms_req = r;
+              ms_index = i;
+              ms_sampled = sampled;
+              ms_traj = trajs.(k);
+              ms_span = Span.none;
+              ms_attempts_left = [];
+              ms_attempt = None;
+              ms_attempt_no = 0;
+              ms_stages_left = [];
+              ms_rss = 0;
+            }
+          in
+          Eventq.push q ~at:r.arrival ~pri:pri_arrival (Arrival ms))
+        planned;
+      (* Every planned trajectory has executed, so templates evicted
+         while planning this window can die now — keeping the doomed
+         list from growing with the run. *)
+      flush_doomed t
     in
-    List.iter (fun ms -> Eventq.push q ~at:ms.ms_req.arrival (Arrival ms)) states;
+    (* Plan while the earliest unplanned arrival is due no later than
+       the next queued event (arrivals beat same-instant completions,
+       so <= , not <). *)
+    let rec pump () =
+      match !pending with
+      | None -> ()
+      | Some (r : request) -> (
+          match Eventq.peek q with
+          | Some (at, _) when Units.( < ) at r.arrival -> ()
+          | _ ->
+              plan_window ();
+              pump ())
+    in
     let responses = ref [] in
     let lat = Stats.create () in
     let inflight_now = ref 0 in
@@ -1244,7 +1403,8 @@ module Server = struct
           else t.cold_boot_count <- t.cold_boot_count + 1;
           Par.merge_shard ~attach:ms.ms_span ~offset:now a.at_boot.sg_shard;
           set_rss ms a.at_boot.sg_rss;
-          Eventq.push q ~at:(Units.add now a.at_boot_elapsed) (Advance ms)
+          Eventq.push q ~at:(Units.add now a.at_boot_elapsed) ~pri:pri_advance
+            (Advance ms)
     in
     let step ms ~now =
       let a = match ms.ms_attempt with Some a -> a | None -> assert false in
@@ -1252,10 +1412,12 @@ module Server = struct
       | sg :: rest ->
           let stage_index = List.length a.at_stages - List.length ms.ms_stages_left in
           let stage_span =
-            Span.begin_span (Span.current ()) ~parent:ms.ms_span ~at:now
-              ~category:"stage"
-              ~label:(Printf.sprintf "stage %d" stage_index)
-              ()
+            if ms.ms_sampled then
+              Span.begin_span (Span.current ()) ~parent:ms.ms_span ~at:now
+                ~category:"stage"
+                ~label:(Printf.sprintf "stage %d" stage_index)
+                ()
+            else Span.none
           in
           Par.merge_shard ~attach:stage_span ~offset:(Units.sub now sg.sg_base)
             sg.sg_shard;
@@ -1265,14 +1427,15 @@ module Server = struct
           in
           let makespan = Hostos.Sched.makespan placements in
           Metrics.observe_time stage_histo (Units.sub makespan now);
-          Trace.recordf (Trace.current ()) ~at:makespan ~category:"visor"
-            ~label:"stage-done" "wfd%d stage %d (%d instances)" a.at_wfd_id
-            stage_index
-            (List.length sg.sg_durations);
+          if ms.ms_sampled then
+            Trace.recordf (Trace.current ()) ~at:makespan ~category:"visor"
+              ~label:"stage-done" "wfd%d stage %d (%d instances)" a.at_wfd_id
+              stage_index
+              (List.length sg.sg_durations);
           Span.end_span (Span.current ()) stage_span ~at:makespan;
           ms.ms_stages_left <- rest;
           set_rss ms sg.sg_rss;
-          Eventq.push q ~at:makespan (Advance ms)
+          Eventq.push q ~at:makespan ~pri:pri_advance (Advance ms)
       | [] -> (
           match a.at_failed with
           | None -> finish_request ms ~now ~ok:true
@@ -1280,10 +1443,12 @@ module Server = struct
               (* The failed attempt's stage span stays zero-length; its
                  partial function spans still attach under it. *)
               let stage_span =
-                Span.begin_span (Span.current ()) ~parent:ms.ms_span ~at:now
-                  ~category:"stage"
-                  ~label:(Printf.sprintf "stage %d" (List.length a.at_stages))
-                  ()
+                if ms.ms_sampled then
+                  Span.begin_span (Span.current ()) ~parent:ms.ms_span ~at:now
+                    ~category:"stage"
+                    ~label:(Printf.sprintf "stage %d" (List.length a.at_stages))
+                    ()
+                else Span.none
               in
               (match a.at_fail_seg with
               | Some sg ->
@@ -1292,15 +1457,16 @@ module Server = struct
               | None -> ());
               Span.end_span (Span.current ()) stage_span ~at:now;
               if ms.ms_attempts_left <> [] then begin
-                Trace.recordf (Trace.current ()) ~at:now ~category:"server"
-                  ~label:"workflow-retry" "%s attempt %d (%s)" ms.ms_req.endpoint
-                  (ms.ms_attempt_no + 1)
-                  (match kind with `Hang -> "hang" | `Failure -> "failure");
+                if ms.ms_sampled then
+                  Trace.recordf (Trace.current ()) ~at:now ~category:"server"
+                    ~label:"workflow-retry" "%s attempt %d (%s)" ms.ms_req.endpoint
+                    (ms.ms_attempt_no + 1)
+                    (match kind with `Hang -> "hang" | `Failure -> "failure");
                 start_attempt ms ~now
               end
               else finish_request ms ~now ~ok:false)
     in
-    Eventq.drain q (fun now ev ->
+    let handle_event now ev =
         match ev with
         | Arrival ms -> (
             (match !first_arrival with
@@ -1310,8 +1476,10 @@ module Server = struct
             max_inflight := Stdlib.max !max_inflight !inflight_now;
             Metrics.max_gauge inflight_gauge (float_of_int !inflight_now);
             ms.ms_span <-
-              Span.begin_span (Span.current ()) ~parent:Span.none ~at:now
-                ~category:"request" ~label:ms.ms_req.endpoint ();
+              (if ms.ms_sampled then
+                 Span.begin_span (Span.current ()) ~parent:Span.none ~at:now
+                   ~category:"request" ~label:ms.ms_req.endpoint ()
+               else Span.none);
             match ms.ms_traj with
             | Some tj ->
                 ms.ms_attempts_left <- tj.tj_attempts;
@@ -1336,7 +1504,18 @@ module Server = struct
                     r_retries = 0;
                   }
                   :: !responses)
-        | Advance ms -> step ms ~now);
+        | Advance ms -> step ms ~now
+    in
+    pump ();
+    let rec drive () =
+      match Eventq.pop q with
+      | None -> ()
+      | Some (now, ev) ->
+          handle_event now ev;
+          pump ();
+          drive ()
+    in
+    drive ();
     flush_doomed t;
     let t_start = match !first_arrival with Some a -> a | None -> Units.zero in
     let duration = Units.sub !last_finish t_start in
@@ -1363,8 +1542,26 @@ module Server = struct
       machine_peak_rss = t.machine_peak;
     }
 
+  (* List entry point: sort by arrival (stable, so same-instant
+     requests keep list order) and stream.  Identical to the streaming
+     path in every observable way. *)
+  let serve t requests =
+    let sorted =
+      List.stable_sort (fun a b -> Units.compare a.arrival b.arrival) requests
+    in
+    let rem = ref sorted in
+    serve_stream t (fun () ->
+        match !rem with
+        | [] -> None
+        | r :: tl ->
+            rem := tl;
+            Some r)
+
   let shutdown t =
     Hashtbl.iter (fun _ tpl -> Wfd.destroy tpl.tpl_wfd) t.templates;
     Hashtbl.reset t.templates;
+    t.lru_head <- None;
+    t.lru_tail <- None;
+    t.pool_bytes <- 0;
     flush_doomed t
 end

@@ -217,12 +217,26 @@ module Server : sig
   type t
 
   val create :
-    ?config:config -> ?pool_mem_cap:int -> ?warm:bool -> unit -> t
+    ?config:config ->
+    ?pool_mem_cap:int ->
+    ?warm:bool ->
+    ?sample_every:int ->
+    ?sample_seed:int ->
+    unit ->
+    t
   (** A server over [config.cores] shared cores.  [pool_mem_cap]
       (default 512 MiB) bounds the template pool's resident memory;
       [warm:false] disables the pool entirely (every request boots
       cold — the baseline the bench compares against).  The server
-      uses [config.admission] when provided, else its own cache. *)
+      uses [config.admission] when provided, else its own cache.
+
+      [sample_every] (default 1) samples per-request observability:
+      only every k-th request — by arrival index, starting at phase
+      [sample_seed mod k] — carries spans and trace events, so a
+      10^5-request run keeps O(n/k) observability state.  Metrics and
+      counters stay exact for {e every} request.  [sample_every:1] is
+      bit-identical to always-on.  Raises [Invalid_argument] when
+      [sample_every < 1]. *)
 
   val register :
     t ->
@@ -246,10 +260,23 @@ module Server : sig
   (** Run an open-loop trace to completion: arrivals fire at their
       timestamps regardless of completions, stages of distinct in-flight
       workflows interleave over the shared cores via the event queue.
-      A request for an unregistered endpoint raises [Not_found]; an
-      image rejected at admission fails that request (not the server).
-      Workflow-level retry ([Retry_workflow]) re-boots failed requests
-      in fresh WFDs up to the attempt budget. *)
+      Requests are served in arrival order (the list is stably sorted
+      by arrival first).  A request for an unregistered endpoint raises
+      [Not_found]; an image rejected at admission fails that request
+      (not the server).  Workflow-level retry ([Retry_workflow])
+      re-boots failed requests in fresh WFDs up to the attempt
+      budget. *)
+
+  val serve_stream :
+    t -> ?window:int -> (unit -> request option) -> serve_report
+  (** Streaming variant of {!serve}: requests are pulled lazily from
+      the generator ([None] ends the run) and pipelined through
+      planning, parallel trajectory execution and the merge loop in
+      windows of [window] requests (default 2048), so live host memory
+      is O(window + in-flight) — constant in the total request count.
+      Virtual output is bit-identical to {!serve} on the materialised
+      list, for every window size and domain count.  Arrivals must be
+      nondecreasing; otherwise raises [Invalid_argument]. *)
 
   val pool_size : t -> int
   val pool_rss : t -> int

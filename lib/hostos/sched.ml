@@ -2,44 +2,89 @@ open Sim
 
 type placement = { core : int; start : Units.time; finish : Units.time }
 
-type pool = { free_at : Units.time array }
+(* The pool keeps an index heap over cores keyed by
+   (free_at, core index), so picking the next core is O(log cores)
+   instead of a linear scan per task.  The secondary key reproduces the
+   scan's tie-break exactly: among equally-free cores, the lowest
+   index wins.  [pos] tracks each core's slot in [heap] so a core's
+   key change re-sifts in O(log cores). *)
+type pool = {
+  free_at : Units.time array;
+  heap : int array;  (** Core indices, min-heap by (free_at, index). *)
+  pos : int array;  (** pos.(c) = index of core c within [heap]. *)
+}
 
-let pool ~cores =
+let core_before pool a b =
+  let c = Units.compare pool.free_at.(a) pool.free_at.(b) in
+  if c <> 0 then c < 0 else a < b
+
+let heap_swap pool i j =
+  let a = pool.heap.(i) and b = pool.heap.(j) in
+  pool.heap.(i) <- b;
+  pool.heap.(j) <- a;
+  pool.pos.(b) <- i;
+  pool.pos.(a) <- j
+
+let rec sift_down pool i =
+  let n = Array.length pool.heap in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < n && core_before pool pool.heap.(l) pool.heap.(!smallest) then smallest := l;
+  if r < n && core_before pool pool.heap.(r) pool.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    heap_swap pool i !smallest;
+    sift_down pool !smallest
+  end
+
+(* All cores start equally free, so the identity permutation is a
+   valid heap: key (t0, c) orders by index alone. *)
+let pool_at ~cores t0 =
   if cores <= 0 then invalid_arg "Sched.pool: cores must be positive";
-  { free_at = Array.make cores Units.zero }
+  {
+    free_at = Array.make cores t0;
+    heap = Array.init cores Fun.id;
+    pos = Array.init cores Fun.id;
+  }
+
+let pool ~cores = pool_at ~cores Units.zero
 
 let pool_cores pool = Array.length pool.free_at
 
-let copy_pool pool = { free_at = Array.copy pool.free_at }
+let copy_pool pool =
+  {
+    free_at = Array.copy pool.free_at;
+    heap = Array.copy pool.heap;
+    pos = Array.copy pool.pos;
+  }
 
 let restore_pool dst src =
-  if Array.length dst.free_at <> Array.length src.free_at then
+  let n = Array.length dst.free_at in
+  if n <> Array.length src.free_at then
     invalid_arg "Sched.restore_pool: core counts differ";
-  Array.blit src.free_at 0 dst.free_at 0 (Array.length dst.free_at)
+  Array.blit src.free_at 0 dst.free_at 0 n;
+  Array.blit src.heap 0 dst.heap 0 n;
+  Array.blit src.pos 0 dst.pos 0 n
 
 let busy_until pool = Array.fold_left Units.max Units.zero pool.free_at
 
 let schedule_on pool ?(ready = Units.zero) ?(dispatch_latency = Units.zero) durations =
-  let cores = Array.length pool.free_at in
   let dispatch_clock = ref ready in
   let place d =
     (* The orchestrator dispatches tasks one after another. *)
     dispatch_clock := Units.add !dispatch_clock dispatch_latency;
-    let core = ref 0 in
-    for c = 1 to cores - 1 do
-      if Units.( < ) pool.free_at.(c) pool.free_at.(!core) then core := c
-    done;
-    let start = Units.max pool.free_at.(!core) !dispatch_clock in
+    let core = pool.heap.(0) in
+    let start = Units.max pool.free_at.(core) !dispatch_clock in
     let start = Units.max start ready in
     let finish = Units.add start d in
-    pool.free_at.(!core) <- finish;
-    { core = !core; start; finish }
+    pool.free_at.(core) <- finish;
+    sift_down pool 0;
+    { core; start; finish }
   in
   List.map place durations
 
 let schedule ~cores ?(ready = Units.zero) ?(dispatch_latency = Units.zero) durations =
   if cores <= 0 then invalid_arg "Sched.schedule: cores must be positive";
-  let p = { free_at = Array.make cores ready } in
+  let p = pool_at ~cores ready in
   schedule_on p ~ready ~dispatch_latency durations
 
 let makespan placements =

@@ -1,74 +1,170 @@
-type 'a entry = { at : Units.time; seq : int; payload : 'a }
+(* Time-ordered event queue as a pairing heap.
+
+   The binary-heap predecessor supported only push/pop; serving at
+   10^5-request scale also needs O(log n) cancel and re-key (timer
+   retargeting, speculative events).  A pairing heap gives amortised
+   O(log n) pop/cancel/re-key with O(1) push and — unlike an array
+   heap — stable handles: [add] returns a token that [cancel] and
+   [reschedule] can use without any linear membership scan.
+
+   Ordering is lexicographic on (at, pri, seq): virtual time first,
+   then an explicit priority class (e.g. arrivals before same-instant
+   completions), then insertion order — so runs remain fully
+   deterministic and same-key events pop FIFO. *)
+
+type 'a node = {
+  mutable at : Units.time;
+  mutable pri : int;
+  mutable seq : int;
+  payload : 'a;
+  mutable child : 'a node option;  (** Leftmost child. *)
+  mutable sibling : 'a node option;  (** Next younger sibling. *)
+  mutable pred : 'a node option;
+      (** Parent if leftmost child, previous sibling otherwise; [None]
+          for the root and for detached nodes. *)
+  mutable queued : bool;
+}
+
+type 'a handle = 'a node
 
 type 'a t = {
-  mutable heap : 'a entry array;
-  mutable len : int;
+  mutable root : 'a node option;
+  mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { heap = [||]; len = 0; next_seq = 0 }
+let create () = { root = None; size = 0; next_seq = 0 }
 
-let is_empty t = t.len = 0
-let length t = t.len
+let is_empty t = t.size = 0
+let length t = t.size
 
 let before a b =
   let c = Units.compare a.at b.at in
-  if c <> 0 then c < 0 else a.seq < b.seq
+  if c <> 0 then c < 0
+  else if a.pri <> b.pri then a.pri < b.pri
+  else a.seq < b.seq
 
-let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if before t.heap.(i) t.heap.(parent) then begin
-      swap t i parent;
-      sift_up t parent
-    end
+(* Meld two heap roots (both detached from any pred). *)
+let meld a b =
+  if before a b then begin
+    b.sibling <- a.child;
+    (match a.child with Some c -> c.pred <- Some b | None -> ());
+    b.pred <- Some a;
+    a.child <- Some b;
+    a
+  end
+  else begin
+    a.sibling <- b.child;
+    (match b.child with Some c -> c.pred <- Some a | None -> ());
+    a.pred <- Some b;
+    b.child <- Some a;
+    b
   end
 
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.len && before t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.len && before t.heap.(r) t.heap.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
-  end
+(* Two-pass pairing of a sibling list. *)
+let rec merge_pairs = function
+  | None -> None
+  | Some n -> (
+      let n2 = n.sibling in
+      n.sibling <- None;
+      n.pred <- None;
+      match n2 with
+      | None -> Some n
+      | Some m ->
+          let rest = m.sibling in
+          m.sibling <- None;
+          m.pred <- None;
+          let pair = meld n m in
+          (match merge_pairs rest with
+          | None -> Some pair
+          | Some r -> Some (meld pair r)))
 
-let push t ~at payload =
-  let entry = { at; seq = t.next_seq; payload } in
+let insert_node t n =
+  n.child <- None;
+  n.sibling <- None;
+  n.pred <- None;
+  n.queued <- true;
+  t.root <- (match t.root with None -> Some n | Some r -> Some (meld n r));
+  t.size <- t.size + 1
+
+let add t ~at ?(pri = 0) payload =
+  let n =
+    {
+      at;
+      pri;
+      seq = t.next_seq;
+      payload;
+      child = None;
+      sibling = None;
+      pred = None;
+      queued = false;
+    }
+  in
   t.next_seq <- t.next_seq + 1;
-  if t.len = Array.length t.heap then begin
-    let cap = Stdlib.max 16 (2 * t.len) in
-    let bigger = Array.make cap entry in
-    Array.blit t.heap 0 bigger 0 t.len;
-    t.heap <- bigger
-  end;
-  t.heap.(t.len) <- entry;
-  t.len <- t.len + 1;
-  sift_up t (t.len - 1)
+  insert_node t n;
+  n
+
+let push t ~at ?pri payload = ignore (add t ~at ?pri payload)
 
 let pop t =
-  if t.len = 0 then None
+  match t.root with
+  | None -> None
+  | Some r ->
+      t.root <- merge_pairs r.child;
+      r.child <- None;
+      r.queued <- false;
+      t.size <- t.size - 1;
+      Some (r.at, r.payload)
+
+let peek t = match t.root with None -> None | Some r -> Some (r.at, r.payload)
+
+(* Unlink a queued node, then meld the subtree rooted at its children
+   back into the heap. *)
+let detach t n =
+  (match t.root with
+  | Some r when r == n -> t.root <- merge_pairs r.child
+  | _ -> (
+      let p = match n.pred with Some p -> p | None -> assert false in
+      (* n is either p's leftmost child or p's next sibling. *)
+      (match p.child with
+      | Some c when c == n -> p.child <- n.sibling
+      | _ -> p.sibling <- n.sibling);
+      (match n.sibling with Some s -> s.pred <- Some p | None -> ());
+      match merge_pairs n.child with
+      | None -> ()
+      | Some sub -> (
+          match t.root with
+          | None -> t.root <- Some sub
+          | Some r -> t.root <- Some (meld sub r))));
+  n.child <- None;
+  n.sibling <- None;
+  n.pred <- None;
+  n.queued <- false;
+  t.size <- t.size - 1
+
+let cancel t h =
+  if not h.queued then false
   else begin
-    let top = t.heap.(0) in
-    t.len <- t.len - 1;
-    if t.len > 0 then begin
-      t.heap.(0) <- t.heap.(t.len);
-      sift_down t 0
-    end;
-    Some (top.at, top.payload)
+    detach t h;
+    true
   end
 
-let peek t = if t.len = 0 then None else Some (t.heap.(0).at, t.heap.(0).payload)
+let reschedule t h ~at =
+  if h.queued then detach t h;
+  h.at <- at;
+  h.seq <- t.next_seq;
+  t.next_seq <- t.next_seq + 1;
+  insert_node t h
 
-let rec drain t f =
-  match pop t with
-  | None -> ()
-  | Some (at, payload) ->
-      f at payload;
-      drain t f
+let queued h = h.queued
+let handle_at h = h.at
+
+let drain t f =
+  let rec go () =
+    match pop t with
+    | None -> ()
+    | Some (at, v) ->
+        f at v;
+        go ()
+  in
+  go ()

@@ -2,23 +2,41 @@
    live in a registry resolved through domain-local storage, so
    [Par.with_shard] can route a parallel task's observations into a
    private shard (no locks on the hot path) and [merge_into] folds
-   them back at a deterministic join point. *)
+   them back at a deterministic join point.
+
+   Aggregates (bucket counts, count, sum, min, max) are always exact.
+   The raw-sample reservoir feeding percentile queries can be thinned
+   1-in-k ([set_raw_sample_every]) so memory stays O(count / k) under
+   10^5-request load; with k = 1 (the default) behaviour and floating
+   point results are bit-identical to the unsampled registry. *)
 
 type histo = {
   buckets : int array;  (* 64 log2 buckets; index via [bucket_index] *)
-  samples : Stats.t;
+  samples : Stats.t;  (* raw reservoir for percentiles; may be thinned *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;  (* infinity when empty *)
+  mutable h_max : float;  (* neg_infinity when empty *)
+  mutable h_seen : int;  (* reservoir offers, kept or not *)
 }
 
 type registry = {
   r_histograms : (string, histo) Hashtbl.t;
   r_gauges : (string, float ref) Hashtbl.t;
+  mutable r_every : int;  (* keep 1 raw sample in r_every *)
+  mutable r_phase : int;
 }
 
 type histogram = string
 type gauge = string
 
 let create_registry () =
-  { r_histograms = Hashtbl.create 16; r_gauges = Hashtbl.create 16 }
+  {
+    r_histograms = Hashtbl.create 16;
+    r_gauges = Hashtbl.create 16;
+    r_every = 1;
+    r_phase = 0;
+  }
 
 let default = create_registry ()
 
@@ -27,11 +45,29 @@ let () = Domain.DLS.set current_key default
 let current () = Domain.DLS.get current_key
 let set_current r = Domain.DLS.set current_key r
 
+let set_raw_sample_every ?(seed = 0) every =
+  if every < 1 then invalid_arg "Metrics.set_raw_sample_every: every must be >= 1";
+  let r = current () in
+  r.r_every <- every;
+  r.r_phase <- ((seed mod every) + every) mod every
+
+let raw_sample_every () = (current ()).r_every
+
 let histo_cell r name =
   match Hashtbl.find_opt r.r_histograms name with
   | Some h -> h
   | None ->
-      let h = { buckets = Array.make 64 0; samples = Stats.create () } in
+      let h =
+        {
+          buckets = Array.make 64 0;
+          samples = Stats.create ();
+          h_count = 0;
+          h_sum = 0.0;
+          h_min = infinity;
+          h_max = neg_infinity;
+          h_seen = 0;
+        }
+      in
       Hashtbl.replace r.r_histograms name h;
       h
 
@@ -61,16 +97,27 @@ let bucket_index v =
 
 let bucket_bound i = 2.0 ** float_of_int i
 
-let observe h v =
-  let cell = histo_cell (current ()) h in
+(* One observation: exact aggregates unconditionally, reservoir offer
+   through the registry's 1-in-k sampler. *)
+let observe_cell r (cell : histo) v =
   let i = bucket_index v in
   cell.buckets.(i) <- cell.buckets.(i) + 1;
-  Stats.add cell.samples v
+  cell.h_count <- cell.h_count + 1;
+  cell.h_sum <- cell.h_sum +. v;
+  if v < cell.h_min then cell.h_min <- v;
+  if v > cell.h_max then cell.h_max <- v;
+  let keep = r.r_every <= 1 || cell.h_seen mod r.r_every = r.r_phase in
+  cell.h_seen <- cell.h_seen + 1;
+  if keep then Stats.add cell.samples v
+
+let observe h v =
+  let r = current () in
+  observe_cell r (histo_cell r h) v
 
 let observe_time h d = observe h (Int64.to_float (Units.to_ns d))
 
-let histogram_count h = Stats.count (histo_cell (current ()) h).samples
-let histogram_sum h = Stats.sum (histo_cell (current ()) h).samples
+let histogram_count h = (histo_cell (current ()) h).h_count
+let histogram_sum h = (histo_cell (current ()) h).h_sum
 
 let gauge name =
   ignore (gauge_cell (current ()) name);
@@ -102,21 +149,44 @@ type snapshot = {
   snap_histograms : histo_snapshot list;
 }
 
+(* Percentile estimate when the raw reservoir has been thinned to
+   nothing but buckets still hold counts: walk the cumulative bucket
+   counts and return the matched bucket's upper bound. *)
+let bucket_percentile (h : histo) p =
+  let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int h.h_count)) in
+  let rank = if rank < 1 then 1 else rank in
+  let acc = ref 0 and ans = ref 0.0 and found = ref false in
+  for i = 0 to 63 do
+    if not !found then begin
+      acc := !acc + h.buckets.(i);
+      if !acc >= rank then begin
+        ans := bucket_bound i;
+        found := true
+      end
+    end
+  done;
+  !ans
+
 let snapshot_histogram name (h : histo) =
-  let empty = Stats.is_empty h.samples in
+  let empty = h.h_count = 0 in
+  let pct p =
+    if empty then 0.0
+    else if Stats.is_empty h.samples then bucket_percentile h p
+    else Stats.percentile h.samples p
+  in
   let buckets = ref [] in
   for i = 63 downto 0 do
     if h.buckets.(i) > 0 then buckets := (i, h.buckets.(i)) :: !buckets
   done;
   {
     hs_name = name;
-    hs_count = Stats.count h.samples;
-    hs_sum = Stats.sum h.samples;
-    hs_min = (if empty then 0.0 else Stats.min h.samples);
-    hs_max = (if empty then 0.0 else Stats.max h.samples);
-    hs_p50 = (if empty then 0.0 else Stats.p50 h.samples);
-    hs_p90 = (if empty then 0.0 else Stats.p90 h.samples);
-    hs_p99 = (if empty then 0.0 else Stats.p99 h.samples);
+    hs_count = h.h_count;
+    hs_sum = h.h_sum;
+    hs_min = (if empty then 0.0 else h.h_min);
+    hs_max = (if empty then 0.0 else h.h_max);
+    hs_p50 = pct 50.0;
+    hs_p90 = pct 90.0;
+    hs_p99 = pct 99.0;
     hs_buckets = !buckets;
   }
 
@@ -137,29 +207,47 @@ let reset () =
   Hashtbl.iter
     (fun _ h ->
       Array.fill h.buckets 0 64 0;
-      Stats.clear h.samples)
+      Stats.clear h.samples;
+      h.h_count <- 0;
+      h.h_sum <- 0.0;
+      h.h_min <- infinity;
+      h.h_max <- neg_infinity;
+      h.h_seen <- 0)
     r.r_histograms;
   Hashtbl.iter (fun _ g -> g := 0.0) r.r_gauges;
   Stats.reset_counters ()
 
-(* Fold a shard registry into the current one.  Histogram samples are
-   re-observed in the shard's insertion order and series are visited
-   in sorted-name order, so the merged sample sequence — and therefore
-   float sums and percentile views — depends only on the submission
-   order of the merges, never on host completion order.  Gauges merge
-   with max (every gauge in the tree is a high-watermark). *)
+(* Fold a shard registry into the current one.  Series are visited in
+   sorted-name order so the merged sequence depends only on the order
+   of [merge_into] calls, never on host completion order.
+
+   A lossless shard (its reservoir kept every observation — the normal
+   case for per-request shards) is replayed sample by sample, which
+   keeps float accumulation order — and therefore sums and percentile
+   views — bit-identical to observing directly, while the destination
+   applies its own 1-in-k reservoir thinning.  A shard whose reservoir
+   was itself thinned merges by exact aggregates, and its surviving
+   raw samples transfer without a second thinning.  Gauges merge with
+   max (every gauge in the tree is a high-watermark). *)
 let merge_into (src : registry) =
   let dst = current () in
   Hashtbl.fold (fun n h acc -> (n, h) :: acc) src.r_histograms []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   |> List.iter (fun (n, (h : histo)) ->
          let cell = histo_cell dst n in
-         List.iter
-           (fun v ->
-             let i = bucket_index v in
-             cell.buckets.(i) <- cell.buckets.(i) + 1;
-             Stats.add cell.samples v)
-           (Stats.to_list h.samples));
+         if Stats.count h.samples = h.h_count then
+           List.iter (fun v -> observe_cell dst cell v) (Stats.to_list h.samples)
+         else begin
+           for i = 0 to 63 do
+             cell.buckets.(i) <- cell.buckets.(i) + h.buckets.(i)
+           done;
+           cell.h_count <- cell.h_count + h.h_count;
+           cell.h_sum <- cell.h_sum +. h.h_sum;
+           if h.h_min < cell.h_min then cell.h_min <- h.h_min;
+           if h.h_max > cell.h_max then cell.h_max <- h.h_max;
+           cell.h_seen <- cell.h_seen + h.h_seen;
+           List.iter (fun v -> Stats.add cell.samples v) (Stats.to_list h.samples)
+         end);
   Hashtbl.fold (fun n g acc -> (n, !g) :: acc) src.r_gauges []
   |> List.iter (fun (n, v) ->
          let cell = gauge_cell dst n in

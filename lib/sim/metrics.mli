@@ -31,11 +31,24 @@ val create_registry : unit -> registry
 val current : unit -> registry
 val set_current : registry -> unit
 
+val set_raw_sample_every : ?seed:int -> int -> unit
+(** [set_raw_sample_every ~seed k] thins the {e raw-sample reservoir}
+    of the current registry to 1-in-[k] (deterministic stride, phase
+    [seed mod k]).  Bucket counts, counts, sums and min/max stay exact;
+    only the retained samples backing percentile queries are thinned,
+    so memory is O(count / k).  [k = 1] (the default) retains every
+    sample and is bit-identical to the unsampled registry.  Raises
+    [Invalid_argument] when [k < 1]. *)
+
+val raw_sample_every : unit -> int
+
 val merge_into : registry -> unit
 (** Fold a shard registry into the current one.  Histogram samples are
     re-observed in the shard's insertion order with series visited in
     sorted-name order, so the merged sample sequence depends only on
-    the order of [merge_into] calls; gauges merge as high-watermarks. *)
+    the order of [merge_into] calls; gauges merge as high-watermarks.
+    The destination's reservoir thinning (see {!set_raw_sample_every})
+    applies to the merged samples. *)
 
 val histogram : string -> histogram
 (** Registered histogram for [name], created empty on first use.
@@ -49,7 +62,10 @@ val observe_time : histogram -> Units.time -> unit
 (** Records the duration in nanoseconds. *)
 
 val histogram_count : histogram -> int
+(** Exact observation count (never thinned). *)
+
 val histogram_sum : histogram -> float
+(** Exact sum (never thinned). *)
 
 val bucket_index : float -> int
 (** Bucket for a value: 0 holds values < 1; bucket [i >= 1] holds

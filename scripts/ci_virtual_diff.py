@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Diff the deterministic parts of two BENCH_*.json documents.
+
+Strips every object keyed "host" (at any depth — wall-clock and memory
+measurements are machine-dependent) and compares the rest byte for
+byte.  Two identically-seeded bench runs must agree on everything that
+survives the strip; any difference is a determinism bug.
+
+Usage: ci_virtual_diff.py A.json B.json   (exit 0 identical, 1 not)
+"""
+
+import json
+import sys
+
+
+def strip_host(doc):
+    if isinstance(doc, dict):
+        return {k: strip_host(v) for k, v in doc.items() if k != "host"}
+    if isinstance(doc, list):
+        return [strip_host(v) for v in doc]
+    return doc
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        a = strip_host(json.load(f))
+    with open(sys.argv[2]) as f:
+        b = strip_host(json.load(f))
+    sa = json.dumps(a, sort_keys=True, indent=1)
+    sb = json.dumps(b, sort_keys=True, indent=1)
+    if sa == sb:
+        print("virtual sections identical")
+        return 0
+    import difflib
+    for line in difflib.unified_diff(sa.splitlines(), sb.splitlines(),
+                                     fromfile=sys.argv[1], tofile=sys.argv[2],
+                                     lineterm=""):
+        print(line)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_*.json host sections.
+
+The bench JSON documents split deterministic simulation results
+("virtual", diffed byte-for-byte elsewhere in CI) from machine-dependent
+wall-clock and memory measurements ("host" sections, which may appear
+nested, e.g. top-level "host" and "scale"."host").  This script compares
+the host measurements of a current run against a baseline run and fails
+when any lower-is-better field regressed past a tolerance.
+
+Gated fields (lower is better): names ending in "_ms" or "_words", or
+containing "wall" or "words".  Informational fields (domains,
+host_cores, speedups) are reported but never gated.
+
+Usage:
+  perf_gate.py BASELINE.json CURRENT.json [--tolerance 0.5]
+
+A tolerance of 0.5 means the current value may exceed the baseline by up
+to 50%.  Exit status: 0 ok, 1 regression, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def flatten_hosts(doc, path=""):
+    """Yield (dotted_path, value) for every numeric leaf under any
+    object keyed "host", at any nesting depth."""
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            sub = f"{path}.{key}" if path else key
+            if key == "host":
+                yield from numeric_leaves(value, sub)
+            else:
+                yield from flatten_hosts(value, sub)
+
+
+def numeric_leaves(doc, path):
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            yield from numeric_leaves(value, f"{path}.{key}")
+    elif isinstance(doc, (int, float)) and not isinstance(doc, bool):
+        yield path, float(doc)
+
+
+def gated(path):
+    leaf = path.rsplit(".", 1)[-1]
+    return (leaf.endswith("_ms") or leaf.endswith("_words")
+            or "wall" in leaf or "words" in leaf)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.5,
+                    help="allowed fractional regression (default 0.5 = +50%%)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            base = dict(flatten_hosts(json.load(f)))
+        with open(args.current) as f:
+            cur = dict(flatten_hosts(json.load(f)))
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"perf_gate: {e}", file=sys.stderr)
+        return 2
+
+    if not base:
+        print("perf_gate: baseline has no host fields", file=sys.stderr)
+        return 2
+
+    failures = []
+    for path in sorted(base):
+        if path not in cur:
+            print(f"  [skip] {path}: absent in current run")
+            continue
+        b, c = base[path], cur[path]
+        if not gated(path):
+            print(f"  [info] {path}: {b:g} -> {c:g}")
+            continue
+        if b <= 0:
+            print(f"  [info] {path}: baseline {b:g}, not gated")
+            continue
+        ratio = c / b
+        verdict = "ok" if ratio <= 1.0 + args.tolerance else "REGRESSED"
+        print(f"  [{verdict}] {path}: {b:g} -> {c:g} ({ratio:.2f}x, "
+              f"limit {1.0 + args.tolerance:.2f}x)")
+        if ratio > 1.0 + args.tolerance:
+            failures.append(path)
+
+    if failures:
+        print(f"perf_gate: {len(failures)} field(s) regressed past "
+              f"+{args.tolerance:.0%}: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("perf_gate: within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,4 +24,8 @@ let () =
       ("multilang", Test_multilang.suite);
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);
+      ("eventq", Test_eventq.suite);
+      ("loadgen", Test_loadgen.suite);
+      ("sampling", Test_sampling.suite);
+      ("scale", Test_scale.suite);
     ]

@@ -1,0 +1,118 @@
+(* Tier-1 scale lock-in: a 50k-request warm serve streamed through the
+   server must complete with zero failures, bounded virtual memory and
+   a byte-identical response stream whatever the host domain count —
+   the contract the 10^5-request bench leg relies on. *)
+
+open Alloystack_core
+
+let count = 50_000
+let qps = 700.0
+let seed = 7
+
+(* Same endpoints and the same seeded draw sequence as
+   [Test_par.requests_for], but streamed instead of materialised. *)
+let stream () =
+  let eps =
+    Array.of_list (List.map (fun (e, _, _) -> e) Test_par.endpoints_spec)
+  in
+  let next = Baselines.Loadgen.request_stream ~seed ~qps ~endpoints:eps ~count () in
+  fun () ->
+    match next () with
+    | None -> None
+    | Some (endpoint, arrival) -> Some { Visor.Server.endpoint; arrival }
+
+let serve_scale () =
+  let server =
+    Visor.Server.create ~sample_every:64 ~sample_seed:seed ()
+  in
+  List.iter
+    (fun (endpoint, workflow, bindings) ->
+      Visor.Server.register server ~endpoint ~workflow ~bindings ())
+    Test_par.endpoints_spec;
+  let r = Visor.Server.serve_stream server (stream ()) in
+  Visor.Server.shutdown server;
+  r
+
+let test_scale_50k () =
+  let live0 = Wfd.live_count () in
+  let r1 = Test_par.with_domains 1 (fun () -> serve_scale ()) in
+  Alcotest.(check int) "all completed" count r1.Visor.Server.completed;
+  Alcotest.(check int) "zero failures" 0 r1.Visor.Server.failed;
+  (* Warm pool does its job: one cold boot per endpoint, everything
+     else clones a template. *)
+  Alcotest.(check int) "cold boots = endpoints" 3 r1.Visor.Server.cold_starts;
+  Alcotest.(check int) "warm rest" (count - 3) r1.Visor.Server.warm_starts;
+  (* Bounded virtual memory: peak machine RSS reflects the in-flight
+     window, not the full request count.  16 GiB is ~2x the observed
+     peak; a linear leak over 50k requests would blow far past it. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "peak rss bounded (%d)" r1.Visor.Server.machine_peak_rss)
+    true
+    (r1.Visor.Server.machine_peak_rss < 16 * 1024 * 1024 * 1024);
+  (* In-flight stays at the queueing equilibrium, far below n. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "inflight bounded (%d)" r1.Visor.Server.max_inflight)
+    true
+    (r1.Visor.Server.max_inflight < 1_000);
+  Alcotest.(check int) "no WFD leak" live0 (Wfd.live_count ());
+  (* The same stream on a 4-domain pool replays byte-identically. *)
+  let r4 = Test_par.with_domains 4 (fun () -> serve_scale ()) in
+  Alcotest.(check string) "responses identical at 1 vs 4 domains"
+    (Digest.to_hex (Digest.string (Test_par.fingerprint r1)))
+    (Digest.to_hex (Digest.string (Test_par.fingerprint r4)));
+  Alcotest.(check string) "summary identical at 1 vs 4 domains"
+    (Test_par.summary r1) (Test_par.summary r4);
+  Alcotest.(check int) "no WFD leak after parallel run" live0 (Wfd.live_count ())
+
+let test_stream_matches_materialised_serve () =
+  (* serve_stream over the generator == serve over the materialised
+     list: same virtual responses, byte for byte. *)
+  let requests = Test_par.requests_for ~seed ~count:300 in
+  let serve_list () =
+    let server = Visor.Server.create () in
+    List.iter
+      (fun (endpoint, workflow, bindings) ->
+        Visor.Server.register server ~endpoint ~workflow ~bindings ())
+      Test_par.endpoints_spec;
+    let r = Visor.Server.serve server requests in
+    Visor.Server.shutdown server;
+    r
+  in
+  let serve_streamed window =
+    let eps =
+      Array.of_list (List.map (fun (e, _, _) -> e) Test_par.endpoints_spec)
+    in
+    let next =
+      Baselines.Loadgen.request_stream ~seed ~qps ~endpoints:eps ~count:300 ()
+    in
+    let server = Visor.Server.create () in
+    List.iter
+      (fun (endpoint, workflow, bindings) ->
+        Visor.Server.register server ~endpoint ~workflow ~bindings ())
+      Test_par.endpoints_spec;
+    let r =
+      Visor.Server.serve_stream server ~window (fun () ->
+          match next () with
+          | None -> None
+          | Some (endpoint, arrival) -> Some { Visor.Server.endpoint; arrival })
+    in
+    Visor.Server.shutdown server;
+    r
+  in
+  let want = serve_list () in
+  List.iter
+    (fun window ->
+      let got = serve_streamed window in
+      Alcotest.(check string)
+        (Printf.sprintf "window %d == materialised" window)
+        (Test_par.fingerprint want ^ Test_par.summary want)
+        (Test_par.fingerprint got ^ Test_par.summary got))
+    [ 1; 17; 300; 4096 ]
+
+let suite =
+  [
+    Alcotest.test_case "50k warm serve: complete, bounded, identical across domains"
+      `Slow test_scale_50k;
+    Alcotest.test_case "serve_stream == serve at every window" `Quick
+      test_stream_matches_materialised_serve;
+  ]
