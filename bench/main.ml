@@ -17,19 +17,39 @@ let kib n = n * 1024
 let quick = ref false
 
 (* --sweep: extend the serving experiment with a qps sweep (latency vs
-   offered load, saturation knee) and a 10^5-request scale leg run
-   through the streaming server with sampled observability. *)
+   offered load, saturation knee) and streamed scale legs (10^5 with a
+   sketch-vs-exact percentile check, 10^6 fold-only) run through the
+   streaming server with sampled observability. *)
 let sweep_flag = ref false
 
+(* --soak: extend the serving experiment with a virtual-hour soak at a
+   sustainable qps below the saturation knee: periodic snapshot lines
+   (completed, in-flight, live words, sketch percentiles) and a
+   flat-memory assertion. *)
+let soak_flag = ref false
+
+(* --soak-seconds N: virtual duration of the soak (defaults to an hour,
+   two minutes in --quick).  CI's smoke leg shortens it. *)
+let soak_seconds_flag = ref 0
+
 (* --domains N: host domain pool width for the parallel serving / exec
-   experiments.  0 = auto (up to 4, bounded by the machine).  Virtual
+   experiments.  0 = auto (the machine's recommended domain count —
+   never more domains than cores, so a 1-core host runs 1 domain
+   instead of faking a 4-wide pool that can only lose).  Virtual
    results are bit-identical whatever this is set to — the bench
    asserts that on every run. *)
 let domains_flag = ref 0
 
 let bench_domains () =
-  if !domains_flag > 0 then !domains_flag
-  else Stdlib.min 4 (Stdlib.max 1 (Domain.recommended_domain_count ()))
+  if !domains_flag > 0 then !domains_flag else Par.auto_domains ()
+
+(* A parallel leg is degenerate when the pool cannot express real
+   parallelism (single-core host, single-domain pool, or more domains
+   than cores): its speedup numbers are artifacts, so the JSON labels
+   the leg and perf_gate.py reports its fields without gating them. *)
+let degenerate_parallelism ~domains =
+  let cores = Stdlib.max 1 (Domain.recommended_domain_count ()) in
+  cores < 2 || domains < 2 || domains > cores
 
 let scale n = if !quick then Stdlib.max 4096 (n / 16) else n
 
@@ -1055,6 +1075,63 @@ let serving () =
       endpoints_spec
   in
   let sample_every = 64 in
+  (* Largest sweep point strictly below the saturation knee — the rate
+     the soak leg runs at.  Without --sweep the default matches the
+     measured sub-knee point of the full sweep. *)
+  let sub_knee_qps = ref 300.0 in
+  let summary_json (s : Visor.Server.summary) =
+    Jsonlite.Obj
+      [
+        ("completed", Jsonlite.Int s.Visor.Server.sm_completed);
+        ("failed", Jsonlite.Int s.Visor.Server.sm_failed);
+        ("throughput_rps", Jsonlite.Float s.Visor.Server.sm_throughput_rps);
+        ("mean_us", Jsonlite.Float (Units.to_us s.Visor.Server.sm_mean_latency));
+        ("p50_us", Jsonlite.Float (Units.to_us s.Visor.Server.sm_p50_latency));
+        ("p99_us", Jsonlite.Float (Units.to_us s.Visor.Server.sm_p99_latency));
+        ("max_inflight", Jsonlite.Int s.Visor.Server.sm_max_inflight);
+        ("warm_starts", Jsonlite.Int s.Visor.Server.sm_warm_starts);
+        ("cold_starts", Jsonlite.Int s.Visor.Server.sm_cold_starts);
+        ("latency_sketched", Jsonlite.Bool s.Visor.Server.sm_latency_sketched);
+      ]
+  in
+  (* Constant-memory serve: fold each response through [f] as it
+     completes (never materialised), latency percentiles from the
+     server's t-digest.  Probes live words (full major + stat) in
+     flight so the flat-memory claim is checked at peak, not after the
+     GC has cleaned up — live words, not heap size, because the major
+     heap legitimately expands with allocation churn at 10^6. *)
+  let run_fold ~qps ~count ~sample_every ~exact =
+    Par.set_domains nd;
+    reset_observability ();
+    Metrics.set_raw_sample_every ~seed sample_every;
+    let server =
+      Visor.Server.create ~warm:true ~sample_every ~sample_seed:seed
+        ~sketch_latency:true ()
+    in
+    register_all server;
+    let exact_lat = Stats.create () in
+    let seen = ref 0 in
+    let peak_live = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    let (), s =
+      Visor.Server.serve_fold server
+        (stream_requests ~qps ~count ())
+        ~init:()
+        ~f:(fun () (p : Visor.Server.response) ->
+          incr seen;
+          if exact && p.Visor.Server.r_ok then
+            Stats.add_time exact_lat p.Visor.Server.r_latency;
+          if !seen land 16383 = 0 then begin
+            Gc.full_major ();
+            peak_live := Stdlib.max !peak_live (Gc.stat ()).Gc.live_words
+          end)
+    in
+    let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    Visor.Server.shutdown server;
+    Metrics.set_raw_sample_every 1;
+    Par.set_domains 1;
+    (s, exact_lat, wall_ms, !peak_live)
+  in
   let sweep_sections =
     if not !sweep_flag then []
     else begin
@@ -1094,6 +1171,20 @@ let serving () =
         | Some (q, _) -> q
         | None -> ( match List.rev results with (q, _) :: _ -> q | [] -> 0.0)
       in
+      (* The soak rate must be sustainable for a virtual hour, so pick
+         the largest point where the server kept pace with arrivals
+         (measured throughput within 5% of the offered rate) — the
+         p99-based knee can sit above capacity, and on short --quick
+         sweeps may not trigger at all. *)
+      (match
+         List.rev
+           (List.filter
+              (fun (q, r) ->
+                r.Visor.Server.throughput_rps >= 0.95 *. q && q < knee_qps)
+              results)
+       with
+      | (q, _) :: _ -> sub_knee_qps := q
+      | [] -> ());
       let st =
         Table.create
           ~title:
@@ -1174,12 +1265,72 @@ let serving () =
         (Jsonlite.to_string (mode_json scale_r1))
         (Jsonlite.to_string (mode_json scale_rn));
       Printf.printf
-        "scale: %d requests, sample 1/%d: p50 %s p99 %s, %d warm / %d cold; wall %.0f ms (1 domain) -> %.0f ms (%d domains)\n\n"
+        "scale: %d requests, sample 1/%d: p50 %s p99 %s, %d warm / %d cold; wall %.0f ms (1 domain) -> %.0f ms (%d domains)\n"
         scale_count sample_every
         (pp_t scale_rn.Visor.Server.p50_latency)
         (pp_t scale_rn.Visor.Server.p99_latency)
         scale_rn.Visor.Server.warm_starts scale_rn.Visor.Server.cold_starts
         scale_ms1 scale_msn nd;
+      (* Sketch accuracy leg: the same 10^5 stream through serve_fold
+         with sketch_latency (no materialised responses, no retained
+         latencies), while the fold accumulates the exact latency
+         population.  Sketch p50/p99 must land within 2% of exact. *)
+      let fold_s, fold_exact, fold_ms, fold_live =
+        run_fold ~qps:scale_qps ~count:scale_count ~sample_every ~exact:true
+      in
+      if
+        fold_s.Visor.Server.sm_completed <> scale_rn.Visor.Server.completed
+        || fold_s.Visor.Server.sm_failed <> scale_rn.Visor.Server.failed
+        || fold_s.Visor.Server.sm_max_inflight
+           <> scale_rn.Visor.Server.max_inflight
+      then begin
+        Printf.eprintf "serving: serve_fold disagrees with serve_stream\n";
+        exit 1
+      end;
+      let ns_of t = Int64.to_float (Units.to_ns t) in
+      let ex50 = Stats.percentile fold_exact 50.0 in
+      let ex99 = Stats.percentile fold_exact 99.0 in
+      let sk50 = ns_of fold_s.Visor.Server.sm_p50_latency in
+      let sk99 = ns_of fold_s.Visor.Server.sm_p99_latency in
+      let rel a b = Float.abs (a -. b) /. Float.max 1e-9 (Float.abs b) in
+      let err50 = rel sk50 ex50 and err99 = rel sk99 ex99 in
+      Printf.printf
+        "scale sketch: p50 %.1f us (exact %.1f, err %.2f%%), p99 %.1f us (exact %.1f, err %.2f%%)\n"
+        (sk50 /. 1e3) (ex50 /. 1e3) (100.0 *. err50) (sk99 /. 1e3) (ex99 /. 1e3)
+        (100.0 *. err99);
+      if err50 > 0.02 || err99 > 0.02 then begin
+        Printf.eprintf
+          "serving: sketch percentiles drifted past 2%% of exact (p50 %.2f%%, p99 %.2f%%)\n"
+          (100.0 *. err50) (100.0 *. err99);
+        exit 1
+      end;
+      (* Deep leg: an order of magnitude past the byte-identity leg,
+         fold-only — nothing materialised, percentiles from the sketch.
+         The peak major-heap sample bounds live memory at
+         O(window + in-flight): a materialised response list at this
+         count would alone exceed the cap. *)
+      let deep_count = if !quick then 50_000 else 1_000_000 in
+      let deep_sample = 256 in
+      let deep_s, _, deep_ms, deep_live =
+        run_fold ~qps:scale_qps ~count:deep_count ~sample_every:deep_sample
+          ~exact:false
+      in
+      (* O(window + inflight + n/k sampled spans) live words: ~2-4M in
+         practice; a materialised response list alone would add ~15
+         words per request (~15M at 10^6) and blow the cap. *)
+      let deep_live_cap = 8_000_000 in
+      Printf.printf
+        "deep: %d requests via serve_fold, sample 1/%d: p50 %s p99 %s; wall %.0f ms, peak live %d words (cap %d)\n\n"
+        deep_count deep_sample
+        (pp_t deep_s.Visor.Server.sm_p50_latency)
+        (pp_t deep_s.Visor.Server.sm_p99_latency)
+        deep_ms deep_live deep_live_cap;
+      if deep_live > deep_live_cap then begin
+        Printf.eprintf
+          "serving: deep fold peak live %d words exceeds cap %d — response stream is being retained\n"
+          deep_live deep_live_cap;
+        exit 1
+      end;
       let scale_json =
         Jsonlite.Obj
           [
@@ -1192,19 +1343,191 @@ let serving () =
                 [
                   ("summary", mode_json scale_rn);
                   ("response_fingerprint_md5", Jsonlite.String fpn);
+                  ( "sketch",
+                    Jsonlite.Obj
+                      [
+                        ("p50_us", Jsonlite.Float (sk50 /. 1e3));
+                        ("p99_us", Jsonlite.Float (sk99 /. 1e3));
+                        ("exact_p50_us", Jsonlite.Float (ex50 /. 1e3));
+                        ("exact_p99_us", Jsonlite.Float (ex99 /. 1e3));
+                      ] );
                 ] );
             ( "host",
               Jsonlite.Obj
                 [
                   ("domains", Jsonlite.Int nd);
+                  ( "degenerate",
+                    Jsonlite.Bool (degenerate_parallelism ~domains:nd) );
                   ("wall_ms_domains1", Jsonlite.Float scale_ms1);
                   ("wall_ms", Jsonlite.Float scale_msn);
                   ("live_words_domains1", Jsonlite.Int scale_live1);
                   ("live_words", Jsonlite.Int scale_liven);
+                  ("fold_wall_ms", Jsonlite.Float fold_ms);
+                  ("fold_peak_live_words", Jsonlite.Int fold_live);
+                ] );
+            ( "deep",
+              Jsonlite.Obj
+                [
+                  ("requests", Jsonlite.Int deep_count);
+                  ("qps", Jsonlite.Float scale_qps);
+                  ("sample_every", Jsonlite.Int deep_sample);
+                  ("virtual", Jsonlite.Obj [ ("summary", summary_json deep_s) ]);
+                  ( "host",
+                    Jsonlite.Obj
+                      [
+                        ("wall_ms", Jsonlite.Float deep_ms);
+                        ("peak_live_words", Jsonlite.Int deep_live);
+                      ] );
                 ] );
           ]
       in
       [ ("sweep", sweep_json); ("scale", scale_json) ]
+    end
+  in
+  (* --soak: a virtual hour at the sub-knee rate, served through the
+     constant-memory fold path.  Periodic snapshots report completion,
+     in-flight, live heap words and P^2 sketch percentiles; the run
+     fails if live words trend upward after warm-up. *)
+  let soak_sections =
+    if not !soak_flag then []
+    else begin
+      let soak_qps = !sub_knee_qps in
+      let virtual_s =
+        if !soak_seconds_flag > 0 then !soak_seconds_flag
+        else if !quick then 120
+        else 3600
+      in
+      let snap_s = Stdlib.max 1 (virtual_s / 12) in
+      Par.set_domains nd;
+      reset_observability ();
+      Metrics.set_raw_sample_every ~seed sample_every;
+      let server =
+        Visor.Server.create ~warm:true ~sample_every ~sample_seed:seed
+          ~sketch_latency:true ()
+      in
+      register_all server;
+      let next =
+        Loadgen.request_stream_until ~seed ~qps:soak_qps ~endpoints:eps
+          ~horizon:(Units.sec virtual_s) ()
+      in
+      (* Arrival instants pulled by the planner, drained as virtual
+         time passes: [arrived - finished] is the exact in-flight count
+         at each snapshot. *)
+      let pulled : Units.time Queue.t = Queue.create () in
+      let stream () =
+        match next () with
+        | None -> None
+        | Some (endpoint, arrival) ->
+            Queue.push arrival pulled;
+            Some { Visor.Server.endpoint; arrival }
+      in
+      let p2_50 = Sketch.P2.create 0.5 in
+      let p2_99 = Sketch.P2.create 0.99 in
+      let finished = ref 0 in
+      let arrived = ref 0 in
+      let next_snap = ref snap_s in
+      let snaps = ref [] in
+      let t0 = Unix.gettimeofday () in
+      let (), soak_s =
+        Visor.Server.serve_fold server stream ~init:()
+          ~f:(fun () (p : Visor.Server.response) ->
+            incr finished;
+            if p.Visor.Server.r_ok then begin
+              let us = Units.to_us p.Visor.Server.r_latency in
+              Sketch.P2.add p2_50 us;
+              Sketch.P2.add p2_99 us
+            end;
+            let now_s = Units.to_sec p.Visor.Server.r_finish in
+            if now_s >= float_of_int !next_snap then begin
+              while
+                (not (Queue.is_empty pulled))
+                && Units.to_sec (Queue.peek pulled) <= now_s
+              do
+                ignore (Queue.pop pulled);
+                incr arrived
+              done;
+              let inflight = !arrived - !finished in
+              Gc.full_major ();
+              let live = (Gc.stat ()).Gc.live_words in
+              let e50 = Sketch.P2.quantile p2_50 in
+              let e99 = Sketch.P2.quantile p2_99 in
+              Printf.printf
+                "soak t=%5ds: completed %8d, inflight %4d, live %9d words, p50 %8.1f us, p99 %9.1f us\n%!"
+                !next_snap !finished inflight live e50 e99;
+              snaps := (!next_snap, !finished, inflight, live, e50, e99) :: !snaps;
+              while float_of_int !next_snap <= now_s do
+                next_snap := !next_snap + snap_s
+              done
+            end)
+      in
+      let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      Visor.Server.shutdown server;
+      Metrics.set_raw_sample_every 1;
+      Par.set_domains 1;
+      let snaps = List.rev !snaps in
+      (* Flat-memory assertion: the worst live-words reading of the
+         second half must stay within 25% (plus a fixed 1M-word floor
+         for GC noise on small heaps) of the first snapshot. *)
+      (match snaps with
+      | (_, _, _, live0, _, _) :: _ when List.length snaps >= 2 ->
+          let n = List.length snaps in
+          let second_half = List.filteri (fun i _ -> i >= n / 2) snaps in
+          let worst =
+            List.fold_left
+              (fun acc (_, _, _, live, _, _) -> Stdlib.max acc live)
+              0 second_half
+          in
+          if float_of_int worst > (1.25 *. float_of_int live0) +. 1e6 then begin
+            Printf.eprintf
+              "serving: soak live words grew %d -> %d — memory is not flat\n"
+              live0 worst;
+            exit 1
+          end
+      | _ -> ());
+      Printf.printf
+        "soak: %.0f qps for %ds virtual: %d completed, %d failed, p50 %s p99 %s; wall %.0f ms\n\n"
+        soak_qps virtual_s soak_s.Visor.Server.sm_completed
+        soak_s.Visor.Server.sm_failed
+        (pp_t soak_s.Visor.Server.sm_p50_latency)
+        (pp_t soak_s.Visor.Server.sm_p99_latency)
+        wall_ms;
+      let snap_virtual (t, c, infl, _, e50, e99) =
+        Jsonlite.Obj
+          [
+            ("t_s", Jsonlite.Int t);
+            ("completed", Jsonlite.Int c);
+            ("inflight", Jsonlite.Int infl);
+            ("p50_us", Jsonlite.Float e50);
+            ("p99_us", Jsonlite.Float e99);
+          ]
+      in
+      let soak_json =
+        Jsonlite.Obj
+          [
+            ("qps", Jsonlite.Float soak_qps);
+            ("virtual_seconds", Jsonlite.Int virtual_s);
+            ("sample_every", Jsonlite.Int sample_every);
+            ( "virtual",
+              Jsonlite.Obj
+                [
+                  ("summary", summary_json soak_s);
+                  ("p2_p50_us", Jsonlite.Float (Sketch.P2.quantile p2_50));
+                  ("p2_p99_us", Jsonlite.Float (Sketch.P2.quantile p2_99));
+                  ("snapshots", Jsonlite.List (List.map snap_virtual snaps));
+                ] );
+            ( "host",
+              Jsonlite.Obj
+                [
+                  ("wall_ms", Jsonlite.Float wall_ms);
+                  ( "snapshot_live_words",
+                    Jsonlite.List
+                      (List.map
+                         (fun (_, _, _, live, _, _) -> Jsonlite.Int live)
+                         snaps) );
+                ] );
+          ]
+      in
+      [ ("soak", soak_json) ]
     end
   in
   let json =
@@ -1236,6 +1559,8 @@ let serving () =
                     ("domains", Jsonlite.Int nd);
                     ( "host_cores",
                       Jsonlite.Int (Domain.recommended_domain_count ()) );
+                    ( "degenerate",
+                      Jsonlite.Bool (degenerate_parallelism ~domains:nd) );
                     ("warm_wall_ms_domains1", Jsonlite.Float warm_ms1);
                     ("warm_wall_ms", Jsonlite.Float warm_ms);
                     ("cold_wall_ms_domains1", Jsonlite.Float cold_ms1);
@@ -1249,7 +1574,7 @@ let serving () =
       ]
   in
   let json =
-    match (json, sweep_sections) with
+    match (json, sweep_sections @ soak_sections) with
     | _, [] -> json
     | Jsonlite.Obj fields, extra -> Jsonlite.Obj (fields @ extra)
     | _ -> json
@@ -1505,6 +1830,8 @@ let exec () =
                 Jsonlite.Obj
                   [
                     ("domains", Jsonlite.Int nd);
+                    ( "degenerate",
+                      Jsonlite.Bool (degenerate_parallelism ~domains:nd) );
                     ("run_many_wall_ms_domains1", Jsonlite.Float par1_ms);
                     ("run_many_wall_ms", Jsonlite.Float parn_ms);
                     ("speedup", Jsonlite.Float par_speedup);
@@ -1551,6 +1878,20 @@ let () =
     | "--sweep" :: rest ->
         sweep_flag := true;
         parse acc rest
+    | "--soak" :: rest ->
+        soak_flag := true;
+        parse acc rest
+    | "--soak-seconds" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some s when s >= 1 ->
+            soak_seconds_flag := s;
+            parse acc rest
+        | _ ->
+            Printf.eprintf "--soak-seconds expects a positive integer, got %S\n" n;
+            exit 2)
+    | [ "--soak-seconds" ] ->
+        Printf.eprintf "--soak-seconds expects a positive integer\n";
+        exit 2
     | "--domains" :: n :: rest -> (
         match int_of_string_opt n with
         | Some d when d >= 1 ->

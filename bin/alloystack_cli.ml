@@ -208,8 +208,12 @@ let check_cmd dot file =
     end
 
 (* Serve a synthetic open-loop request trace against the warm-pool
-   server and print the latency/throughput summary. *)
-let serve_cmd requests qps seed cold domains sample_every trace trace_out metrics_out =
+   server and print the latency/throughput summary.  With [--soak] the
+   run is time-bounded instead of count-bounded, responses are folded
+   (never materialised), percentiles come from sketches, and the run
+   fails if live heap words trend upward across snapshots. *)
+let serve_cmd requests qps seed cold domains sample_every soak duration trace
+    trace_out metrics_out =
   reset_observability ();
   Sim.Par.set_domains domains;
   if trace then Sim.Trace.set_enabled Sim.Trace.global true;
@@ -222,32 +226,112 @@ let serve_cmd requests qps seed cold domains sample_every trace trace_out metric
     List.map (fun (n : Workflow.node) -> (n.Workflow.node_id, Visor.bind kernel)) wf.Workflow.nodes
   in
   let server =
-    Visor.Server.create ~warm:(not cold) ~sample_every ~sample_seed:seed ()
+    Visor.Server.create ~warm:(not cold) ~sample_every ~sample_seed:seed
+      ~sketch_latency:soak ()
   in
   Visor.Server.register server ~endpoint:"chain" ~workflow:wf ~bindings ();
-  (* Streamed seeded arrivals: constant memory in the request count,
-     same draws (one exponential per arrival) as materialising the
-     whole trace. *)
-  let next =
-    Baselines.Loadgen.request_stream ~seed ~qps ~endpoints:[| "chain" |]
-      ~count:requests ()
-  in
-  let r =
-    Visor.Server.serve_stream server (fun () ->
-        match next () with
-        | None -> None
-        | Some (endpoint, arrival) -> Some { Visor.Server.endpoint; arrival })
-  in
+  let status = ref 0 in
+  if soak then begin
+    (* Time-bounded soak through the constant-memory fold path. *)
+    let snap_s = Stdlib.max 1 (duration / 12) in
+    let next =
+      Baselines.Loadgen.request_stream_until ~seed ~qps ~endpoints:[| "chain" |]
+        ~horizon:(Sim.Units.sec duration) ()
+    in
+    let pulled : Sim.Units.time Queue.t = Queue.create () in
+    let stream () =
+      match next () with
+      | None -> None
+      | Some (endpoint, arrival) ->
+          Queue.push arrival pulled;
+          Some { Visor.Server.endpoint; arrival }
+    in
+    let p2_50 = Sim.Sketch.P2.create 0.5 in
+    let p2_99 = Sim.Sketch.P2.create 0.99 in
+    let finished = ref 0 in
+    let arrived = ref 0 in
+    let next_snap = ref snap_s in
+    let lives = ref [] in
+    let (), s =
+      Visor.Server.serve_fold server stream ~init:()
+        ~f:(fun () (p : Visor.Server.response) ->
+          incr finished;
+          if p.Visor.Server.r_ok then begin
+            let us = Sim.Units.to_us p.Visor.Server.r_latency in
+            Sim.Sketch.P2.add p2_50 us;
+            Sim.Sketch.P2.add p2_99 us
+          end;
+          let now_s = Sim.Units.to_sec p.Visor.Server.r_finish in
+          if now_s >= float_of_int !next_snap then begin
+            while
+              (not (Queue.is_empty pulled))
+              && Sim.Units.to_sec (Queue.peek pulled) <= now_s
+            do
+              ignore (Queue.pop pulled);
+              incr arrived
+            done;
+            Gc.full_major ();
+            let live = (Gc.stat ()).Gc.live_words in
+            lives := live :: !lives;
+            Format.printf
+              "soak t=%5ds: completed %8d, inflight %4d, live %9d words, p50 %8.1f us, p99 %9.1f us@."
+              !next_snap !finished
+              (!arrived - !finished)
+              live
+              (Sim.Sketch.P2.quantile p2_50)
+              (Sim.Sketch.P2.quantile p2_99);
+            while float_of_int !next_snap <= now_s do
+              next_snap := !next_snap + snap_s
+            done
+          end)
+    in
+    Format.printf "soak:         %ds virtual at %.1f qps@." duration qps;
+    Format.printf "requests:     %d ok, %d failed@." s.Visor.Server.sm_completed
+      s.Visor.Server.sm_failed;
+    Format.printf "throughput:   %.1f req/s@." s.Visor.Server.sm_throughput_rps;
+    Format.printf "latency:      p50 %a  p99 %a (sketched)@." Sim.Units.pp
+      s.Visor.Server.sm_p50_latency Sim.Units.pp s.Visor.Server.sm_p99_latency;
+    Format.printf "max inflight: %d@." s.Visor.Server.sm_max_inflight;
+    (match List.rev !lives with
+    | live0 :: _ :: _ as all ->
+        let n = List.length all in
+        let worst =
+          List.fold_left Stdlib.max 0
+            (List.filteri (fun i _ -> i >= n / 2) all)
+        in
+        if float_of_int worst > (1.25 *. float_of_int live0) +. 1e6 then begin
+          Format.eprintf
+            "soak: live words grew %d -> %d — memory is not flat@." live0 worst;
+          status := 1
+        end
+        else Format.printf "memory:       flat (%d -> %d live words)@." live0 worst
+    | _ -> ())
+  end
+  else begin
+    (* Streamed seeded arrivals: constant memory in the request count,
+       same draws (one exponential per arrival) as materialising the
+       whole trace. *)
+    let next =
+      Baselines.Loadgen.request_stream ~seed ~qps ~endpoints:[| "chain" |]
+        ~count:requests ()
+    in
+    let r =
+      Visor.Server.serve_stream server (fun () ->
+          match next () with
+          | None -> None
+          | Some (endpoint, arrival) -> Some { Visor.Server.endpoint; arrival })
+    in
+    Format.printf "requests:     %d (%d ok, %d failed)@." requests
+      r.Visor.Server.completed r.Visor.Server.failed;
+    Format.printf "throughput:   %.1f req/s@." r.Visor.Server.throughput_rps;
+    Format.printf "latency:      p50 %a  p99 %a@." Sim.Units.pp r.Visor.Server.p50_latency
+      Sim.Units.pp r.Visor.Server.p99_latency;
+    Format.printf "max inflight: %d@." r.Visor.Server.max_inflight;
+    Format.printf "starts:       %d warm / %d cold@." r.Visor.Server.warm_starts
+      r.Visor.Server.cold_starts
+  end;
   Visor.Server.shutdown server;
   if sample_every > 1 then Sim.Metrics.set_raw_sample_every 1;
-  Format.printf "requests:     %d (%d ok, %d failed)@." requests
-    r.Visor.Server.completed r.Visor.Server.failed;
-  Format.printf "throughput:   %.1f req/s@." r.Visor.Server.throughput_rps;
-  Format.printf "latency:      p50 %a  p99 %a@." Sim.Units.pp r.Visor.Server.p50_latency
-    Sim.Units.pp r.Visor.Server.p99_latency;
-  Format.printf "max inflight: %d@." r.Visor.Server.max_inflight;
-  Format.printf "starts:       %d warm / %d cold@." r.Visor.Server.warm_starts
-    r.Visor.Server.cold_starts;
   if trace then begin
     Format.printf "--- trace (%d events, %d dropped) ---@."
       (Sim.Trace.count Sim.Trace.global)
@@ -257,7 +341,7 @@ let serve_cmd requests qps seed cold domains sample_every trace trace_out metric
   export_trace trace_out;
   export_metrics metrics_out;
   Sim.Par.set_domains 1;
-  0
+  !status
 
 let app_arg =
   Arg.(value & opt string "pipe"
@@ -343,6 +427,20 @@ let sample_every_arg =
                  reservoirs are thinned the same way.  Latency percentiles \
                  and counters stay exact.  1 (default) records everything.")
 
+let soak_arg =
+  Arg.(value & flag
+       & info [ "soak" ]
+           ~doc:"Run time-bounded (--duration virtual seconds) instead of \
+                 count-bounded: responses are folded as they complete (never \
+                 materialised), latency percentiles come from P2/t-digest \
+                 sketches, and the run fails if live heap words trend upward \
+                 across snapshots.")
+
+let duration_arg =
+  Arg.(value & opt int 3600
+       & info [ "duration" ] ~docv:"SECS"
+           ~doc:"Soak length in virtual seconds (with --soak).")
+
 let serve_info =
   Cmd.info "serve"
     ~doc:"Serve a seeded open-loop load through the warm-pool server and report latency."
@@ -350,7 +448,8 @@ let serve_info =
 let serve_term =
   Term.(
     const serve_cmd $ requests_arg $ qps_arg $ seed_arg $ cold_arg $ domains_arg
-    $ sample_every_arg $ trace_arg $ trace_out_arg $ metrics_out_arg)
+    $ sample_every_arg $ soak_arg $ duration_arg $ trace_arg $ trace_out_arg
+    $ metrics_out_arg)
 
 let main =
   Cmd.group (Cmd.info "alloystack" ~doc:"AlloyStack reproduction CLI")

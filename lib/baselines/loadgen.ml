@@ -65,6 +65,28 @@ let request_stream ?seed ~qps ~endpoints ~count () =
       Some (ep, at)
     end
 
+let request_stream_until ?seed ~qps ~endpoints ~horizon () =
+  if Array.length endpoints = 0 then
+    invalid_arg "Loadgen.request_stream_until: endpoints must be non-empty";
+  let a = arrivals ?seed ~qps () in
+  let finished = ref false in
+  fun () ->
+    if !finished then None
+    else begin
+      let at = next_arrival a in
+      if Units.( > ) at horizon then begin
+        finished := true;
+        None
+      end
+      else begin
+        let ep =
+          if Array.length endpoints = 1 then endpoints.(0)
+          else Rng.pick a.arr_rng endpoints
+        in
+        Some (ep, at)
+      end
+    end
+
 let run ?(seed = 17) spec ~qps ~requests =
   if spec.width > spec.cores then invalid_arg "Loadgen.run: width exceeds cores";
   let arr = arrivals ~seed ~qps () in

@@ -71,3 +71,17 @@ val request_stream :
     inter-arrival gap (one [Rng.pick] from the same stream); with a
     single endpoint no pick is drawn.  Raises [Invalid_argument] on an
     empty endpoint array or negative count. *)
+
+val request_stream_until :
+  ?seed:int ->
+  qps:float ->
+  endpoints:string array ->
+  horizon:Sim.Units.time ->
+  unit ->
+  unit ->
+  (string * Sim.Units.time) option
+(** Time-bounded variant of {!request_stream} for soak runs: yields
+    every arrival at or before [horizon], then [None].  Same draw
+    sequence as {!request_stream} for equal seeds, so the shared prefix
+    of the two streams is bit-identical.  Raises [Invalid_argument] on
+    an empty endpoint array. *)

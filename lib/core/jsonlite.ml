@@ -175,11 +175,35 @@ let parse_result input =
   | exception Parse_error { pos; message } ->
       Error (Printf.sprintf "at offset %d: %s" pos message)
 
+(* Plain fixed-point decimals.  [%g] switches to exponent notation
+   ("1.92776e+06") for large magnitudes — valid JSON but hostile to
+   diffs and ad-hoc readers — and rounds to 6 significant digits.
+   Instead print the shortest [%.*f] that parses back to the same
+   double (always at least one decimal, so floats stay floats through
+   a round-trip); magnitudes outside sensible fixed-point range fall
+   back to a round-tripping [%.17g], and non-finite values (which JSON
+   cannot represent) become [null]. *)
+let float_to_string f =
+  if Float.is_nan f || Float.abs f = Float.infinity then "null"
+  else
+    let abs = Float.abs f in
+    if abs <> 0.0 && (abs >= 1e18 || abs < 1e-9) then Printf.sprintf "%.17g" f
+    else
+      (* abs >= 1e-9 needs at most 9 leading zeros + 17 significant
+         decimals after the point to round-trip. *)
+      let rec pick p =
+        if p > 26 then Printf.sprintf "%.17g" f
+        else
+          let s = Printf.sprintf "%.*f" p f in
+          if float_of_string s = f then s else pick (p + 1)
+      in
+      pick 1
+
 let rec to_string = function
   | Null -> "null"
   | Bool b -> string_of_bool b
   | Int i -> string_of_int i
-  | Float f -> Printf.sprintf "%g" f
+  | Float f -> float_to_string f
   | String s -> Printf.sprintf "%S" s
   | List items -> "[" ^ String.concat ", " (List.map to_string items) ^ "]"
   | Obj fields ->

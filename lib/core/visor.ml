@@ -679,6 +679,29 @@ module Server = struct
     machine_peak_rss : int;
   }
 
+  (* The aggregate half of a serve report: everything [serve_report]
+     carries except the materialised response list.  [serve_fold]
+     returns this alongside the caller's accumulator so a 10^6-request
+     run never has to hold its responses. *)
+  type summary = {
+    sm_completed : int;
+    sm_failed : int;
+    sm_duration : Units.time;
+    sm_throughput_rps : float;
+    sm_mean_latency : Units.time;
+    sm_p50_latency : Units.time;
+    sm_p99_latency : Units.time;
+    sm_max_inflight : int;
+    sm_warm_starts : int;
+    sm_cold_starts : int;
+    sm_adm_hits : int;
+    sm_adm_scans : int;
+    sm_evictions : int;
+    sm_templates_live : int;
+    sm_machine_peak_rss : int;
+    sm_latency_sketched : bool;
+  }
+
   type registration = {
     reg_workflow : Workflow.t;
     reg_bindings : (string * binding) list;
@@ -719,6 +742,14 @@ module Server = struct
     mutable pool_bytes : int;  (* cached sum of pooled template rss *)
     obs_every : int;  (* span/trace sampling: keep 1 request in k *)
     obs_phase : int;
+    sketch_lat : bool;
+        (* true: serve latency percentiles come from a t-digest and no
+           raw latencies are retained — O(1) memory at any request
+           count.  false (default): exact retained-sample percentiles,
+           byte-identical to every earlier release. *)
+    mutable ep_cache : string list option;
+        (* memoized sorted endpoint list; invalidated by [register] so
+           soak-loop snapshots don't rebuild-and-sort per call *)
     mutable evicted : int;
     mutable warm_hit_count : int;
     mutable cold_boot_count : int;
@@ -730,7 +761,8 @@ module Server = struct
   }
 
   let create ?(config = default_config) ?(pool_mem_cap = 512 * 1024 * 1024)
-      ?(warm = true) ?(sample_every = 1) ?(sample_seed = 0) () =
+      ?(warm = true) ?(sample_every = 1) ?(sample_seed = 0)
+      ?(sketch_latency = false) () =
     if pool_mem_cap < 0 then invalid_arg "Visor.Server.create: negative pool cap";
     if sample_every < 1 then
       invalid_arg "Visor.Server.create: sample_every must be >= 1";
@@ -752,6 +784,8 @@ module Server = struct
       pool_bytes = 0;
       obs_every = sample_every;
       obs_phase = ((sample_seed mod sample_every) + sample_every) mod sample_every;
+      sketch_lat = sketch_latency;
+      ep_cache = None;
       evicted = 0;
       warm_hit_count = 0;
       cold_boot_count = 0;
@@ -767,9 +801,21 @@ module Server = struct
       (fun (n : Workflow.node) -> ignore (lookup_binding bindings n.Workflow.node_id))
       workflow.Workflow.nodes;
     Hashtbl.replace t.table endpoint
-      { reg_workflow = workflow; reg_bindings = bindings }
+      { reg_workflow = workflow; reg_bindings = bindings };
+    t.ep_cache <- None
 
-  let endpoints t = Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] |> List.sort compare
+  (* Sorted endpoint listing, memoized until the next [register]:
+     called once per soak snapshot, so it must not rebuild-and-sort the
+     table every time. *)
+  let endpoints t =
+    match t.ep_cache with
+    | Some eps -> eps
+    | None ->
+        let eps =
+          Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] |> List.sort compare
+        in
+        t.ep_cache <- Some eps;
+        eps
 
   let pool_rss t = t.pool_bytes
 
@@ -1234,9 +1280,15 @@ module Server = struct
      When the server samples observability (sample_every = k > 1), only
      every k-th request (by arrival index, phase seed mod k) carries
      spans and trace events; metrics and counters stay exact for every
-     request.  With k = 1 output is bit-identical to always-on. *)
-  let serve_stream t ?(window = 2048) next =
-    if window < 1 then invalid_arg "Visor.Server.serve_stream: window must be >= 1";
+     request.  With k = 1 output is bit-identical to always-on.
+
+     [serve_fold] is the primitive: each response is handed to the
+     caller's [f] at its completion instant (completion order — the
+     merged virtual timeline) and never stored.  [serve]/[serve_stream]
+     are thin wrappers that fold into a list, so their output is
+     byte-identical to the historical materialising implementation. *)
+  let serve_fold t ?(window = 2048) next ~init ~f =
+    if window < 1 then invalid_arg "Visor.Server.serve_fold: window must be >= 1";
     let max_attempts = max_attempts_of t.scfg in
     let share_disk = t.scfg.vfs <> None in
     let base_cfg = Par.shard_config () in
@@ -1255,7 +1307,7 @@ module Server = struct
         | Some (r : request) ->
             if Units.( < ) r.arrival !last_arrival then
               invalid_arg
-                "Visor.Server.serve_stream: arrivals must be nondecreasing";
+                "Visor.Server.serve_fold: arrivals must be nondecreasing";
             last_arrival := r.arrival;
             batch := (!next_index, r) :: !batch;
             incr next_index;
@@ -1345,8 +1397,8 @@ module Server = struct
               plan_window ();
               pump ())
     in
-    let responses = ref [] in
-    let lat = Stats.create () in
+    let acc = ref init in
+    let lat = if t.sketch_lat then Stats.sketched () else Stats.create () in
     let inflight_now = ref 0 in
     let max_inflight = ref 0 in
     let completed = ref 0 in
@@ -1373,19 +1425,19 @@ module Server = struct
       end
       else incr failed;
       last_finish := Units.max !last_finish now;
-      responses :=
-        {
-          r_endpoint = ms.ms_req.endpoint;
-          r_arrival = ms.ms_req.arrival;
-          r_finish = now;
-          r_latency = latency;
-          r_warm = (match ms.ms_attempt with Some a -> a.at_warm | None -> false);
-          r_ok = ok;
-          r_attempts = ms.ms_attempt_no;
-          r_retries =
-            (match ms.ms_traj with Some tj -> tj.tj_retries | None -> 0);
-        }
-        :: !responses;
+      acc :=
+        f !acc
+          {
+            r_endpoint = ms.ms_req.endpoint;
+            r_arrival = ms.ms_req.arrival;
+            r_finish = now;
+            r_latency = latency;
+            r_warm = (match ms.ms_attempt with Some a -> a.at_warm | None -> false);
+            r_ok = ok;
+            r_attempts = ms.ms_attempt_no;
+            r_retries =
+              (match ms.ms_traj with Some tj -> tj.tj_retries | None -> 0);
+          };
       set_rss ms 0
     in
     (* Begin the next attempt at [now]: counters, the boot segment's
@@ -1492,18 +1544,18 @@ module Server = struct
                 decr inflight_now;
                 incr failed;
                 last_finish := Units.max !last_finish now;
-                responses :=
-                  {
-                    r_endpoint = ms.ms_req.endpoint;
-                    r_arrival = ms.ms_req.arrival;
-                    r_finish = now;
-                    r_latency = Units.zero;
-                    r_warm = false;
-                    r_ok = false;
-                    r_attempts = 0;
-                    r_retries = 0;
-                  }
-                  :: !responses)
+                acc :=
+                  f !acc
+                    {
+                      r_endpoint = ms.ms_req.endpoint;
+                      r_arrival = ms.ms_req.arrival;
+                      r_finish = now;
+                      r_latency = Units.zero;
+                      r_warm = false;
+                      r_ok = false;
+                      r_attempts = 0;
+                      r_retries = 0;
+                    })
         | Advance ms -> step ms ~now
     in
     pump ();
@@ -1520,27 +1572,56 @@ module Server = struct
     let t_start = match !first_arrival with Some a -> a | None -> Units.zero in
     let duration = Units.sub !last_finish t_start in
     let secs = Units.to_sec duration in
+    ( !acc,
+      {
+        sm_completed = !completed;
+        sm_failed = !failed;
+        sm_duration = duration;
+        sm_throughput_rps =
+          (if secs <= 0.0 then 0.0 else float_of_int !completed /. secs);
+        sm_mean_latency =
+          (if Stats.is_empty lat then Units.zero else Stats.mean_time lat);
+        sm_p50_latency =
+          (if Stats.is_empty lat then Units.zero else Stats.percentile_time lat 50.0);
+        sm_p99_latency =
+          (if Stats.is_empty lat then Units.zero else Stats.percentile_time lat 99.0);
+        sm_max_inflight = !max_inflight;
+        sm_warm_starts = t.warm_hit_count;
+        sm_cold_starts = t.cold_boot_count;
+        sm_adm_hits = t.adm.cache_hits;
+        sm_adm_scans = t.adm.cache_scans;
+        sm_evictions = t.evicted;
+        sm_templates_live = pool_size t;
+        sm_machine_peak_rss = t.machine_peak;
+        sm_latency_sketched = t.sketch_lat;
+      } )
+
+  let report_of_summary responses (s : summary) =
     {
-      responses = List.rev !responses;
-      completed = !completed;
-      failed = !failed;
-      duration;
-      throughput_rps =
-        (if secs <= 0.0 then 0.0 else float_of_int !completed /. secs);
-      mean_latency = (if Stats.is_empty lat then Units.zero else Stats.mean_time lat);
-      p50_latency =
-        (if Stats.is_empty lat then Units.zero else Stats.percentile_time lat 50.0);
-      p99_latency =
-        (if Stats.is_empty lat then Units.zero else Stats.percentile_time lat 99.0);
-      max_inflight = !max_inflight;
-      warm_starts = t.warm_hit_count;
-      cold_starts = t.cold_boot_count;
-      adm_hits = t.adm.cache_hits;
-      adm_scans = t.adm.cache_scans;
-      evictions = t.evicted;
-      templates_live = pool_size t;
-      machine_peak_rss = t.machine_peak;
+      responses;
+      completed = s.sm_completed;
+      failed = s.sm_failed;
+      duration = s.sm_duration;
+      throughput_rps = s.sm_throughput_rps;
+      mean_latency = s.sm_mean_latency;
+      p50_latency = s.sm_p50_latency;
+      p99_latency = s.sm_p99_latency;
+      max_inflight = s.sm_max_inflight;
+      warm_starts = s.sm_warm_starts;
+      cold_starts = s.sm_cold_starts;
+      adm_hits = s.sm_adm_hits;
+      adm_scans = s.sm_adm_scans;
+      evictions = s.sm_evictions;
+      templates_live = s.sm_templates_live;
+      machine_peak_rss = s.sm_machine_peak_rss;
     }
+
+  (* Materialising wrapper: fold into a (reversed) list.  Responses are
+     accumulated exactly as the historical implementation did, so the
+     report is byte-identical. *)
+  let serve_stream t ?window next =
+    let rev, s = serve_fold t ?window next ~init:[] ~f:(fun acc r -> r :: acc) in
+    report_of_summary (List.rev rev) s
 
   (* List entry point: sort by arrival (stable, so same-instant
      requests keep list order) and stream.  Identical to the streaming

@@ -214,6 +214,31 @@ module Server : sig
     machine_peak_rss : int;
   }
 
+  (** The aggregate half of a {!serve_report}: everything except the
+      materialised response list.  Returned by {!serve_fold}, whose
+      whole point is never to hold the responses. *)
+  type summary = {
+    sm_completed : int;
+    sm_failed : int;
+    sm_duration : Sim.Units.time;
+    sm_throughput_rps : float;
+    sm_mean_latency : Sim.Units.time;
+    sm_p50_latency : Sim.Units.time;
+    sm_p99_latency : Sim.Units.time;
+    sm_max_inflight : int;
+    sm_warm_starts : int;
+    sm_cold_starts : int;
+    sm_adm_hits : int;
+    sm_adm_scans : int;
+    sm_evictions : int;
+    sm_templates_live : int;
+    sm_machine_peak_rss : int;
+    sm_latency_sketched : bool;
+        (** Latency percentiles above came from a t-digest (see
+            [sketch_latency] on {!create}) rather than retained
+            samples. *)
+  }
+
   type t
 
   val create :
@@ -222,6 +247,7 @@ module Server : sig
     ?warm:bool ->
     ?sample_every:int ->
     ?sample_seed:int ->
+    ?sketch_latency:bool ->
     unit ->
     t
   (** A server over [config.cores] shared cores.  [pool_mem_cap]
@@ -236,7 +262,15 @@ module Server : sig
       10^5-request run keeps O(n/k) observability state.  Metrics and
       counters stay exact for {e every} request.  [sample_every:1] is
       bit-identical to always-on.  Raises [Invalid_argument] when
-      [sample_every < 1]. *)
+      [sample_every < 1].
+
+      [sketch_latency] (default false) replaces the serve loop's
+      retained latency samples with a deterministic t-digest
+      ({!Sim.Sketch.Tdigest}): report p50/p99 become sketch estimates
+      and latency memory is O(1) in the request count — the setting for
+      10^6-request and soak runs.  The default retains every latency
+      and reports exact percentiles, byte-identical to earlier
+      releases. *)
 
   val register :
     t ->
@@ -249,6 +283,9 @@ module Server : sig
       without a binding. *)
 
   val endpoints : t -> string list
+  (** Registered endpoints, sorted.  Memoized: the sorted list is
+      rebuilt only after a {!register}, so per-snapshot polling in a
+      soak loop is O(1). *)
 
   val prewarm : t -> endpoint:string -> Sim.Units.time option
   (** Build (or touch) the endpoint's template off the request path.
@@ -273,10 +310,29 @@ module Server : sig
       the generator ([None] ends the run) and pipelined through
       planning, parallel trajectory execution and the merge loop in
       windows of [window] requests (default 2048), so live host memory
-      is O(window + in-flight) — constant in the total request count.
+      is O(window + in-flight) — constant in the total request count
+      {e except} for the materialised response list it returns.
       Virtual output is bit-identical to {!serve} on the materialised
       list, for every window size and domain count.  Arrivals must be
       nondecreasing; otherwise raises [Invalid_argument]. *)
+
+  val serve_fold :
+    t ->
+    ?window:int ->
+    (unit -> request option) ->
+    init:'a ->
+    f:('a -> response -> 'a) ->
+    'a * summary
+  (** The streaming primitive under {!serve} and {!serve_stream}: each
+      response is handed to [f] at its completion instant (completion
+      order on the merged virtual timeline) and never stored, so live
+      host memory is O(window + in-flight) with {e no} term linear in
+      the request count — combined with [sketch_latency] on {!create},
+      a 10^6-request run is constant-memory.  [f] runs on the merge
+      (main) domain, interleaved with event processing; it must not
+      call back into the server.  The virtual timeline, and hence the
+      response sequence, is bit-identical to {!serve}/{!serve_stream}
+      at every window size and domain count. *)
 
   val pool_size : t -> int
   val pool_rss : t -> int

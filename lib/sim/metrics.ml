@@ -8,7 +8,11 @@
    The raw-sample reservoir feeding percentile queries can be thinned
    1-in-k ([set_raw_sample_every]) so memory stays O(count / k) under
    10^5-request load; with k = 1 (the default) behaviour and floating
-   point results are bit-identical to the unsampled registry. *)
+   point results are bit-identical to the unsampled registry.  While
+   thinning is active every observation additionally feeds a
+   deterministic t-digest, and percentile queries answer from that
+   sketch — full-population estimates in O(1) memory — instead of the
+   thinned reservoir or the coarse log2 buckets. *)
 
 type histo = {
   buckets : int array;  (* 64 log2 buckets; index via [bucket_index] *)
@@ -18,6 +22,10 @@ type histo = {
   mutable h_min : float;  (* infinity when empty *)
   mutable h_max : float;  (* neg_infinity when empty *)
   mutable h_seen : int;  (* reservoir offers, kept or not *)
+  mutable h_sketch : Sketch.Tdigest.t option;
+      (* full-population digest, allocated on the first thinned
+         observation; [None] at k = 1 so the default path never touches
+         it *)
 }
 
 type registry = {
@@ -66,6 +74,7 @@ let histo_cell r name =
           h_min = infinity;
           h_max = neg_infinity;
           h_seen = 0;
+          h_sketch = None;
         }
       in
       Hashtbl.replace r.r_histograms name h;
@@ -108,7 +117,18 @@ let observe_cell r (cell : histo) v =
   if v > cell.h_max then cell.h_max <- v;
   let keep = r.r_every <= 1 || cell.h_seen mod r.r_every = r.r_phase in
   cell.h_seen <- cell.h_seen + 1;
-  if keep then Stats.add cell.samples v
+  if keep then Stats.add cell.samples v;
+  if r.r_every > 1 then begin
+    let d =
+      match cell.h_sketch with
+      | Some d -> d
+      | None ->
+          let d = Sketch.Tdigest.create () in
+          cell.h_sketch <- Some d;
+          d
+    in
+    Sketch.Tdigest.add d v
+  end
 
 let observe h v =
   let r = current () in
@@ -169,10 +189,16 @@ let bucket_percentile (h : histo) p =
 
 let snapshot_histogram name (h : histo) =
   let empty = h.h_count = 0 in
+  let lossless = (not (Stats.is_empty h.samples)) && Stats.count h.samples = h.h_count in
   let pct p =
     if empty then 0.0
-    else if Stats.is_empty h.samples then bucket_percentile h p
-    else Stats.percentile h.samples p
+    else if lossless then Stats.percentile h.samples p
+    else
+      match h.h_sketch with
+      | Some d when Sketch.Tdigest.count d > 0.0 -> Sketch.Tdigest.percentile d p
+      | _ ->
+          if Stats.is_empty h.samples then bucket_percentile h p
+          else Stats.percentile h.samples p
   in
   let buckets = ref [] in
   for i = 63 downto 0 do
@@ -212,7 +238,8 @@ let reset () =
       h.h_sum <- 0.0;
       h.h_min <- infinity;
       h.h_max <- neg_infinity;
-      h.h_seen <- 0)
+      h.h_seen <- 0;
+      (match h.h_sketch with Some d -> Sketch.Tdigest.clear d | None -> ()))
     r.r_histograms;
   Hashtbl.iter (fun _ g -> g := 0.0) r.r_gauges;
   Stats.reset_counters ()
@@ -246,7 +273,21 @@ let merge_into (src : registry) =
            if h.h_min < cell.h_min then cell.h_min <- h.h_min;
            if h.h_max > cell.h_max then cell.h_max <- h.h_max;
            cell.h_seen <- cell.h_seen + h.h_seen;
-           List.iter (fun v -> Stats.add cell.samples v) (Stats.to_list h.samples)
+           List.iter (fun v -> Stats.add cell.samples v) (Stats.to_list h.samples);
+           (* Carry the shard's full-population digest so destination
+              percentiles still cover every observation. *)
+           match h.h_sketch with
+           | None -> ()
+           | Some src_d ->
+               let dst_d =
+                 match cell.h_sketch with
+                 | Some d -> d
+                 | None ->
+                     let d = Sketch.Tdigest.create () in
+                     cell.h_sketch <- Some d;
+                     d
+               in
+               Sketch.Tdigest.merge_into ~src:src_d ~dst:dst_d
          end);
   Hashtbl.fold (fun n g acc -> (n, !g) :: acc) src.r_gauges []
   |> List.iter (fun (n, v) ->

@@ -36,8 +36,11 @@ val set_raw_sample_every : ?seed:int -> int -> unit
     of the current registry to 1-in-[k] (deterministic stride, phase
     [seed mod k]).  Bucket counts, counts, sums and min/max stay exact;
     only the retained samples backing percentile queries are thinned,
-    so memory is O(count / k).  [k = 1] (the default) retains every
-    sample and is bit-identical to the unsampled registry.  Raises
+    so memory is O(count / k).  While [k > 1] every observation also
+    feeds a {!Sketch.Tdigest}, and snapshot percentiles answer from
+    that full-population sketch rather than the thinned reservoir.
+    [k = 1] (the default) retains every sample, allocates no sketch,
+    and is bit-identical to the unsampled registry.  Raises
     [Invalid_argument] when [k < 1]. *)
 
 val raw_sample_every : unit -> int
@@ -92,6 +95,10 @@ type histo_snapshot = {
   hs_min : float;  (** 0 when empty. *)
   hs_max : float;
   hs_p50 : float;
+      (** Percentiles are exact (from the lossless reservoir) when no
+          thinning is active; under thinning they come from the
+          full-population t-digest sketch, falling back to the thinned
+          reservoir or bucket bounds when no sketch exists. *)
   hs_p90 : float;
   hs_p99 : float;
   hs_buckets : (int * int) list;

@@ -20,6 +20,13 @@ let domain_count = Atomic.make 1
 let set_domains n = Atomic.set domain_count (if n < 1 then 1 else n)
 let domains () = Atomic.get domain_count
 
+(* The pool width that matches the machine: the runtime's recommended
+   domain count, never less than 1.  Spinning up more domains than
+   cores (the old [min 4 ...] default did exactly that on a 1-core
+   host) makes parallelism look like a slowdown — domains contend for
+   one core and pay the merge overhead with none of the win. *)
+let auto_domains () = Stdlib.max 1 (Domain.recommended_domain_count ())
+
 (* --- Per-task collector shards ------------------------------------- *)
 
 type shard = {

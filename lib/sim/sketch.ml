@@ -1,0 +1,316 @@
+(* Deterministic quantile sketches: P^2 (Jain & Chlamtac 1985) and a
+   merging t-digest (Dunning & Ertl).  Neither draws randomness; both
+   are pure functions of the add-call sequence, so every estimate they
+   produce is bit-identical across hosts and domain counts. *)
+
+module P2 = struct
+  (* Five markers: min, the q/2, q and (1+q)/2 quantile estimates, max.
+     Marker heights [q_], actual positions [n_] (1-based, integral),
+     desired positions [n'] (float), per-observation desired-position
+     increments [dn']. *)
+  type t = {
+    p : float;
+    h : float array; (* marker heights *)
+    pos : int array; (* actual marker positions *)
+    np : float array; (* desired marker positions *)
+    dn : float array; (* desired position increments *)
+    mutable seen : int;
+  }
+
+  let create p =
+    if not (p > 0.0 && p < 1.0) then
+      invalid_arg "Sketch.P2.create: quantile must be in (0,1)";
+    {
+      p;
+      h = Array.make 5 0.0;
+      pos = [| 1; 2; 3; 4; 5 |];
+      np = [| 1.0; 1.0 +. (2.0 *. p); 1.0 +. (4.0 *. p); 3.0 +. (2.0 *. p); 5.0 |];
+      dn = [| 0.0; p /. 2.0; p; (1.0 +. p) /. 2.0; 1.0 |];
+      seen = 0;
+    }
+
+  let count t = t.seen
+
+  let parabolic t i d =
+    let q = t.h and n = t.pos in
+    let fi j = float_of_int n.(j) in
+    q.(i)
+    +. d
+       /. (fi (i + 1) -. fi (i - 1))
+       *. (((fi i -. fi (i - 1) +. d) *. (q.(i + 1) -. q.(i)) /. (fi (i + 1) -. fi i))
+          +. ((fi (i + 1) -. fi i -. d) *. (q.(i) -. q.(i - 1)) /. (fi i -. fi (i - 1))))
+
+  let linear t i d =
+    let q = t.h and n = t.pos in
+    let j = i + int_of_float d in
+    q.(i) +. (d *. (q.(j) -. q.(i)) /. float_of_int (n.(j) - n.(i)))
+
+  let add t x =
+    if t.seen < 5 then begin
+      (* Initialisation: collect the first five observations sorted. *)
+      t.h.(t.seen) <- x;
+      t.seen <- t.seen + 1;
+      if t.seen = 5 then Array.sort Float.compare t.h
+    end
+    else begin
+      t.seen <- t.seen + 1;
+      let k =
+        if x < t.h.(0) then begin
+          t.h.(0) <- x;
+          0
+        end
+        else if x >= t.h.(4) then begin
+          t.h.(4) <- x;
+          3
+        end
+        else begin
+          let k = ref 0 in
+          for i = 0 to 3 do
+            if t.h.(i) <= x && x < t.h.(i + 1) then k := i
+          done;
+          !k
+        end
+      in
+      for i = k + 1 to 4 do
+        t.pos.(i) <- t.pos.(i) + 1
+      done;
+      for i = 0 to 4 do
+        t.np.(i) <- t.np.(i) +. t.dn.(i)
+      done;
+      for i = 1 to 3 do
+        let d = t.np.(i) -. float_of_int t.pos.(i) in
+        if
+          (d >= 1.0 && t.pos.(i + 1) - t.pos.(i) > 1)
+          || (d <= -1.0 && t.pos.(i - 1) - t.pos.(i) < -1)
+        then begin
+          let d = if d >= 0.0 then 1.0 else -1.0 in
+          let hp = parabolic t i d in
+          let h =
+            if t.h.(i - 1) < hp && hp < t.h.(i + 1) then hp else linear t i d
+          in
+          t.h.(i) <- h;
+          t.pos.(i) <- t.pos.(i) + int_of_float d
+        end
+      done
+    end
+
+  let quantile t =
+    if t.seen = 0 then nan
+    else if t.seen >= 5 then t.h.(2)
+    else begin
+      (* Fewer than five observations: answer exactly from the sorted
+         prefix, nearest-rank with linear interpolation. *)
+      let a = Array.sub t.h 0 t.seen in
+      Array.sort Float.compare a;
+      let n = t.seen in
+      if n = 1 then a.(0)
+      else begin
+        let rank = t.p *. float_of_int (n - 1) in
+        let lo = min (n - 2) (int_of_float rank) in
+        let frac = rank -. float_of_int lo in
+        a.(lo) +. (frac *. (a.(lo + 1) -. a.(lo)))
+      end
+    end
+end
+
+module Tdigest = struct
+  let buf_cap = 256
+
+  type t = {
+    compression : float;
+    mutable means : float array; (* sorted, first [n] entries live *)
+    mutable weights : float array;
+    mutable n : int;
+    mutable total : float; (* weight held in centroids *)
+    buf_m : float array; (* pending unmerged points *)
+    buf_w : float array;
+    mutable buf_len : int;
+    mutable buf_total : float;
+    mutable minv : float;
+    mutable maxv : float;
+  }
+
+  let create ?(compression = 100.0) () =
+    if not (compression >= 10.0) then
+      invalid_arg "Sketch.Tdigest.create: compression must be >= 10";
+    {
+      compression;
+      means = Array.make 16 0.0;
+      weights = Array.make 16 0.0;
+      n = 0;
+      total = 0.0;
+      buf_m = Array.make buf_cap 0.0;
+      buf_w = Array.make buf_cap 0.0;
+      buf_len = 0;
+      buf_total = 0.0;
+      minv = infinity;
+      maxv = neg_infinity;
+    }
+
+  let count t = t.total +. t.buf_total
+  let min_value t = t.minv
+  let max_value t = t.maxv
+
+  (* Merge the sorted centroid prefix with the (sorted-on-demand)
+     buffer, then compress: scan in ascending-mean order, greedily
+     fusing neighbours while the fused weight stays under the k1-style
+     bound 4 * total * q * (1-q) / compression at the fused midpoint.
+     Every step is order-determined float arithmetic — no randomness,
+     no hashing. *)
+  let flush t =
+    if t.buf_len > 0 then begin
+      (* Sort buffer points by mean.  Indirect sort keeps (mean,
+         weight) pairs together; ties resolve by original insertion
+         index, which is itself deterministic. *)
+      let idx = Array.init t.buf_len (fun i -> i) in
+      Array.sort
+        (fun a b ->
+          let c = Float.compare t.buf_m.(a) t.buf_m.(b) in
+          if c <> 0 then c else compare a b)
+        idx;
+      let m = t.n + t.buf_len in
+      let tm = Array.make m 0.0 and tw = Array.make m 0.0 in
+      (* Two-way merge of sorted centroids and sorted buffer. *)
+      let i = ref 0 and j = ref 0 and k = ref 0 in
+      while !i < t.n || !j < t.buf_len do
+        let take_centroid =
+          !j >= t.buf_len
+          || (!i < t.n && t.means.(!i) <= t.buf_m.(idx.(!j)))
+        in
+        if take_centroid then begin
+          tm.(!k) <- t.means.(!i);
+          tw.(!k) <- t.weights.(!i);
+          incr i
+        end
+        else begin
+          tm.(!k) <- t.buf_m.(idx.(!j));
+          tw.(!k) <- t.buf_w.(idx.(!j));
+          incr j
+        end;
+        incr k
+      done;
+      let total = t.total +. t.buf_total in
+      (* Compress in place over (tm, tw). *)
+      let out = ref 0 and done_w = ref 0.0 in
+      let cur_m = ref tm.(0) and cur_w = ref tw.(0) in
+      for x = 1 to m - 1 do
+        let w = tw.(x) in
+        let fused = !cur_w +. w in
+        let q_mid = (!done_w +. (fused /. 2.0)) /. total in
+        let limit = 4.0 *. total *. q_mid *. (1.0 -. q_mid) /. t.compression in
+        if fused <= Float.max 1.0 limit then begin
+          (* Fuse into the running centroid (weighted mean update). *)
+          cur_m := !cur_m +. (w /. fused *. (tm.(x) -. !cur_m));
+          cur_w := fused
+        end
+        else begin
+          tm.(!out) <- !cur_m;
+          tw.(!out) <- !cur_w;
+          done_w := !done_w +. !cur_w;
+          incr out;
+          cur_m := tm.(x);
+          cur_w := w
+        end
+      done;
+      tm.(!out) <- !cur_m;
+      tw.(!out) <- !cur_w;
+      incr out;
+      let n = !out in
+      if Array.length t.means < n then begin
+        t.means <- Array.make (2 * n) 0.0;
+        t.weights <- Array.make (2 * n) 0.0
+      end;
+      Array.blit tm 0 t.means 0 n;
+      Array.blit tw 0 t.weights 0 n;
+      t.n <- n;
+      t.total <- total;
+      t.buf_len <- 0;
+      t.buf_total <- 0.0
+    end
+
+  let add ?(weight = 1.0) t x =
+    if not (weight > 0.0) then invalid_arg "Sketch.Tdigest.add: weight <= 0";
+    if Float.is_nan x then invalid_arg "Sketch.Tdigest.add: nan";
+    if x < t.minv then t.minv <- x;
+    if x > t.maxv then t.maxv <- x;
+    t.buf_m.(t.buf_len) <- x;
+    t.buf_w.(t.buf_len) <- weight;
+    t.buf_len <- t.buf_len + 1;
+    t.buf_total <- t.buf_total +. weight;
+    if t.buf_len = buf_cap then flush t
+
+  let centroid_count t =
+    flush t;
+    t.n
+
+  let quantile t q =
+    flush t;
+    if t.n = 0 then nan
+    else if t.n = 1 then t.means.(0)
+    else begin
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let target = q *. t.total in
+      (* Centroid i's mass is centred at cum_i + w_i / 2. *)
+      if target <= t.weights.(0) /. 2.0 then begin
+        (* Below the first midpoint: interpolate from the observed min. *)
+        let half = t.weights.(0) /. 2.0 in
+        if half <= 0.0 then t.minv
+        else t.minv +. (target /. half *. (t.means.(0) -. t.minv))
+      end
+      else begin
+        let last = t.n - 1 in
+        let tail_mid = t.total -. (t.weights.(last) /. 2.0) in
+        if target >= tail_mid then begin
+          let half = t.weights.(last) /. 2.0 in
+          if half <= 0.0 then t.maxv
+          else
+            t.means.(last)
+            +. ((target -. tail_mid) /. half *. (t.maxv -. t.means.(last)))
+        end
+        else begin
+          (* Find consecutive midpoints bracketing the target. *)
+          let cum = ref 0.0 and i = ref 0 in
+          let res = ref nan in
+          (try
+             while !i < last do
+               let mid_i = !cum +. (t.weights.(!i) /. 2.0) in
+               let mid_j =
+                 !cum +. t.weights.(!i) +. (t.weights.(!i + 1) /. 2.0)
+               in
+               if target < mid_j then begin
+                 let span = mid_j -. mid_i in
+                 let frac = if span <= 0.0 then 0.0 else (target -. mid_i) /. span in
+                 res :=
+                   t.means.(!i) +. (frac *. (t.means.(!i + 1) -. t.means.(!i)));
+                 raise Exit
+               end;
+               cum := !cum +. t.weights.(!i);
+               incr i
+             done;
+             res := t.means.(last)
+           with Exit -> ());
+          (* Clamp to the observed range: interpolation can otherwise
+             drift past min/max on tiny populations. *)
+          Float.max t.minv (Float.min t.maxv !res)
+        end
+      end
+    end
+
+  let percentile t p = quantile t (p /. 100.0)
+
+  let merge_into ~src ~dst =
+    flush src;
+    for i = 0 to src.n - 1 do
+      add ~weight:src.weights.(i) dst src.means.(i)
+    done;
+    if src.minv < dst.minv then dst.minv <- src.minv;
+    if src.maxv > dst.maxv then dst.maxv <- src.maxv
+
+  let clear t =
+    t.n <- 0;
+    t.total <- 0.0;
+    t.buf_len <- 0;
+    t.buf_total <- 0.0;
+    t.minv <- infinity;
+    t.maxv <- neg_infinity
+end

@@ -1,0 +1,71 @@
+(** Constant-memory quantile sketches.
+
+    Two estimators with different trade-offs, both fully deterministic
+    (no randomness anywhere — the simulator's bit-identity contract
+    extends to every derived statistic):
+
+    - {!P2}: the Jain–Chlamtac P² algorithm.  Five markers per tracked
+      quantile, O(1) state, O(1) update.  Cheap enough to keep one per
+      snapshot line in a soak run, but each instance answers a single
+      fixed quantile.
+    - {!Tdigest}: a merging t-digest.  O(compression) centroids, any
+      quantile queried after the fact, and sketches merge losslessly in
+      a deterministic order — the shape used when a thinned reservoir
+      ({!Stats}, {!Metrics}) must still answer p50/p99 at 10^6 samples.
+
+    Determinism: both sketches are pure functions of the sequence of
+    [add] calls.  Feeding the same values in the same order always
+    yields bit-identical estimates, on any host and any domain count. *)
+
+module P2 : sig
+  type t
+  (** Single-quantile P² estimator. *)
+
+  val create : float -> t
+  (** [create q] tracks the [q]-quantile, [0 < q < 1].
+      @raise Invalid_argument outside that range. *)
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+  (** Observations seen so far. *)
+
+  val quantile : t -> float
+  (** Current estimate.  Exact while [count t <= 5]; [nan] when empty. *)
+end
+
+module Tdigest : sig
+  type t
+  (** Mergeable t-digest (merging variant, scale function
+      [4 q (1-q) / compression]). *)
+
+  val create : ?compression:float -> unit -> t
+  (** [compression] bounds centroid count (default 100.0 — roughly
+      2*compression centroids, ~1% worst-case rank error, far better
+      near the median and the tails). *)
+
+  val add : ?weight:float -> t -> float -> unit
+  (** [add ?weight t x] records [x] ([weight] defaults to 1.0). *)
+
+  val count : t -> float
+  (** Total recorded weight. *)
+
+  val centroid_count : t -> int
+  (** Current number of centroids (after compressing the buffer). *)
+
+  val quantile : t -> float -> float
+  (** [quantile t q] for [q] in [0,1]; [nan] when empty.  Clamped to
+      the observed min/max. *)
+
+  val percentile : t -> float -> float
+  (** [percentile t p] = [quantile t (p /. 100.)]. *)
+
+  val min_value : t -> float
+  val max_value : t -> float
+
+  val merge_into : src:t -> dst:t -> unit
+  (** Fold [src]'s centroids into [dst].  [src] is compressed but
+      unchanged.  Deterministic given the call order. *)
+
+  val clear : t -> unit
+end

@@ -1,3 +1,23 @@
+(* A collection is either exact (every sample retained; percentiles
+   from a cached sorted view — the historical behaviour, byte-identical
+   to before sketches existed) or sketched: aggregates maintained
+   incrementally, percentiles answered by a t-digest, and at most
+   1-in-[retain_every] raw samples kept (possibly none).  Sketched mode
+   is what lets a 10^6-request serve report p50/p99 in O(1) memory. *)
+
+type sketched = {
+  retain_every : int; (* 0 = retain no raw samples *)
+  retain_phase : int;
+  digest : Sketch.Tdigest.t;
+  mutable seen : int;
+  mutable s_sum : float;
+  mutable s_min : float;
+  mutable s_max : float;
+  mutable s_sumsq : float;
+}
+
+type mode = Exact | Sk of sketched
+
 type t = {
   mutable samples : float array;
   mutable len : int;
@@ -6,11 +26,40 @@ type t = {
           Percentile queries sort once after a batch of adds instead of
           O(n log n) per query, and never disturb insertion order. *)
   mutable view_ok : bool;
+  mode : mode;
 }
 
-let create () = { samples = Array.make 16 0.0; len = 0; view = [||]; view_ok = false }
+let create () =
+  { samples = Array.make 16 0.0; len = 0; view = [||]; view_ok = false; mode = Exact }
 
-let add t x =
+let sketched ?(retain_every = 0) ?(seed = 0) ?compression () =
+  if retain_every < 0 then invalid_arg "Stats.sketched: retain_every < 0";
+  let retain_phase =
+    if retain_every > 1 then ((seed mod retain_every) + retain_every) mod retain_every
+    else 0
+  in
+  {
+    samples = Array.make 16 0.0;
+    len = 0;
+    view = [||];
+    view_ok = false;
+    mode =
+      Sk
+        {
+          retain_every;
+          retain_phase;
+          digest = Sketch.Tdigest.create ?compression ();
+          seen = 0;
+          s_sum = 0.0;
+          s_min = infinity;
+          s_max = neg_infinity;
+          s_sumsq = 0.0;
+        };
+  }
+
+let is_sketched t = match t.mode with Exact -> false | Sk _ -> true
+
+let push t x =
   if t.len = Array.length t.samples then begin
     let bigger = Array.make (2 * t.len) 0.0 in
     Array.blit t.samples 0 bigger 0 t.len;
@@ -20,10 +69,23 @@ let add t x =
   t.len <- t.len + 1;
   t.view_ok <- false
 
+let add t x =
+  match t.mode with
+  | Exact -> push t x
+  | Sk s ->
+      s.s_sum <- s.s_sum +. x;
+      if x < s.s_min then s.s_min <- x;
+      if x > s.s_max then s.s_max <- x;
+      s.s_sumsq <- s.s_sumsq +. (x *. x);
+      Sketch.Tdigest.add s.digest x;
+      if s.retain_every > 0 && s.seen mod s.retain_every = s.retain_phase then
+        push t x;
+      s.seen <- s.seen + 1
+
 let add_time t d = add t (Int64.to_float (Units.to_ns d))
 
-let count t = t.len
-let is_empty t = t.len = 0
+let count t = match t.mode with Exact -> t.len | Sk s -> s.seen
+let is_empty t = count t = 0
 
 let fold f init t =
   let acc = ref init in
@@ -32,20 +94,33 @@ let fold f init t =
   done;
   !acc
 
-let sum t = fold ( +. ) 0.0 t
+let sum t = match t.mode with Exact -> fold ( +. ) 0.0 t | Sk s -> s.s_sum
 
-let mean t = if t.len = 0 then 0.0 else sum t /. float_of_int t.len
+let mean t =
+  let n = count t in
+  if n = 0 then 0.0 else sum t /. float_of_int n
 
-let min t = fold Stdlib.min infinity t
-let max t = fold Stdlib.max neg_infinity t
+let min t = match t.mode with Exact -> fold Stdlib.min infinity t | Sk s -> s.s_min
+let max t =
+  match t.mode with Exact -> fold Stdlib.max neg_infinity t | Sk s -> s.s_max
 
 let stddev t =
-  if t.len < 2 then 0.0
-  else begin
-    let m = mean t in
-    let ss = fold (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 t in
-    sqrt (ss /. float_of_int (t.len - 1))
-  end
+  match t.mode with
+  | Exact ->
+      if t.len < 2 then 0.0
+      else begin
+        let m = mean t in
+        let ss = fold (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 t in
+        sqrt (ss /. float_of_int (t.len - 1))
+      end
+  | Sk s ->
+      if s.seen < 2 then 0.0
+      else begin
+        let n = float_of_int s.seen in
+        let m = s.s_sum /. n in
+        let ss = Float.max 0.0 (s.s_sumsq -. (n *. m *. m)) in
+        sqrt (ss /. (n -. 1.0))
+      end
 
 let sorted_view t =
   if not t.view_ok then begin
@@ -56,17 +131,20 @@ let sorted_view t =
   t.view
 
 let percentile t p =
-  if t.len = 0 then invalid_arg "Stats.percentile: empty";
+  if is_empty t then invalid_arg "Stats.percentile: empty";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
-  let view = sorted_view t in
-  let rank = p /. 100.0 *. float_of_int (t.len - 1) in
-  let lo = int_of_float (Float.floor rank) in
-  let hi = int_of_float (Float.ceil rank) in
-  if lo = hi then view.(lo)
-  else begin
-    let frac = rank -. float_of_int lo in
-    view.(lo) +. (frac *. (view.(hi) -. view.(lo)))
-  end
+  match t.mode with
+  | Sk s -> Sketch.Tdigest.percentile s.digest p
+  | Exact ->
+      let view = sorted_view t in
+      let rank = p /. 100.0 *. float_of_int (t.len - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = int_of_float (Float.ceil rank) in
+      if lo = hi then view.(lo)
+      else begin
+        let frac = rank -. float_of_int lo in
+        view.(lo) +. (frac *. (view.(hi) -. view.(lo)))
+      end
 
 let p50 t = percentile t 50.0
 let p90 t = percentile t 90.0
@@ -77,7 +155,16 @@ let mean_time t = Units.ns_f (mean t)
 
 let clear t =
   t.len <- 0;
-  t.view_ok <- false
+  t.view_ok <- false;
+  match t.mode with
+  | Exact -> ()
+  | Sk s ->
+      s.seen <- 0;
+      s.s_sum <- 0.0;
+      s.s_min <- infinity;
+      s.s_max <- neg_infinity;
+      s.s_sumsq <- 0.0;
+      Sketch.Tdigest.clear s.digest
 
 let to_list t = Array.to_list (Array.sub t.samples 0 t.len)
 

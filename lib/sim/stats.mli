@@ -3,6 +3,20 @@
 type t
 
 val create : unit -> t
+(** Exact collection: every sample retained, percentiles from a sorted
+    view — the historical behaviour, byte-identical to older versions. *)
+
+val sketched : ?retain_every:int -> ?seed:int -> ?compression:float -> unit -> t
+(** Constant-memory collection: aggregates (count/sum/min/max/stddev)
+    are maintained incrementally and {!percentile} answers from a
+    deterministic t-digest ({!Sketch.Tdigest}) instead of retained
+    samples.  [retain_every] keeps 1-in-k raw samples for {!to_list}
+    (default 0 = keep none; the stride phase is [seed mod retain_every],
+    matching the observability samplers).  [compression] is passed to
+    the t-digest. *)
+
+val is_sketched : t -> bool
+
 val add : t -> float -> unit
 val add_time : t -> Units.time -> unit
 (** Records the duration in nanoseconds. *)
@@ -16,11 +30,13 @@ val sum : t -> float
 val stddev : t -> float
 
 val percentile : t -> float -> float
-(** [percentile t p] with [p] in [0, 100], linear interpolation between
-    closest ranks.  Raises [Invalid_argument] on an empty collection.
-    Queries read a cached sorted view that is invalidated by {!add} and
-    {!clear}, so a batch of percentile queries sorts once and insertion
-    order (as seen by {!to_list}) is never disturbed. *)
+(** [percentile t p] with [p] in [0, 100].  Raises [Invalid_argument]
+    on an empty collection.  Exact collections interpolate linearly
+    between closest ranks over a cached sorted view that is invalidated
+    by {!add} and {!clear}, so a batch of percentile queries sorts once
+    and insertion order (as seen by {!to_list}) is never disturbed.
+    Sketched collections answer from the t-digest — deterministic, but
+    an estimate. *)
 
 val p50 : t -> float
 val p90 : t -> float
@@ -33,7 +49,8 @@ val mean_time : t -> Units.time
 val clear : t -> unit
 
 val to_list : t -> float list
-(** Samples in insertion order. *)
+(** Retained samples in insertion order (all of them for {!create},
+    the 1-in-[retain_every] stride for {!sketched}). *)
 
 (** Named monotonic event counters.  A handle is just the counter's
     name; the value cell lives in a {e registry} resolved through

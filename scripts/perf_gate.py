@@ -10,7 +10,11 @@ when any lower-is-better field regressed past a tolerance.
 
 Gated fields (lower is better): names ending in "_ms" or "_words", or
 containing "wall" or "words".  Informational fields (domains,
-host_cores, speedups) are reported but never gated.
+host_cores, speedups) are reported but never gated.  Lists are
+traversed (e.g. soak snapshot_live_words[3]).  An object carrying
+"degenerate": true marks a parallel leg run where real parallelism is
+impossible (host_cores < 2, or more domains than cores); its fields —
+speedups included — are reported info-only, never gated.
 
 Usage:
   perf_gate.py BASELINE.json CURRENT.json [--tolerance 0.5]
@@ -36,12 +40,20 @@ def flatten_hosts(doc, path=""):
                 yield from flatten_hosts(value, sub)
 
 
-def numeric_leaves(doc, path):
+def numeric_leaves(doc, path, degenerate=False):
+    """Yield (dotted_path, value, degenerate) for numeric leaves,
+    descending into lists.  A dict with "degenerate": true poisons its
+    whole subtree: those measurements come from a leg where the thing
+    being measured (e.g. parallel speedup) cannot exist on this host."""
     if isinstance(doc, dict):
+        degenerate = degenerate or doc.get("degenerate") is True
         for key, value in doc.items():
-            yield from numeric_leaves(value, f"{path}.{key}")
+            yield from numeric_leaves(value, f"{path}.{key}", degenerate)
+    elif isinstance(doc, list):
+        for i, value in enumerate(doc):
+            yield from numeric_leaves(value, f"{path}[{i}]", degenerate)
     elif isinstance(doc, (int, float)) and not isinstance(doc, bool):
-        yield path, float(doc)
+        yield path, (float(doc), degenerate)
 
 
 def gated(path):
@@ -76,7 +88,11 @@ def main():
         if path not in cur:
             print(f"  [skip] {path}: absent in current run")
             continue
-        b, c = base[path], cur[path]
+        b, b_deg = base[path]
+        c, c_deg = cur[path]
+        if b_deg or c_deg:
+            print(f"  [info] {path}: {b:g} -> {c:g} (degenerate leg, not gated)")
+            continue
         if not gated(path):
             print(f"  [info] {path}: {b:g} -> {c:g}")
             continue

@@ -31,10 +31,27 @@ let test_json_errors () =
       | Error _ -> ())
     [ "{"; "[1,"; "\"unterminated"; "{\"a\" 1}"; "nulll x"; "{} trailing"; "tru" ]
 
+let test_json_float_format () =
+  (* Plain fixed point, never %g exponent notation, shortest form that
+     round-trips, and floats keep a decimal point through a reparse. *)
+  Alcotest.(check string) "large float plain decimal" "1927760.0"
+    (Jsonlite.to_string (Jsonlite.Float 1.92776e+06));
+  Alcotest.(check string) "short decimal" "14745.6"
+    (Jsonlite.to_string (Jsonlite.Float 14745.6));
+  Alcotest.(check string) "integral keeps point" "300.0"
+    (Jsonlite.to_string (Jsonlite.Float 300.0));
+  Alcotest.(check string) "negative" "-0.25"
+    (Jsonlite.to_string (Jsonlite.Float (-0.25)));
+  Alcotest.(check string) "non-finite is null" "null"
+    (Jsonlite.to_string (Jsonlite.Float Float.nan));
+  match Jsonlite.parse "1927760.0" with
+  | Jsonlite.Float f -> Alcotest.(check (float 0.0)) "reparses as float" 1.92776e+06 f
+  | _ -> Alcotest.fail "expected float back"
+
 let rec json_printable = function
-  (* Floats re-parse lossily via %g; restrict the roundtrip property to
-     the constructors the gateway actually uses. *)
-  | Jsonlite.Float _ -> false
+  (* Finite floats print as shortest round-tripping fixed point; only
+     non-finite values (printed as null) are excluded. *)
+  | Jsonlite.Float f -> Float.is_finite f
   | Jsonlite.List items -> List.for_all json_printable items
   | Jsonlite.Obj fields -> List.for_all (fun (_, v) -> json_printable v) fields
   | Jsonlite.Null | Jsonlite.Bool _ | Jsonlite.Int _ | Jsonlite.String _ -> true
@@ -50,6 +67,7 @@ let json_gen =
                 return Jsonlite.Null;
                 map (fun b -> Jsonlite.Bool b) bool;
                 map (fun i -> Jsonlite.Int i) (int_range (-1000) 1000);
+                map (fun f -> Jsonlite.Float f) float;
                 map (fun s -> Jsonlite.String s) (string_size ~gen:(char_range 'a' 'z') (int_range 0 8));
               ]
           else
@@ -362,6 +380,7 @@ let suite =
     Alcotest.test_case "json scalars" `Quick test_json_scalars;
     Alcotest.test_case "json structures" `Quick test_json_structures;
     Alcotest.test_case "json errors" `Quick test_json_errors;
+    Alcotest.test_case "json float format" `Quick test_json_float_format;
     QCheck_alcotest.to_alcotest json_roundtrip_property;
     Alcotest.test_case "fndata roundtrip" `Quick test_fndata_roundtrip;
     Alcotest.test_case "fndata fingerprint shape" `Quick test_fndata_fingerprint_shape_only;

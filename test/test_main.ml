@@ -28,4 +28,5 @@ let () =
       ("loadgen", Test_loadgen.suite);
       ("sampling", Test_sampling.suite);
       ("scale", Test_scale.suite);
+      ("sketch", Test_sketch.suite);
     ]
