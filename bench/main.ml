@@ -32,6 +32,22 @@ let soak_flag = ref false
    two minutes in --quick).  CI's smoke leg shortens it. *)
 let soak_seconds_flag = ref 0
 
+(* --hotspots: run one extra profiled scale leg with Sim.Hotspot
+   enabled and emit a host.hotspots section (per-section call count,
+   total ms and us/request) into BENCH_serving.json, so the dominant
+   per-request host cost is a measured fact rather than a guess.
+   Profiling overhead is confined to that leg — the timed legs above it
+   run with the profiler off.  Implies nothing about virtual output:
+   the profiled leg's response fingerprint is asserted identical to the
+   unprofiled one. *)
+let hotspots_flag = ref false
+
+(* --deep-requests N: request count for the fold-only deep leg
+   (default 10^6; 50k in --quick).  CI smokes the 10^7 configuration at
+   10^5 with the peak-live-words cap still asserted; a full 10^7 run is
+   the overnight variant. *)
+let deep_requests_flag = ref 0
+
 (* --domains N: host domain pool width for the parallel serving / exec
    experiments.  0 = auto (the machine's recommended domain count —
    never more domains than cores, so a 1-core host runs 1 domain
@@ -1304,12 +1320,86 @@ let serving () =
           (100.0 *. err50) (100.0 *. err99);
         exit 1
       end;
+      (* --hotspots: one extra scale leg with the host-time profiler on.
+         Profiling overhead (two clock reads per section) is confined to
+         this leg; the wall-clock fields above come from unprofiled
+         runs.  The profiled leg must still produce the same bytes. *)
+      let hotspot_sections =
+        if not !hotspots_flag then []
+        else begin
+          Hotspot.reset ();
+          Hotspot.set_enabled true;
+          let hp_r, hp_ms, _ =
+            Fun.protect
+              ~finally:(fun () -> Hotspot.set_enabled false)
+              (fun () -> run_scale ~domains:nd)
+          in
+          let fp_hp = Digest.to_hex (Digest.string (fingerprint hp_r)) in
+          check "scale responses under profiling (fingerprint)" fpn fp_hp;
+          let entries = Hotspot.snapshot () in
+          let by_cost =
+            List.sort
+              (fun a b ->
+                compare b.Hotspot.hs_total_ns a.Hotspot.hs_total_ns)
+              entries
+          in
+          let st =
+            Table.create
+              ~title:
+                (Printf.sprintf
+                   "Serving host hotspots: %d requests, %.0f ms profiled wall"
+                   scale_count hp_ms)
+              ~columns:[ "section"; "calls"; "total ms"; "us/request" ]
+          in
+          List.iter
+            (fun (e : Hotspot.entry) ->
+              Table.add_row st
+                [
+                  e.Hotspot.hs_name;
+                  string_of_int e.Hotspot.hs_count;
+                  Printf.sprintf "%.1f" (e.Hotspot.hs_total_ns /. 1e6);
+                  Printf.sprintf "%.2f"
+                    (e.Hotspot.hs_total_ns /. 1e3
+                    /. float_of_int scale_count);
+                ])
+            by_cost;
+          Table.print st;
+          (* Sections keyed by name (sorted, so the JSON is stable);
+             leaves named so perf_gate.py gates them: total_ms by the
+             _ms suffix, us_per_request by name. *)
+          let section_json (e : Hotspot.entry) =
+            ( e.Hotspot.hs_name,
+              Jsonlite.Obj
+                [
+                  ("count", Jsonlite.Int e.Hotspot.hs_count);
+                  ("total_ms", Jsonlite.Float (e.Hotspot.hs_total_ns /. 1e6));
+                  ( "us_per_request",
+                    Jsonlite.Float
+                      (e.Hotspot.hs_total_ns /. 1e3
+                      /. float_of_int scale_count) );
+                ] )
+          in
+          [
+            ( "hotspots",
+              Jsonlite.Obj
+                [
+                  ("requests", Jsonlite.Int scale_count);
+                  ("profiled_wall_ms", Jsonlite.Float hp_ms);
+                  ("sections", Jsonlite.Obj (List.map section_json entries));
+                ] );
+          ]
+        end
+      in
       (* Deep leg: an order of magnitude past the byte-identity leg,
          fold-only — nothing materialised, percentiles from the sketch.
          The peak major-heap sample bounds live memory at
          O(window + in-flight): a materialised response list at this
          count would alone exceed the cap. *)
-      let deep_count = if !quick then 50_000 else 1_000_000 in
+      let deep_count =
+        if !deep_requests_flag > 0 then !deep_requests_flag
+        else if !quick then 50_000
+        else 1_000_000
+      in
       let deep_sample = 256 in
       let deep_s, _, deep_ms, deep_live =
         run_fold ~qps:scale_qps ~count:deep_count ~sample_every:deep_sample
@@ -1354,17 +1444,24 @@ let serving () =
                 ] );
             ( "host",
               Jsonlite.Obj
-                [
-                  ("domains", Jsonlite.Int nd);
-                  ( "degenerate",
-                    Jsonlite.Bool (degenerate_parallelism ~domains:nd) );
-                  ("wall_ms_domains1", Jsonlite.Float scale_ms1);
-                  ("wall_ms", Jsonlite.Float scale_msn);
-                  ("live_words_domains1", Jsonlite.Int scale_live1);
-                  ("live_words", Jsonlite.Int scale_liven);
-                  ("fold_wall_ms", Jsonlite.Float fold_ms);
-                  ("fold_peak_live_words", Jsonlite.Int fold_live);
-                ] );
+                ([
+                   ("domains", Jsonlite.Int nd);
+                   ( "degenerate",
+                     Jsonlite.Bool (degenerate_parallelism ~domains:nd) );
+                   ("wall_ms_domains1", Jsonlite.Float scale_ms1);
+                   ("wall_ms", Jsonlite.Float scale_msn);
+                   ( "us_per_request_domains1",
+                     Jsonlite.Float
+                       (scale_ms1 *. 1e3 /. float_of_int scale_count) );
+                   ( "us_per_request",
+                     Jsonlite.Float
+                       (scale_msn *. 1e3 /. float_of_int scale_count) );
+                   ("live_words_domains1", Jsonlite.Int scale_live1);
+                   ("live_words", Jsonlite.Int scale_liven);
+                   ("fold_wall_ms", Jsonlite.Float fold_ms);
+                   ("fold_peak_live_words", Jsonlite.Int fold_live);
+                 ]
+                @ hotspot_sections) );
             ( "deep",
               Jsonlite.Obj
                 [
@@ -1376,6 +1473,9 @@ let serving () =
                     Jsonlite.Obj
                       [
                         ("wall_ms", Jsonlite.Float deep_ms);
+                        ( "us_per_request",
+                          Jsonlite.Float
+                            (deep_ms *. 1e3 /. float_of_int deep_count) );
                         ("peak_live_words", Jsonlite.Int deep_live);
                       ] );
                 ] );
@@ -1891,6 +1991,21 @@ let () =
             exit 2)
     | [ "--soak-seconds" ] ->
         Printf.eprintf "--soak-seconds expects a positive integer\n";
+        exit 2
+    | "--hotspots" :: rest ->
+        hotspots_flag := true;
+        parse acc rest
+    | "--deep-requests" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some d when d >= 1 ->
+            deep_requests_flag := d;
+            parse acc rest
+        | _ ->
+            Printf.eprintf "--deep-requests expects a positive integer, got %S\n"
+              n;
+            exit 2)
+    | [ "--deep-requests" ] ->
+        Printf.eprintf "--deep-requests expects a positive integer\n";
         exit 2
     | "--domains" :: n :: rest -> (
         match int_of_string_opt n with

@@ -43,3 +43,5 @@ let get_exn t key =
 let mem t key = Hashtbl.mem t key.uid
 
 let remove t key = Hashtbl.remove t key.uid
+
+let clear t = Hashtbl.reset t

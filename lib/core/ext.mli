@@ -19,3 +19,7 @@ val get_exn : t -> 'a key -> 'a
 
 val mem : t -> 'a key -> bool
 val remove : t -> 'a key -> unit
+
+val clear : t -> unit
+(** Drop every binding, reusing the map's storage — equivalent to a
+    fresh {!create} (WFD recycling). *)

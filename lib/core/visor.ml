@@ -145,7 +145,10 @@ let admit_images ?cache bindings =
             match cache with
             | None -> scan ()
             | Some c -> begin
-                let key = Isa.Image.content_hash image in
+                let key =
+                  Hotspot.with_section "admission.hash" (fun () ->
+                      Isa.Image.content_hash image)
+                in
                 let shard = admission_shard c key in
                 match Hashtbl.find_opt shard key with
                 | Some v ->
@@ -722,6 +725,18 @@ module Server = struct
     mutable tpl_prev : template option;  (* towards most recent *)
     mutable tpl_next : template option;  (* towards least recent *)
     mutable tpl_linked : bool;
+    mutable tpl_free : Wfd.t list;
+        (* Recycled WFD shells ready for [Wfd.acquire] — pushed by
+           worker domains under the server's recycle mutex, popped by
+           the sequential prologue.  Availability therefore depends
+           only on the merged virtual timeline (how many requests of
+           this template completed cleanly in earlier windows), never
+           on host scheduling. *)
+    mutable tpl_free_n : int;
+    mutable tpl_doomed : bool;
+        (* Set at eviction (always in a sequential phase): trajectories
+           still running against this template destroy their WFDs
+           instead of pooling them. *)
   }
 
   type t = {
@@ -758,11 +773,19 @@ module Server = struct
         (* Templates evicted while a planned request may still hold a
            reference to them: the WFD is destroyed only once no
            trajectory can clone it (end of a serve window / [shutdown]). *)
+    recycle_cap : int;
+        (* Max pooled shells per template; 0 disables recycling (every
+           request clones fresh and destroys, the historical path). *)
+    recycle_mu : Mutex.t;
+        (* Guards every [tpl_free] push/pop: workers release shells
+           concurrently during a window's parallel phase. *)
   }
 
   let create ?(config = default_config) ?(pool_mem_cap = 512 * 1024 * 1024)
       ?(warm = true) ?(sample_every = 1) ?(sample_seed = 0)
-      ?(sketch_latency = false) () =
+      ?(sketch_latency = false) ?(recycle_cap = 64) () =
+    if recycle_cap < 0 then
+      invalid_arg "Visor.Server.create: negative recycle cap";
     if pool_mem_cap < 0 then invalid_arg "Visor.Server.create: negative pool cap";
     if sample_every < 1 then
       invalid_arg "Visor.Server.create: sample_every must be >= 1";
@@ -791,6 +814,8 @@ module Server = struct
       cold_boot_count = 0;
       machine_peak = 0;
       doomed = [];
+      recycle_cap;
+      recycle_mu = Mutex.create ();
     }
 
   let register t ~endpoint ~workflow ~bindings () =
@@ -871,9 +896,14 @@ module Server = struct
     | Some tpl ->
         (* Deferred destroy: a request planned against this template in
            the serve prologue may clone it from a worker domain later;
-           the WFD dies at the next quiescent point instead. *)
+           the WFD dies at the next quiescent point instead.  Pooled
+           shells go the same way, and [tpl_doomed] stops in-flight
+           trajectories from pooling any more. *)
         lru_unlink t tpl;
-        t.doomed <- tpl.tpl_wfd :: t.doomed;
+        tpl.tpl_doomed <- true;
+        t.doomed <- List.rev_append tpl.tpl_free (tpl.tpl_wfd :: t.doomed);
+        tpl.tpl_free <- [];
+        tpl.tpl_free_n <- 0;
         Hashtbl.remove t.templates tpl.tpl_ep;
         t.pool_bytes <- t.pool_bytes - tpl.tpl_rss;
         t.evicted <- t.evicted + 1;
@@ -936,6 +966,9 @@ module Server = struct
       tpl_prev = None;
       tpl_next = None;
       tpl_linked = false;
+      tpl_free = [];
+      tpl_free_n = 0;
+      tpl_doomed = false;
     }
 
   (* Install a template under the memory cap, evicting least-recently
@@ -956,6 +989,46 @@ module Server = struct
       touch t tpl;
       note_rss t;
       Some tpl
+    end
+
+  (* --- WFD shell pool (recycling) ---------------------------------- *)
+
+  (* Pop a recycled shell for a request booting against [tpl].  Called
+     from worker domains: which requests get shells is host-scheduling
+     dependent, which is fine because [Wfd.acquire] replays exactly the
+     virtual effects of a fresh clone — shell vs clone is virtually
+     indistinguishable, so only host cost depends on the pop order. *)
+  let pop_shell t tpl =
+    if t.recycle_cap = 0 then None
+    else
+      Mutex.protect t.recycle_mu (fun () ->
+          match tpl.tpl_free with
+          | [] -> None
+          | s :: rest ->
+              tpl.tpl_free <- rest;
+              tpl.tpl_free_n <- tpl.tpl_free_n - 1;
+              Some s)
+
+  (* Return a finished clone of [tpl] to its shell pool — called from
+     worker domains at the end of a clean warm attempt.  The host-only
+     reset happens here, off the sequential merge path; over the cap or
+     after eviction the shell is destroyed like the historical path. *)
+  let release_shell t tpl wfd =
+    if t.recycle_cap = 0 || tpl.tpl_doomed || tpl.tpl_wfd.Wfd.destroyed then
+      Wfd.destroy wfd
+    else begin
+      Wfd.recycle ~template:tpl.tpl_wfd wfd;
+      let pooled =
+        Mutex.protect t.recycle_mu (fun () ->
+            tpl.tpl_free_n < t.recycle_cap
+            && not tpl.tpl_doomed
+            && begin
+                 tpl.tpl_free <- wfd :: tpl.tpl_free;
+                 tpl.tpl_free_n <- tpl.tpl_free_n + 1;
+                 true
+               end)
+      in
+      if not pooled then Wfd.destroy wfd
     end
 
   let find_registration t endpoint =
@@ -1069,7 +1142,9 @@ module Server = struct
      request's reserved namespace, faults and the disk image are
      request-private (unless the server was configured with a shared
      pre-staged disk, in which case [serve] stays on one domain). *)
-  let run_trajectory t ~cfg ~endpoint ~(reg : registration) ~boots ~fault_child =
+  let run_trajectory t ~cfg ~endpoint ~(reg : registration) ~boots ~fault_child
+      =
+    Hotspot.with_section "serve.trajectory" @@ fun () ->
     let scfg =
       match fault_child with
       | Some _ as f -> { t.scfg with fault = f }
@@ -1082,7 +1157,11 @@ module Server = struct
       let proc_table = Hostos.Process.create_table () in
       let clock = Clock.create () in
       let boot_sh = Par.make_shard cfg in
+      let boot_tpl =
+        match boots.(a - 1) with Warm tpl -> Some tpl | Cold -> None
+      in
       let wfd, rt, warm =
+        Hotspot.with_section "boot" @@ fun () ->
         Par.with_shard boot_sh (fun () ->
             let category = if a = 1 then "boot" else "retry" in
             let boot_span =
@@ -1095,22 +1174,48 @@ module Server = struct
             let wfd, rt, warm =
               match boots.(a - 1) with
               | Warm tpl ->
+                  (* A recycled shell serves attempt 1 of fault-free
+                     requests; [Wfd.acquire] replays exactly the
+                     virtual effects of a fresh clone, so the pop can
+                     be opportunistic (host-order) here on the worker
+                     domain: shells recirculate within a window and the
+                     pool stays O(domains) instead of O(window).
+                     Fault-carrying requests clone fresh, matching
+                     [acquire]'s fault-plan contract. *)
+                  let shell =
+                    if a = 1 && fault_child = None then pop_shell t tpl
+                    else None
+                  in
                   let vfs =
                     match scfg.vfs with
                     | Some _ -> None (* shared pre-staged disk: inherit *)
-                    | None ->
+                    | None -> (
                         (* The template's image is host-shared mutable
                            state; every clone gets a private disk wired
-                           to its own fault plan. *)
-                        let disk = Fsim.Vfs.fresh_fat () in
-                        Some
-                          (match fault_child with
-                          | Some plan -> Fsim.Vfs.with_faults plan disk
-                          | None -> disk)
+                           to its own fault plan.  A shell that kept
+                           its recycled private image (re-formatted,
+                           bit-identical to fresh) reuses it. *)
+                        match shell with
+                        | Some s when s.Wfd.vfs != tpl.tpl_wfd.Wfd.vfs ->
+                            None
+                        | _ ->
+                            let disk =
+                              Hotspot.with_section "vfs.fresh" (fun () ->
+                                  Fsim.Vfs.fresh_fat ())
+                            in
+                            Some
+                              (match fault_child with
+                              | Some plan -> Fsim.Vfs.with_faults plan disk
+                              | None -> disk))
                   in
                   let wfd =
-                    Wfd.clone_template ?vfs ?fault:fault_child tpl.tpl_wfd
-                      ~proc_table ~clock
+                    match shell with
+                    | Some s ->
+                        Wfd.acquire ?vfs ~template:tpl.tpl_wfd s ~proc_table
+                          ~clock
+                    | None ->
+                        Wfd.clone_template ?vfs ?fault:fault_child tpl.tpl_wfd
+                          ~proc_table ~clock
                   in
                   wfd.Wfd.span <- boot_span;
                   Libos.attach_warm wfd ~clock;
@@ -1147,10 +1252,7 @@ module Server = struct
         }
       in
       let boot_elapsed = Clock.now clock in
-      let at =
-        Fun.protect
-          ~finally:(fun () -> Wfd.destroy wfd)
-          (fun () ->
+      let body () =
             let ectx =
               make_exec_ctx ~config:scfg ~bindings:reg.reg_bindings ~wfd ~rt
                 ~retries ~t0:Units.zero
@@ -1159,8 +1261,9 @@ module Server = struct
                private pool of the same width as the shared one: gaps
                here are never larger than the contended gaps the merge
                produces, so the WFD's internal clocks stay behind every
-               real stage start. *)
-            let priv = Hostos.Sched.pool ~cores:scfg.cores in
+               real stage start.  The pool is a domain-local scratch
+               arena reset per attempt, never allocated per attempt. *)
+            let priv = Hostos.Sched.scratch ~cores:scfg.cores in
             let rel_ready = ref boot_elapsed in
             let done_stages = ref [] in
             let failure = ref None in
@@ -1168,7 +1271,11 @@ module Server = struct
                List.iter
                  (fun nodes ->
                    let sh = Par.make_shard cfg in
-                   match Par.with_shard sh (fun () -> exec_stage ectx ~ready:!rel_ready nodes) with
+                   match
+                     Hotspot.with_section "stage.exec" (fun () ->
+                         Par.with_shard sh (fun () ->
+                             exec_stage ectx ~ready:!rel_ready nodes))
+                   with
                    | durations ->
                        let placements =
                          Hostos.Sched.schedule_on priv ~ready:!rel_ready
@@ -1207,8 +1314,22 @@ module Server = struct
               at_stages = List.rev !done_stages;
               at_failed = Option.map fst !failure;
               at_fail_seg = Option.map snd !failure;
-            })
+            }
       in
+      let at =
+        match body () with
+        | at -> at
+        | exception e ->
+            Wfd.destroy wfd;
+            raise e
+      in
+      (* A clean warm finish returns its WFD to the template's shell
+         pool (host-only reset on this worker domain); failures, cold
+         boots and per-request fault plans tear down as before. *)
+      (match boot_tpl with
+      | Some tpl when at.at_failed = None && fault_child = None ->
+          release_shell t tpl wfd
+      | Some _ | None -> Wfd.destroy wfd);
       if at.at_failed <> None && a < max_a then attempts_from (a + 1) (at :: acc)
       else List.rev (at :: acc)
     in
@@ -1253,7 +1374,8 @@ module Server = struct
           | Some plan when not share_disk -> Some (Fault.child plan ~index)
           | Some _ | None -> None
         in
-        Some { pl_reg = reg; pl_boots = boots; pl_base = base; pl_fault = fault_child }
+        Some
+          { pl_reg = reg; pl_boots = boots; pl_base = base; pl_fault = fault_child }
     | exception Admission_failed _ -> None
 
   (* [serve_stream] pulls requests lazily (arrivals must be
@@ -1317,6 +1439,7 @@ module Server = struct
       let batch = List.rev !batch in
       (* Prologue, in arrival order. *)
       let planned =
+        Hotspot.with_section "serve.prologue" @@ fun () ->
         List.map
           (fun (i, r) ->
             let sampled =
@@ -1563,7 +1686,7 @@ module Server = struct
       match Eventq.pop q with
       | None -> ()
       | Some (now, ev) ->
-          handle_event now ev;
+          Hotspot.with_section "serve.merge" (fun () -> handle_event now ev);
           pump ();
           drive ()
     in
@@ -1639,7 +1762,14 @@ module Server = struct
             Some r)
 
   let shutdown t =
-    Hashtbl.iter (fun _ tpl -> Wfd.destroy tpl.tpl_wfd) t.templates;
+    Hashtbl.iter
+      (fun _ tpl ->
+        List.iter Wfd.destroy tpl.tpl_free;
+        tpl.tpl_free <- [];
+        tpl.tpl_free_n <- 0;
+        tpl.tpl_doomed <- true;
+        Wfd.destroy tpl.tpl_wfd)
+      t.templates;
     Hashtbl.reset t.templates;
     t.lru_head <- None;
     t.lru_tail <- None;

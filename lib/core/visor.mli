@@ -248,6 +248,7 @@ module Server : sig
     ?sample_every:int ->
     ?sample_seed:int ->
     ?sketch_latency:bool ->
+    ?recycle_cap:int ->
     unit ->
     t
   (** A server over [config.cores] shared cores.  [pool_mem_cap]
@@ -270,7 +271,20 @@ module Server : sig
       and latency memory is O(1) in the request count — the setting for
       10^6-request and soak runs.  The default retains every latency
       and reports exact percentiles, byte-identical to earlier
-      releases. *)
+      releases.
+
+      [recycle_cap] (default 64) bounds the per-template pool of
+      recycled WFD shells: a clean warm request's WFD is reset to the
+      template image and reused by a later request ({!Wfd.recycle} /
+      {!Wfd.acquire}) instead of being torn down and re-cloned.
+      Recycling is host-only — every virtual observable is
+      bit-identical to clone-then-destroy, at any domain count —
+      [recycle_cap:0] disables it (the historical path).  Shells
+      recirculate within a scheduling window (a trajectory's release
+      feeds the next trajectory on any domain), so the pool's
+      steady-state population is O(domains), far below the default
+      cap; the cap only bounds transients.  Raises [Invalid_argument]
+      when negative. *)
 
   val register :
     t ->

@@ -12,8 +12,11 @@ type thread = {
   user_pkru : Prot.pkru;
 }
 
+(* [id], [vfs], [fault], [pid] and [proc_table] are mutable only so a
+   recycled WFD can be re-bound to its next request by {!acquire};
+   nothing else writes them after construction. *)
 type t = {
-  id : int;
+  mutable id : int;
   workflow_name : string;
   features : features;
   aspace : Address_space.t;
@@ -21,12 +24,12 @@ type t = {
   loaded_modules : (string, unit) Hashtbl.t;
   entry_table : (string, string) Hashtbl.t;
   ext : Ext.t;
-  vfs : Fsim.Vfs.t;
-  fault : Fault.t option;
+  mutable vfs : Fsim.Vfs.t;
+  mutable fault : Fault.t option;
   mutable tap : Hostos.Tap.device option;
   stdout : Buffer.t;
-  pid : Hostos.Process.pid;
-  proc_table : Hostos.Process.t;
+  mutable pid : Hostos.Process.pid;
+  mutable proc_table : Hostos.Process.t;
   mutable next_fn_slot : int;
   mutable destroyed : bool;
   mutable entry_misses : int;
@@ -192,6 +195,7 @@ let respawn_function_thread t ~slot ~clock =
    created WFD, and pays Cost.wfd_clone instead of wfd_create +
    entry_table_init. *)
 let clone_template ?vfs ?fault template ~proc_table ~clock =
+  Hotspot.with_section "wfd.clone" @@ fun () ->
   if template.destroyed then invalid_arg "Wfd.clone_template: template destroyed";
   (* [vfs] / [fault] override the template's shared disk image and plan
      for this clone.  Parallel serving uses this: the template's vfs is
@@ -243,12 +247,97 @@ let clone_template ?vfs ?fault template ~proc_table ~clock =
   }
 
 let destroy t =
-  if not t.destroyed then begin
+  if not t.destroyed then
+    Hotspot.with_section "wfd.destroy" @@ fun () ->
     t.destroyed <- true;
     live_decr ();
     (match t.tap with Some _ -> t.tap <- None | None -> ());
     Hostos.Process.exit_process t.proc_table t.pid
-  end
+
+(* Reset a finished clone back to its template image, so {!acquire} can
+   re-bind it to a later request without re-allocating the address
+   space, page table, TLB arena, hash tables or buffers.  Pure host
+   work: no clock is charged and no global counter is touched (exactly
+   like {!destroy} followed by a fresh clone's [Address_space.create]).
+   The shell stays [live] while pooled; only {!destroy} retires it. *)
+let recycle ~template t =
+  Hotspot.with_section "wfd.recycle" @@ fun () ->
+  if t.destroyed then invalid_arg "Wfd.recycle: WFD destroyed";
+  if template.destroyed then invalid_arg "Wfd.recycle: template destroyed";
+  Address_space.recycle t.aspace;
+  Alloc.reset t.buffer_alloc;
+  (* The clone's tables start as exact copies of the template's and
+     only ever grow (module loads add entries, never remove), so equal
+     sizes mean equal contents — the warm steady state, where the
+     re-copy is skipped entirely. *)
+  if Hashtbl.length t.loaded_modules <> Hashtbl.length template.loaded_modules
+  then begin
+    Hashtbl.reset t.loaded_modules;
+    Hashtbl.iter (Hashtbl.replace t.loaded_modules) template.loaded_modules
+  end;
+  if Hashtbl.length t.entry_table <> Hashtbl.length template.entry_table then begin
+    Hashtbl.reset t.entry_table;
+    Hashtbl.iter (Hashtbl.replace t.entry_table) template.entry_table
+  end;
+  Ext.clear t.ext;
+  (* A private per-request scratch disk is re-formatted in place and
+     kept for the shell's next request (a recycled image is
+     bit-identical in behaviour to the fresh one the next clone would
+     have formatted); anything else — the template's shared image, or
+     a backend without in-place reset — is dropped back to the
+     template's so the pooled shell doesn't pin it. *)
+  if not (t.vfs != template.vfs && Fsim.Vfs.recycle t.vfs) then
+    t.vfs <- template.vfs;
+  t.fault <- template.fault;
+  t.tap <- None;
+  (* [Buffer.reset], not [clear]: a pooled shell must not retain a
+     request's grown stdout storage. *)
+  Buffer.reset t.stdout;
+  t.proc_table <- template.proc_table;
+  t.pid <- template.pid;
+  t.next_fn_slot <- 0;
+  t.entry_misses <- 0;
+  t.entry_hits <- 0;
+  t.trampoline_crossings <- 0;
+  t.span <- Span.none
+
+(* Bind a recycled shell to its next request.  Mirrors
+   {!clone_template}'s virtual effects exactly — same id draw, same
+   base mappings (and thus the same TLB-flush counter traffic), same
+   RSS charge, same [Cost.wfd_clone] + pkey-alloc clock charges — so a
+   request served by a recycled WFD is indistinguishable, in every
+   virtual observable, from one served by a fresh clone.  The shell
+   keeps the template's fault plan (its buffer heap was armed with it
+   at clone time); requests carrying a per-request plan must clone
+   fresh instead. *)
+let acquire ?vfs ~template t ~proc_table ~clock =
+  Hotspot.with_section "wfd.acquire" @@ fun () ->
+  if t.destroyed then invalid_arg "Wfd.acquire: WFD destroyed";
+  if template.destroyed then invalid_arg "Wfd.acquire: template destroyed";
+  (* [None] keeps the shell's current image: its recycled private
+     scratch disk when {!recycle} kept one, the template's otherwise —
+     exactly what the matching clone would have been given. *)
+  let vfs = match vfs with Some v -> v | None -> t.vfs in
+  t.id <- fresh_id ();
+  Address_space.map t.aspace ~addr:Layout.visor_code.Layout.base
+    ~len:Layout.visor_code.Layout.size ~perm:Page.rx ~pkey:system_key ();
+  Address_space.map t.aspace ~addr:Layout.libos_code.Layout.base
+    ~len:Layout.libos_code.Layout.size ~perm:Page.rx ~pkey:system_key ();
+  Address_space.map t.aspace ~addr:Layout.trampoline.Layout.base
+    ~len:Layout.trampoline.Layout.size ~perm:Page.rx ~pkey:Prot.default_key ();
+  let pid =
+    Hostos.Process.spawn_process proc_table ~at:(Clock.now clock)
+      ~name:template.workflow_name ()
+  in
+  Hostos.Process.charge_rss proc_table pid
+    (Layout.visor_code.Layout.size + Layout.libos_code.Layout.size
+    + Layout.trampoline.Layout.size);
+  Clock.advance clock Cost.wfd_clone;
+  Clock.advance clock (Hostos.Syscall.cost Hostos.Syscall.Pkey_alloc);
+  t.vfs <- vfs;
+  t.pid <- pid;
+  t.proc_table <- proc_table;
+  t
 
 let mapped_bytes t = Address_space.mapped_bytes t.aspace
 

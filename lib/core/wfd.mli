@@ -24,7 +24,7 @@ type thread = {
 }
 
 type t = {
-  id : int;
+  mutable id : int;  (** Mutable only for {!acquire} re-binding. *)
   workflow_name : string;
   features : features;
   aspace : Mem.Address_space.t;
@@ -32,12 +32,13 @@ type t = {
   loaded_modules : (string, unit) Hashtbl.t;
   entry_table : (string, string) Hashtbl.t;  (** entry name -> module. *)
   ext : Ext.t;  (** Per-module state (fd tables, slot maps, ...). *)
-  vfs : Fsim.Vfs.t;  (** The WFD's virtual disk image. *)
-  fault : Sim.Fault.t option;  (** Fault plan consulted by substrate layers. *)
+  mutable vfs : Fsim.Vfs.t;  (** The WFD's virtual disk image. *)
+  mutable fault : Sim.Fault.t option;
+      (** Fault plan consulted by substrate layers. *)
   mutable tap : Hostos.Tap.device option;
   stdout : Buffer.t;  (** Host console output of this WFD. *)
-  pid : Hostos.Process.pid;
-  proc_table : Hostos.Process.t;
+  mutable pid : Hostos.Process.pid;
+  mutable proc_table : Hostos.Process.t;
   mutable next_fn_slot : int;
   mutable destroyed : bool;
   (* Counters *)
@@ -119,6 +120,47 @@ val clone_template :
 
 val destroy : t -> unit
 (** Unmap everything and reclaim resources.  Idempotent. *)
+
+(** {1 Recycling}
+
+    The steady-state warm path used to clone-then-destroy a WFD per
+    request; at 10⁵–10⁷ requests the allocation and teardown dominate
+    host cost.  Instead, a finished clone can be {!recycle}d back to
+    its template image (host-only reset, no virtual effects) and later
+    {!acquire}d for a new request.  [acquire] re-plays exactly the
+    virtual effects of {!clone_template} — same id draw from the
+    request's reserved namespace, same base mappings and counter
+    traffic, same RSS and clock charges — so every virtual observable
+    is bit-identical whether a request got a recycled shell or a fresh
+    clone. *)
+
+val recycle : template:t -> t -> unit
+(** Reset a finished, still-live clone of [template] back to the
+    template image: address space emptied in place (page table and TLB
+    arena reused), buffer heap reset, module/entry tables re-copied,
+    per-module state and stdout cleared, process-table references
+    released.  A private per-request scratch disk that supports
+    {!Fsim.Vfs.recycle} is re-formatted in place and kept for the next
+    {!acquire}; otherwise the vfs reference drops back to the
+    template's.  Charges no clock and touches no global counter.  The
+    shell remains [live] (it still owns its arenas) until {!destroy}.
+    Raises [Invalid_argument] if either WFD was destroyed. *)
+
+val acquire :
+  ?vfs:Fsim.Vfs.t ->
+  template:t ->
+  t ->
+  proc_table:Hostos.Process.t ->
+  clock:Sim.Clock.t ->
+  t
+(** Bind a {!recycle}d shell to a new request, mirroring
+    {!clone_template}'s virtual effects exactly (see above).  [vfs]
+    defaults to the shell's current image — the recycled private
+    scratch disk when {!recycle} kept one, the template's otherwise.
+    The shell keeps the template's fault plan — requests that carry a
+    per-request plan must use {!clone_template} instead, because the
+    shell's buffer heap was armed with the template's plan at clone
+    time.  Returns the shell for convenience. *)
 
 val live_count : unit -> int
 (** Number of created-but-not-destroyed WFDs across the whole process —

@@ -12,10 +12,22 @@ type t = {
 
 let create ~sectors =
   if sectors <= 0 then invalid_arg "Blockdev.create: sectors must be positive";
-  { store = Hashtbl.create 1024; nsectors = sectors; reads = 0; writes = 0 }
+  (* Modest initial capacity: scratch devices are created (and [reset])
+     once per request on the serving path, so the empty table — and the
+     bucket array [reset] reallocates — should be small; the table
+     grows on demand for write-heavy workloads. *)
+  { store = Hashtbl.create 128; nsectors = sectors; reads = 0; writes = 0 }
 
 let sectors t = t.nsectors
 let size_bytes t = t.nsectors * sector_size
+
+(* Back to the all-zero image of a fresh [create] (same geometry),
+   reusing the sector store's arena — the serving recycling path resets
+   a scratch device per request instead of allocating one. *)
+let reset t =
+  Hashtbl.reset t.store;
+  t.reads <- 0;
+  t.writes <- 0
 
 let check t sector =
   if sector < 0 || sector >= t.nsectors then

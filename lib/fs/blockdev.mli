@@ -11,6 +11,11 @@ val create : sectors:int -> t
 val sectors : t -> int
 val size_bytes : t -> int
 
+val reset : t -> unit
+(** Restore the all-zero image of a fresh [create] with the same
+    geometry (sector counters included), reusing the sparse store's
+    arena.  Indistinguishable from a new device. *)
+
 val read_sector : t -> int -> bytes
 (** Fresh copy of one sector.  Raises [Invalid_argument] out of range. *)
 

@@ -12,6 +12,11 @@ type t
 val format : Blockdev.t -> t
 (** Initialise an empty filesystem covering the whole device. *)
 
+val reset : t -> unit
+(** Re-format in place, device included: indistinguishable from
+    [format] on a fresh device of the same geometry, but reusing the
+    existing arenas (WFD recycling resets scratch disks this way). *)
+
 val create_file : t -> string -> unit
 (** Create an empty file.  Raises [Invalid_argument] if it exists. *)
 

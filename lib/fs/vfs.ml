@@ -6,6 +6,8 @@ type t = {
   exists : string -> bool;
   delete : string -> unit;
   list_files : unit -> string list;
+  reset : (unit -> unit) option;
+      (** Re-format the backing image in place (see {!recycle}). *)
 }
 
 let of_fat fs =
@@ -17,6 +19,7 @@ let of_fat fs =
     exists = Fat.exists fs;
     delete = Fat.delete fs;
     list_files = (fun () -> Fat.list_files fs);
+    reset = Some (fun () -> Fat.reset fs);
   }
 
 let of_extfs fs =
@@ -28,6 +31,7 @@ let of_extfs fs =
     exists = Extfs.exists fs;
     delete = Extfs.delete fs;
     list_files = (fun () -> Extfs.list_files fs);
+    reset = None;
   }
 
 let of_ramfs fs =
@@ -39,6 +43,7 @@ let of_ramfs fs =
     exists = Ramfs.exists fs;
     delete = Ramfs.delete fs;
     list_files = (fun () -> Ramfs.list_files fs);
+    reset = None;
   }
 
 exception Io_error of { op : string; path : string }
@@ -50,6 +55,9 @@ let with_faults plan t =
   in
   {
     t with
+    (* A fault-wrapped view is request-specific: never advertised as
+       recyclable even when the underlying image is. *)
+    reset = None;
     read_file =
       (fun ?clock path ->
         guard "read" Sim.Fault.site_vfs_read clock path;
@@ -68,3 +76,15 @@ let fresh_extfs ?(mib = 2048) () =
   of_extfs (Extfs.format (Blockdev.create ~sectors:(sectors_of_mib mib)))
 
 let fresh_ramfs () = of_ramfs (Ramfs.create ())
+
+(* Recycle a per-request scratch image: re-format it in place when the
+   backend supports it.  After [recycle t = true], [t] behaves
+   bit-identically to the corresponding [fresh_*] image — the serving
+   path relies on this to reuse disks across requests without any
+   virtual observable changing. *)
+let recycle t =
+  match t.reset with
+  | Some f ->
+      f ();
+      true
+  | None -> false

@@ -13,6 +13,9 @@ type t = {
   exists : string -> bool;
   delete : string -> unit;
   list_files : unit -> string list;
+  reset : (unit -> unit) option;
+      (** Re-format the backing image in place; [None] when the backend
+          doesn't support in-place recycling (use {!recycle}). *)
 }
 
 exception Io_error of { op : string; path : string }
@@ -35,3 +38,12 @@ val fresh_fat : ?mib:int -> unit -> t
 
 val fresh_extfs : ?mib:int -> unit -> t
 val fresh_ramfs : unit -> t
+
+val recycle : t -> bool
+(** Re-format a per-request scratch image in place, reusing its arenas:
+    after [recycle t = true] the image is bit-identical in behaviour to
+    a matching [fresh_*] one (contents, directories, device geometry
+    and op counters all as new).  Returns [false] — image untouched —
+    when the backend doesn't support it (extfs, ramfs, fault-wrapped
+    views).  The serving path recycles WFD scratch disks this way
+    instead of formatting ~one device per request. *)

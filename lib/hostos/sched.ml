@@ -12,6 +12,10 @@ type pool = {
   free_at : Units.time array;
   heap : int array;  (** Core indices, min-heap by (free_at, index). *)
   pos : int array;  (** pos.(c) = index of core c within [heap]. *)
+  mutable busy : Units.time;
+      (** Running maximum of [free_at] (and [Units.zero]), maintained
+          incrementally so {!busy_until} is O(1) instead of an
+          O(cores) fold per call. *)
 }
 
 let core_before pool a b =
@@ -44,6 +48,7 @@ let pool_at ~cores t0 =
     free_at = Array.make cores t0;
     heap = Array.init cores Fun.id;
     pos = Array.init cores Fun.id;
+    busy = Units.max Units.zero t0;
   }
 
 let pool ~cores = pool_at ~cores Units.zero
@@ -51,21 +56,51 @@ let pool ~cores = pool_at ~cores Units.zero
 let pool_cores pool = Array.length pool.free_at
 
 let copy_pool pool =
+  Sim.Hotspot.with_section "sched.copy_pool" @@ fun () ->
   {
     free_at = Array.copy pool.free_at;
     heap = Array.copy pool.heap;
     pos = Array.copy pool.pos;
+    busy = pool.busy;
   }
 
 let restore_pool dst src =
+  Sim.Hotspot.with_section "sched.restore_pool" @@ fun () ->
   let n = Array.length dst.free_at in
   if n <> Array.length src.free_at then
     invalid_arg "Sched.restore_pool: core counts differ";
   Array.blit src.free_at 0 dst.free_at 0 n;
   Array.blit src.heap 0 dst.heap 0 n;
-  Array.blit src.pos 0 dst.pos 0 n
+  Array.blit src.pos 0 dst.pos 0 n;
+  dst.busy <- src.busy
 
-let busy_until pool = Array.fold_left Units.max Units.zero pool.free_at
+(* Rewind a pool to the all-cores-free state at [t0] in place: the
+   identity permutation is a valid heap when every key is (t0, c). *)
+let reset_pool pool t0 =
+  Array.fill pool.free_at 0 (Array.length pool.free_at) t0;
+  Array.iteri (fun i _ -> pool.heap.(i) <- i) pool.heap;
+  Array.iteri (fun i _ -> pool.pos.(i) <- i) pool.pos;
+  pool.busy <- Units.max Units.zero t0
+
+(* Domain-local scratch pools, one per core count: per-attempt private
+   pools in the serving trajectories are reset and reused instead of
+   allocated fresh.  The caller owns the scratch until its next
+   [scratch] call on the same domain with the same core count. *)
+let scratch_key : (int, pool) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4)
+
+let scratch ~cores =
+  let tbl = Domain.DLS.get scratch_key in
+  match Hashtbl.find_opt tbl cores with
+  | Some p ->
+      reset_pool p Units.zero;
+      p
+  | None ->
+      let p = pool_at ~cores Units.zero in
+      Hashtbl.add tbl cores p;
+      p
+
+let busy_until pool = pool.busy
 
 let schedule_on pool ?(ready = Units.zero) ?(dispatch_latency = Units.zero) durations =
   let dispatch_clock = ref ready in
@@ -77,6 +112,7 @@ let schedule_on pool ?(ready = Units.zero) ?(dispatch_latency = Units.zero) dura
     let start = Units.max start ready in
     let finish = Units.add start d in
     pool.free_at.(core) <- finish;
+    pool.busy <- Units.max pool.busy finish;
     sift_down pool 0;
     { core; start; finish }
   in

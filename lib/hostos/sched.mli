@@ -33,8 +33,20 @@ val restore_pool : pool -> pool -> unit
     (checkpoint rollback).  Raises [Invalid_argument] when the core
     counts differ. *)
 
+val reset_pool : pool -> Sim.Units.time -> unit
+(** [reset_pool p t0] rewinds [p] in place to the freshly-created
+    all-cores-free-at-[t0] state, without allocating. *)
+
+val scratch : cores:int -> pool
+(** A domain-local scratch pool of [cores] cores, reset to all-free at
+    zero.  Reuses one arena per (domain, core count): the caller owns
+    the result only until its next [scratch] call with the same core
+    count on the same domain.  Serving trajectories use this for their
+    per-attempt private pools instead of allocating per attempt. *)
+
 val busy_until : pool -> Sim.Units.time
-(** Latest instant at which any core of the pool is still busy. *)
+(** Latest instant at which any core of the pool is still busy.  O(1):
+    the pool tracks the running maximum incrementally. *)
 
 val schedule_on :
   pool ->

@@ -1,8 +1,13 @@
 type toolchain = Rust_as_std | Rust_plain_std | Wasm_aot | Native_c
 
-type t = { name : string; toolchain : toolchain; insts : Inst.t list }
+type t = {
+  name : string;
+  toolchain : toolchain;
+  insts : Inst.t list;
+  mutable hash : string option;
+}
 
-let create ~name ~toolchain insts = { name; toolchain; insts }
+let create ~name ~toolchain insts = { name; toolchain; insts; hash = None }
 
 let code t = String.concat "" (List.map Inst.encode t.insts)
 
@@ -23,7 +28,17 @@ let toolchain_tag = function
   | Wasm_aot -> "wasm-aot"
   | Native_c -> "native-c"
 
-let content_hash t = Digest.to_hex (Digest.string (toolchain_tag t.toolchain ^ "\x00" ^ code t))
+(* The instruction stream is immutable after [create], so the digest is
+   computed once and cached on the image.  A racing duplicate
+   computation writes the identical string, so the unsynchronised
+   cache is benign across domains. *)
+let content_hash t =
+  match t.hash with
+  | Some h -> h
+  | None ->
+      let h = Digest.to_hex (Digest.string (toolchain_tag t.toolchain ^ "\x00" ^ code t)) in
+      t.hash <- Some h;
+      h
 
 let pp_toolchain fmt = function
   | Rust_as_std -> Format.pp_print_string fmt "rust+as-std"

@@ -7,6 +7,10 @@ type t = {
   name : string;
   toolchain : toolchain;
   insts : Inst.t list;
+  mutable hash : string option;
+      (** Memoized {!content_hash}; [insts] never changes after
+          {!create}, so the digest is computed at most once per image.
+          Use {!content_hash}, never this field. *)
 }
 
 val create : name:string -> toolchain:toolchain -> Inst.t list -> t
@@ -24,6 +28,7 @@ val boundaries : t -> int list
 val content_hash : t -> string
 (** Digest of the encoded instruction stream plus toolchain tag — the
     admission-cache key.  Two images with identical code and toolchain
-    hash identically regardless of their names. *)
+    hash identically regardless of their names.  Memoized: repeated
+    calls on the same image are O(1) after the first. *)
 
 val pp_toolchain : Format.formatter -> toolchain -> unit

@@ -105,6 +105,44 @@ let create ?(tlb = true) () =
 
 let fault addr kind = raise (Fault { addr; kind })
 
+(* Rewind to the freshly-created empty state, reusing the page table
+   and TLB arena.  Deliberately counter-silent: destroying a space and
+   creating a new one touches no global counter either, and recycled
+   WFDs must be indistinguishable from destroy + create.  TLB entries
+   are scrubbed (not just generation-invalidated) so a pooled space
+   does not pin the dead request's pages. *)
+(* Shared scrub targets for recycled TLB entries: a scrubbed entry can
+   never hit ([e_vpn = -1] matches no lookup, [e_gen = -1] matches no
+   bumped generation), so the page is never accessed — one immutable
+   placeholder serves every address space on every domain. *)
+let scrub_page = Page.create ()
+let scrub_data = Bytes.create 0
+
+let recycle t =
+  Hashtbl.reset t.pages;
+  t.regions <- [];
+  t.total_pages <- 0;
+  t.fault_handler <- None;
+  t.demand_faults <- 0;
+  t.accesses <- 0;
+  t.generation <- t.generation + 1;
+  t.tlb_misses <- 0;
+  t.tlb_flushes <- 0;
+  t.tlb_hits_pushed <- 0;
+  (* Drop heap references so a pooled shell pins no dead pages.  Only
+     entries that ever held a real translation ([e_vpn >= 0]) need
+     scrubbing; permission bits are left stale because they are only
+     consulted after a vpn+generation match, which can't happen. *)
+  Array.iter
+    (fun e ->
+      if e.e_vpn >= 0 then begin
+        e.e_vpn <- -1;
+        e.e_gen <- -1;
+        e.e_page <- scrub_page;
+        e.e_data <- scrub_data
+      end)
+    t.tlb
+
 let hits t = if t.tlb_enabled then t.accesses - t.tlb_misses else 0
 
 let sync_hit_counter t =

@@ -28,6 +28,15 @@ val create : ?tlb:bool -> unit -> t
     is a host-time optimisation only: fault behaviour, access counts
     and demand-paging semantics are identical with it off. *)
 
+val recycle : t -> unit
+(** Rewind to the freshly-created empty state in place, reusing the
+    page-table and TLB storage: all mappings, materialised pages, the
+    fault handler and every per-space counter are dropped, and every
+    TLB entry is scrubbed.  Counter-silent — global [mem.tlb.*]
+    counters behave exactly as if the space had been destroyed and a
+    new one created — so WFD recycling stays indistinguishable from
+    clone-then-destroy. *)
+
 (** {1 Mapping} *)
 
 val map :

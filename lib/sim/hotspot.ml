@@ -1,0 +1,77 @@
+(* Host-time hotspot profiler.
+
+   Sections are *host* wall-clock accumulators: they measure where the
+   simulator itself spends real time (WFD cloning, scheduler pool
+   churn, admission hashing, ...), never virtual time.  Profiling is
+   off by default; a disabled [with_section] is one atomic load and a
+   branch, so instrumentation can stay in hot paths permanently.
+
+   Accumulators are per-domain (a Domain.DLS table registered into a
+   global list), so parallel trajectory workers never contend on a
+   shared table.  [snapshot] merges every domain's table; call it only
+   when the instrumented workload is quiescent (e.g. after a bench
+   run), since worker domains write their tables without locks. *)
+
+type cell = { mutable c_count : int; mutable c_ns : float }
+
+type entry = { hs_name : string; hs_count : int; hs_total_ns : float }
+
+let enabled_flag = Atomic.make false
+
+let registry : (string, cell) Hashtbl.t list ref = ref []
+let registry_mu = Mutex.create ()
+
+let local : (string, cell) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let tbl = Hashtbl.create 32 in
+      Mutex.protect registry_mu (fun () -> registry := tbl :: !registry);
+      tbl)
+
+let enabled () = Atomic.get enabled_flag
+let set_enabled on = Atomic.set enabled_flag on
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let cell_of tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some c -> c
+  | None ->
+      let c = { c_count = 0; c_ns = 0.0 } in
+      Hashtbl.add tbl name c;
+      c
+
+(* Sections nest: a parent's total includes its children (inclusive
+   timing), so sibling sections partition their parent but the sum over
+   *all* sections can exceed the end-to-end wall time. *)
+let with_section name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let cell = cell_of (Domain.DLS.get local) name in
+    let t0 = now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        cell.c_count <- cell.c_count + 1;
+        cell.c_ns <- cell.c_ns +. (now_ns () -. t0))
+      f
+  end
+
+let snapshot () =
+  let merged : (string, cell) Hashtbl.t = Hashtbl.create 32 in
+  Mutex.protect registry_mu (fun () ->
+      List.iter
+        (fun tbl ->
+          Hashtbl.iter
+            (fun name (c : cell) ->
+              let m = cell_of merged name in
+              m.c_count <- m.c_count + c.c_count;
+              m.c_ns <- m.c_ns +. c.c_ns)
+            tbl)
+        !registry);
+  Hashtbl.fold
+    (fun name (c : cell) acc ->
+      { hs_name = name; hs_count = c.c_count; hs_total_ns = c.c_ns } :: acc)
+    merged []
+  |> List.sort (fun a b -> String.compare a.hs_name b.hs_name)
+
+let reset () =
+  Mutex.protect registry_mu (fun () -> List.iter Hashtbl.reset !registry)

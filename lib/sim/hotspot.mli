@@ -1,0 +1,33 @@
+(** Host-time hotspot profiler: nestable wall-clock sections with
+    per-domain accumulators.
+
+    This measures where the *simulator* spends host time — it never
+    touches virtual clocks, so enabling it cannot change any simulated
+    result.  Disabled (the default), {!with_section} costs one atomic
+    load and a branch, so call sites stay in hot paths permanently. *)
+
+type entry = {
+  hs_name : string;
+  hs_count : int;  (** Times the section was entered. *)
+  hs_total_ns : float;  (** Accumulated host nanoseconds, inclusive of
+                            nested sections. *)
+}
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Turn profiling on or off globally (all domains). *)
+
+val with_section : string -> (unit -> 'a) -> 'a
+(** [with_section name f] runs [f], charging its host duration to
+    [name] on the calling domain's accumulator when profiling is
+    enabled.  Sections nest; a parent's total includes its children.
+    Exceptions propagate and still charge the section. *)
+
+val snapshot : unit -> entry list
+(** Merge every domain's accumulators, sorted by section name.  Only
+    meaningful while the instrumented workload is quiescent: worker
+    domains update their tables without locks. *)
+
+val reset : unit -> unit
+(** Zero all accumulators on every domain. *)

@@ -9,8 +9,10 @@ the host measurements of a current run against a baseline run and fails
 when any lower-is-better field regressed past a tolerance.
 
 Gated fields (lower is better): names ending in "_ms" or "_words", or
-containing "wall" or "words".  Informational fields (domains,
-host_cores, speedups) are reported but never gated.  Lists are
+containing "wall", "words" or "us_per_request" (the per-request host
+cost of the serving scale/deep legs and of every host.hotspots
+profiler section).  Informational fields (domains, host_cores,
+speedups, hotspot call counts) are reported but never gated.  Lists are
 traversed (e.g. soak snapshot_live_words[3]).  An object carrying
 "degenerate": true marks a parallel leg run where real parallelism is
 impossible (host_cores < 2, or more domains than cores); its fields —
@@ -59,7 +61,8 @@ def numeric_leaves(doc, path, degenerate=False):
 def gated(path):
     leaf = path.rsplit(".", 1)[-1]
     return (leaf.endswith("_ms") or leaf.endswith("_words")
-            or "wall" in leaf or "words" in leaf)
+            or "wall" in leaf or "words" in leaf
+            or "us_per_request" in leaf)
 
 
 def main():

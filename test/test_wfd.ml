@@ -495,6 +495,96 @@ let test_mmap_file_backend () =
   | Error Errno.Einval -> ()
   | Ok _ | Error _ -> Alcotest.fail "unmapped region must be EINVAL"
 
+(* --- Shell recycling (Wfd.recycle / Wfd.acquire) --- *)
+
+(* Recycling is a host-only optimisation: every virtual observable must
+   be bit-identical to the historical clone-then-destroy path, at any
+   domain count, and no shell may outlive its server. *)
+
+let serve_recycling ?config ~recycle_cap ~requests () =
+  let server = Visor.Server.create ?config ~recycle_cap () in
+  List.iter
+    (fun (endpoint, workflow, bindings) ->
+      Visor.Server.register server ~endpoint ~workflow ~bindings ())
+    Test_par.endpoints_spec;
+  let r = Visor.Server.serve server requests in
+  Visor.Server.shutdown server;
+  r
+
+let test_recycle_vs_fresh_differential () =
+  (* Same stream served with the pool enabled (cap 64) and disabled
+     (cap 0): responses, counters, trace and metrics exports must
+     match byte for byte, across several arrival seeds. *)
+  let observe ~recycle_cap ~requests =
+    Trace.clear Trace.global;
+    Span.clear Span.global;
+    Metrics.reset ();
+    Span.set_enabled Span.global true;
+    let r = serve_recycling ~recycle_cap ~requests () in
+    let tr = Obs.trace_json_string () in
+    let me = Obs.metrics_json_string () in
+    Span.set_enabled Span.global false;
+    Trace.clear Trace.global;
+    Span.clear Span.global;
+    Metrics.reset ();
+    (Test_par.fingerprint r ^ "|" ^ Test_par.summary r, tr, me)
+  in
+  List.iter
+    (fun seed ->
+      let requests = Test_par.requests_for ~seed ~count:40 in
+      let fresh_fp, fresh_tr, fresh_me = observe ~recycle_cap:0 ~requests in
+      let rec_fp, rec_tr, rec_me = observe ~recycle_cap:64 ~requests in
+      Alcotest.(check string)
+        (Printf.sprintf "responses identical (seed %d)" seed)
+        fresh_fp rec_fp;
+      Alcotest.(check string)
+        (Printf.sprintf "trace identical (seed %d)" seed)
+        fresh_tr rec_tr;
+      Alcotest.(check string)
+        (Printf.sprintf "metrics identical (seed %d)" seed)
+        fresh_me rec_me)
+    [ 3; 13; 23 ]
+
+let test_recycle_no_leak_under_faults () =
+  (* Crashing requests must not strand shells: a WFD that died
+     mid-request is destroyed, not pooled, and shutdown drains the
+     pool, so the live count returns to its pre-serve baseline. *)
+  let live0 = Wfd.live_count () in
+  let requests = Test_par.requests_for ~seed:17 ~count:40 in
+  let plan = Fault.create ~seed:9 () in
+  Fault.inject plan ~site:Fault.site_fn_crash (Fault.Every 5);
+  let config =
+    { Visor.default_config with Visor.fault = Some plan; retry = Visor.Retry_workflow 2 }
+  in
+  let r = serve_recycling ~config ~recycle_cap:64 ~requests () in
+  Alcotest.(check int) "every request resolved" 40
+    (r.Visor.Server.completed + r.Visor.Server.failed);
+  Alcotest.(check bool) "faults actually fired" true
+    (Fault.fired plan ~site:Fault.site_fn_crash > 0);
+  Alcotest.(check int) "no shell leak after faulty serve" live0 (Wfd.live_count ())
+
+let test_recycle_identical_across_domains () =
+  (* Recycled shells reuse reserved WFD ids, so the id stream — and
+     with it every response and trace byte — must not depend on which
+     domain popped which shell. *)
+  let requests = Test_par.requests_for ~seed:29 ~count:50 in
+  let observe domains =
+    Test_par.with_domains domains (fun () ->
+        Trace.clear Trace.global;
+        Metrics.reset ();
+        let r = serve_recycling ~recycle_cap:64 ~requests () in
+        let tr = Obs.trace_json_string () in
+        Trace.clear Trace.global;
+        Metrics.reset ();
+        (Test_par.fingerprint r ^ "|" ^ Test_par.summary r, tr))
+  in
+  let live0 = Wfd.live_count () in
+  let seq_fp, seq_tr = observe 1 in
+  let par_fp, par_tr = observe 4 in
+  Alcotest.(check string) "responses identical at 1 vs 4 domains" seq_fp par_fp;
+  Alcotest.(check string) "trace identical at 1 vs 4 domains" seq_tr par_tr;
+  Alcotest.(check int) "no shell leak across domain counts" live0 (Wfd.live_count ())
+
 let suite =
   [
     Alcotest.test_case "wfd create maps system" `Quick test_wfd_create_maps_system;
@@ -530,4 +620,10 @@ let suite =
     Alcotest.test_case "http server between WFDs" `Quick test_http_server_between_wfds;
     Alcotest.test_case "Fig.5 http client over fd" `Quick test_fig5_http_client_over_fd;
     Alcotest.test_case "mmap file backend" `Quick test_mmap_file_backend;
+    Alcotest.test_case "recycle vs fresh differential" `Quick
+      test_recycle_vs_fresh_differential;
+    Alcotest.test_case "recycle no leak under faults" `Quick
+      test_recycle_no_leak_under_faults;
+    Alcotest.test_case "recycle identical across domains" `Quick
+      test_recycle_identical_across_domains;
   ]
