@@ -823,6 +823,22 @@ let chaos () =
    load.  Two identically seeded runs are bit-identical (the CI smoke
    job diffs them); emits BENCH_serving.json next to the table.        *)
 
+(* One serving leg's artifacts: the report plus every deterministic
+   observability document byte-compared across domain counts. *)
+type serving_leg = {
+  lg_report : Alloystack_core.Visor.Server.serve_report;
+  lg_wall_ms : float;
+  lg_breakdown : Alloystack_core.Jsonlite.t;
+  lg_trace : string;
+  lg_metrics : string;
+  lg_prom : string;
+  lg_csv : string;
+  lg_alerts : string;
+  lg_slo : Alloystack_core.Jsonlite.t;
+  lg_tails : Alloystack_core.Jsonlite.t;
+  lg_tails_render : string;
+}
+
 let serving () =
   let open Alloystack_core in
   let node ?(instances = 1) ?(language = Workflow.Rust) ?(modules = []) id =
@@ -840,10 +856,17 @@ let serving () =
       :: List.init 160 (fun i ->
              if i mod 5 = 0 then Isa.Inst.Mov_imm (Int32.of_int i) else Isa.Inst.Add))
   in
-  let io_kernel path ms (ctx : Asstd.ctx) ~instance:_ ~total:_ =
-    Asstd.write_whole_file ctx path (Bytes.make (kib 32) 'd');
+  (* The thumb chain hands its 32 KiB intermediate to the next stage
+     through AsBuffer reference passing (the paper's zero-copy path),
+     so the serving benchmark exercises asbuffer.transfer_bytes the
+     way a real workflow would — not through a private scratch file. *)
+  let produce_kernel slot ms (ctx : Asstd.ctx) ~instance:_ ~total:_ =
     Asstd.compute ctx (Units.ms ms);
-    ignore (Asstd.read_whole_file ctx path)
+    ignore (Asbuffer.with_slot_raw ctx ~slot (Bytes.make (kib 32) 'd'))
+  in
+  let consume_kernel slot ms (ctx : Asstd.ctx) ~instance:_ ~total:_ =
+    ignore (Asbuffer.from_slot_raw ctx ~slot);
+    Asstd.compute ctx (Units.ms ms)
   in
   let compute_kernel ms (ctx : Asstd.ctx) ~instance:_ ~total:_ =
     Asstd.compute ctx (Units.ms ms)
@@ -857,8 +880,8 @@ let serving () =
   in
   let chain_bindings =
     [
-      ("extract", Visor.bind ~image:(image "extract") (io_kernel "/thumb" 6));
-      ("render", Visor.bind ~image:(image "render") (compute_kernel 8));
+      ("extract", Visor.bind ~image:(image "extract") (produce_kernel "thumb" 6));
+      ("render", Visor.bind ~image:(image "render") (consume_kernel "thumb" 8));
     ]
   in
   let fanout_wf =
@@ -904,15 +927,69 @@ let serving () =
     in
     all []
   in
+  (* Two burn-rate SLOs on every telemetry-enabled leg: a tight one the
+     cold pool plausibly violates and a loose availability objective. *)
+  let slo_specs () =
+    [
+      Slo.spec ~name:"lat50" ~latency:(Units.ms 50) ~objective:0.99 ();
+      Slo.spec ~name:"lat200" ~latency:(Units.ms 200) ~objective:0.999 ();
+    ]
+  in
+  let alert_json (a : Slo.alert) =
+    Jsonlite.Obj
+      [
+        ("slo", Jsonlite.String a.Slo.al_slo);
+        ( "kind",
+          Jsonlite.String
+            (match a.Slo.al_kind with Slo.Page -> "page" | Slo.Clear -> "clear") );
+        ("at_s", Jsonlite.Float (Units.to_sec a.Slo.al_at));
+        ("burn_fast", Jsonlite.Float a.Slo.al_fast);
+        ("burn_slow", Jsonlite.Float a.Slo.al_slow);
+      ]
+  in
+  let slo_json server =
+    Jsonlite.Obj
+      [
+        ( "monitors",
+          Jsonlite.List
+            (List.map
+               (fun m ->
+                 let fast, slow = Slo.burn_rates m in
+                 Jsonlite.Obj
+                   [
+                     ("name", Jsonlite.String (Slo.name m));
+                     ("good", Jsonlite.Int (Slo.good m));
+                     ("total", Jsonlite.Int (Slo.total m));
+                     ("compliance", Jsonlite.Float (Slo.compliance m));
+                     ("burn_fast", Jsonlite.Float fast);
+                     ("burn_slow", Jsonlite.Float slow);
+                     ("paging", Jsonlite.Bool (Slo.paging m));
+                   ])
+               (Visor.Server.slo_monitors server)) );
+        ( "alerts",
+          Jsonlite.List (List.map alert_json (Visor.Server.slo_alerts server)) );
+      ]
+  in
   let run_mode ~warm =
     let server = Visor.Server.create ~warm () in
     List.iter
       (fun (endpoint, workflow, bindings) ->
         Visor.Server.register server ~endpoint ~workflow ~bindings ())
       endpoints_spec;
+    Visor.Server.enable_telemetry server ~slos:(slo_specs ()) ();
     let report = Visor.Server.serve server requests in
+    let csv =
+      match Visor.Server.telemetry server with
+      | Some ts -> Timeseries.to_csv ts
+      | None -> ""
+    in
+    let alerts =
+      String.concat "\n"
+        (List.map Slo.render_alert (Visor.Server.slo_alerts server))
+    in
+    let slo = slo_json server in
     Visor.Server.shutdown server;
-    report
+    (report, csv, alerts, slo)
   in
   (* Span-trace both pool modes.  The per-request critical-path
      aggregate and the exported trace / metrics documents are pure
@@ -981,28 +1058,39 @@ let serving () =
     reset_observability ();
     Span.set_enabled Span.global true;
     let t0 = Unix.gettimeofday () in
-    let r = run_mode ~warm in
+    let r, csv, alerts, slo = run_mode ~warm in
     let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
     let bd = request_breakdown () in
     let trace = Obs.trace_json_string () in
     let metrics = Obs.metrics_json_string () in
+    let prom = Obs.prometheus_string () in
+    let tails = Obs.tails () in
     Span.set_enabled Span.global false;
     Par.set_domains 1;
-    (r, wall_ms, bd, trace, metrics)
+    {
+      lg_report = r;
+      lg_wall_ms = wall_ms;
+      lg_breakdown = bd;
+      lg_trace = trace;
+      lg_metrics = metrics;
+      lg_prom = prom;
+      lg_csv = csv;
+      lg_alerts = alerts;
+      lg_slo = slo;
+      lg_tails = Obs.tails_json tails;
+      lg_tails_render = Obs.render_tails tails;
+    }
   in
   let nd = bench_domains () in
-  let warm_r1, warm_ms1, warm_bd1, warm_tr1, warm_me1 =
-    run_at ~domains:1 ~warm:true
-  in
-  let cold_r1, cold_ms1, cold_bd1, cold_tr1, cold_me1 =
-    run_at ~domains:1 ~warm:false
-  in
-  let warm_r, warm_ms, warm_breakdown, trace_doc, metrics_doc =
-    run_at ~domains:nd ~warm:true
-  in
-  let cold_r, cold_ms, cold_breakdown, cold_tr, cold_me =
-    run_at ~domains:nd ~warm:false
-  in
+  let warm1 = run_at ~domains:1 ~warm:true in
+  let cold1 = run_at ~domains:1 ~warm:false in
+  let warm = run_at ~domains:nd ~warm:true in
+  let cold = run_at ~domains:nd ~warm:false in
+  let warm_r1 = warm1.lg_report and cold_r1 = cold1.lg_report in
+  let warm_r = warm.lg_report and cold_r = cold.lg_report in
+  let warm_ms1 = warm1.lg_wall_ms and cold_ms1 = cold1.lg_wall_ms in
+  let warm_ms = warm.lg_wall_ms and cold_ms = cold.lg_wall_ms in
+  let trace_doc = warm.lg_trace and metrics_doc = warm.lg_metrics in
   let check label a b =
     if not (String.equal a b) then begin
       Printf.eprintf
@@ -1018,14 +1106,29 @@ let serving () =
   check "cold summary"
     (Jsonlite.to_string (mode_json cold_r1))
     (Jsonlite.to_string (mode_json cold_r));
-  check "warm breakdown" (Jsonlite.to_string warm_bd1)
-    (Jsonlite.to_string warm_breakdown);
-  check "cold breakdown" (Jsonlite.to_string cold_bd1)
-    (Jsonlite.to_string cold_breakdown);
-  check "warm trace export" warm_tr1 trace_doc;
-  check "cold trace export" cold_tr1 cold_tr;
-  check "warm metrics export" warm_me1 metrics_doc;
-  check "cold metrics export" cold_me1 cold_me;
+  check "warm breakdown" (Jsonlite.to_string warm1.lg_breakdown)
+    (Jsonlite.to_string warm.lg_breakdown);
+  check "cold breakdown" (Jsonlite.to_string cold1.lg_breakdown)
+    (Jsonlite.to_string cold.lg_breakdown);
+  check "warm trace export" warm1.lg_trace trace_doc;
+  check "cold trace export" cold1.lg_trace cold.lg_trace;
+  check "warm metrics export" warm1.lg_metrics metrics_doc;
+  check "cold metrics export" cold1.lg_metrics cold.lg_metrics;
+  (* The new observability artifacts obey the same contract: every
+     timeseries window, alert instant, tail verdict and exporter byte
+     is identical whatever the host domain pool width. *)
+  check "warm prometheus export" warm1.lg_prom warm.lg_prom;
+  check "cold prometheus export" cold1.lg_prom cold.lg_prom;
+  check "warm timeseries csv" warm1.lg_csv warm.lg_csv;
+  check "cold timeseries csv" cold1.lg_csv cold.lg_csv;
+  check "warm slo alerts" warm1.lg_alerts warm.lg_alerts;
+  check "cold slo alerts" cold1.lg_alerts cold.lg_alerts;
+  check "warm slo summary" (Jsonlite.to_string warm1.lg_slo)
+    (Jsonlite.to_string warm.lg_slo);
+  check "cold slo summary" (Jsonlite.to_string cold1.lg_slo)
+    (Jsonlite.to_string cold.lg_slo);
+  check "warm tails" warm1.lg_tails_render warm.lg_tails_render;
+  check "cold tails" cold1.lg_tails_render cold.lg_tails_render;
   let t =
     Table.create
       ~title:
@@ -1051,6 +1154,14 @@ let serving () =
   row "warm (template clone)" warm_r;
   row "cold (no pool)" cold_r;
   Table.print t;
+  (* Burn-rate alerts and the warm-pool tail attribution, both
+     deterministic; the cold run's tail table is in the JSON. *)
+  if String.length warm.lg_alerts > 0 then
+    Printf.printf "warm alerts:\n%s\n" warm.lg_alerts;
+  if String.length cold.lg_alerts > 0 then
+    Printf.printf "cold alerts:\n%s\n" cold.lg_alerts;
+  print_string warm.lg_tails_render;
+  print_newline ();
   (* Single-request boot comparison: the substitution the warm pool
      makes on the critical path. *)
   let one ~warm ~prewarm =
@@ -1252,7 +1363,7 @@ let serving () =
          serving (bounded in-flight, bounded memory), not queue
          collapse — the sweep above covers the saturated regime. *)
       let scale_qps = 300.0 in
-      let run_scale ~domains =
+      let run_scale ?(telemetry = false) ~domains () =
         Par.set_domains domains;
         reset_observability ();
         Metrics.set_raw_sample_every ~seed sample_every;
@@ -1260,6 +1371,8 @@ let serving () =
           Visor.Server.create ~warm:true ~sample_every ~sample_seed:seed ()
         in
         register_all server;
+        if telemetry then
+          Visor.Server.enable_telemetry server ~slos:(slo_specs ()) ();
         let t0 = Unix.gettimeofday () in
         let r =
           Visor.Server.serve_stream server
@@ -1272,14 +1385,26 @@ let serving () =
         let live_words = (Gc.stat ()).Gc.live_words in
         (r, wall_ms, live_words)
       in
-      let scale_r1, scale_ms1, scale_live1 = run_scale ~domains:1 in
-      let scale_rn, scale_msn, scale_liven = run_scale ~domains:nd in
+      let scale_r1, scale_ms1, scale_live1 = run_scale ~domains:1 () in
+      let scale_rn, scale_msn, scale_liven = run_scale ~domains:nd () in
       let fp1 = Digest.to_hex (Digest.string (fingerprint scale_r1)) in
       let fpn = Digest.to_hex (Digest.string (fingerprint scale_rn)) in
       check "scale responses (fingerprint)" fp1 fpn;
       check "scale summary"
         (Jsonlite.to_string (mode_json scale_r1))
         (Jsonlite.to_string (mode_json scale_rn));
+      (* The same leg with per-window telemetry and SLO monitors on:
+         responses must not change (telemetry is pure observation) and
+         the measured overhead lands in the JSON where perf_gate.py
+         watches it. *)
+      let tel_rn, tel_msn, _ = run_scale ~telemetry:true ~domains:nd () in
+      let fp_tel = Digest.to_hex (Digest.string (fingerprint tel_rn)) in
+      check "scale responses with telemetry (fingerprint)" fpn fp_tel;
+      Printf.printf
+        "scale telemetry: wall %.0f ms -> %.0f ms with timeseries+SLOs (%.2f us/request vs %.2f)\n"
+        scale_msn tel_msn
+        (tel_msn *. 1e3 /. float_of_int scale_count)
+        (scale_msn *. 1e3 /. float_of_int scale_count);
       Printf.printf
         "scale: %d requests, sample 1/%d: p50 %s p99 %s, %d warm / %d cold; wall %.0f ms (1 domain) -> %.0f ms (%d domains)\n"
         scale_count sample_every
@@ -1332,7 +1457,7 @@ let serving () =
           let hp_r, hp_ms, _ =
             Fun.protect
               ~finally:(fun () -> Hotspot.set_enabled false)
-              (fun () -> run_scale ~domains:nd)
+              (fun () -> run_scale ~domains:nd ())
           in
           let fp_hp = Digest.to_hex (Digest.string (fingerprint hp_r)) in
           check "scale responses under profiling (fingerprint)" fpn fp_hp;
@@ -1460,6 +1585,20 @@ let serving () =
                    ("live_words", Jsonlite.Int scale_liven);
                    ("fold_wall_ms", Jsonlite.Float fold_ms);
                    ("fold_peak_live_words", Jsonlite.Int fold_live);
+                   (* Same leg re-run with windowed telemetry and SLO
+                      monitors enabled; gated so the observation path
+                      can't silently get expensive. *)
+                   ( "observability_overhead",
+                     Jsonlite.Obj
+                       [
+                         ("telemetry_wall_ms", Jsonlite.Float tel_msn);
+                         ( "telemetry_us_per_request",
+                           Jsonlite.Float
+                             (tel_msn *. 1e3 /. float_of_int scale_count) );
+                         ( "overhead_ratio",
+                           Jsonlite.Float (tel_msn /. Float.max 1e-9 scale_msn)
+                         );
+                       ] );
                  ]
                 @ hotspot_sections) );
             ( "deep",
@@ -1506,6 +1645,14 @@ let serving () =
           ~sketch_latency:true ()
       in
       register_all server;
+      (* Coarse windows and a retention that caps well before mid-run
+         (64 windows = the last quarter of the soak) keep the retained
+         per-window digest state a plateaued constant, so the soak's
+         flat-memory assertion still measures the serving path. *)
+      Visor.Server.enable_telemetry server
+        ~window:(Units.sec (Stdlib.max 1 (virtual_s / 256)))
+        ~retention:64 ~slos:(slo_specs ()) ();
+      let printed_alerts = ref 0 in
       let next =
         Loadgen.request_stream_until ~seed ~qps:soak_qps ~endpoints:eps
           ~horizon:(Units.sec virtual_s) ()
@@ -1555,12 +1702,27 @@ let serving () =
                 "soak t=%5ds: completed %8d, inflight %4d, live %9d words, p50 %8.1f us, p99 %9.1f us\n%!"
                 !next_snap !finished inflight live e50 e99;
               snaps := (!next_snap, !finished, inflight, live, e50, e99) :: !snaps;
+              (* Burn-rate alerts that fired since the last snapshot,
+                 interleaved at their deterministic virtual instants. *)
+              let alerts = Visor.Server.slo_alerts server in
+              List.iteri
+                (fun i a ->
+                  if i >= !printed_alerts then
+                    Printf.printf "  %s\n%!" (Slo.render_alert a))
+                alerts;
+              printed_alerts := List.length alerts;
               while float_of_int !next_snap <= now_s do
                 next_snap := !next_snap + snap_s
               done
             end)
       in
       let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      let soak_slo = slo_json server in
+      let soak_csv =
+        match Visor.Server.telemetry server with
+        | Some ts -> Timeseries.to_csv ts
+        | None -> ""
+      in
       Visor.Server.shutdown server;
       Metrics.set_raw_sample_every 1;
       Par.set_domains 1;
@@ -1614,6 +1776,10 @@ let serving () =
                   ("p2_p50_us", Jsonlite.Float (Sketch.P2.quantile p2_50));
                   ("p2_p99_us", Jsonlite.Float (Sketch.P2.quantile p2_99));
                   ("snapshots", Jsonlite.List (List.map snap_virtual snaps));
+                  ("slo", soak_slo);
+                  ( "timeseries_rows",
+                    Jsonlite.Int
+                      (List.length (String.split_on_char '\n' soak_csv)) );
                 ] );
             ( "host",
               Jsonlite.Obj
@@ -1647,7 +1813,12 @@ let serving () =
               ("single_warm_us", Jsonlite.Float (Units.to_us warm_one));
               ( "breakdown",
                 Jsonlite.Obj
-                  [ ("warm", warm_breakdown); ("cold", cold_breakdown) ] );
+                  [ ("warm", warm.lg_breakdown); ("cold", cold.lg_breakdown) ] );
+              ( "slo",
+                Jsonlite.Obj [ ("warm", warm.lg_slo); ("cold", cold.lg_slo) ] );
+              ( "tails",
+                Jsonlite.Obj
+                  [ ("warm", warm.lg_tails); ("cold", cold.lg_tails) ] );
             ] );
         (* Machine dependent: wall-clock of this run. *)
         ( "host",
@@ -1688,8 +1859,13 @@ let serving () =
   write "BENCH_serving.json" (Jsonlite.to_string json);
   write "BENCH_serving_trace.json" trace_doc;
   write "BENCH_serving_metrics.json" metrics_doc;
+  (* Exporter snapshots of the warm leg (deterministic, CI-diffed):
+     Prometheus text format and the windowed timeseries as CSV. *)
+  write "BENCH_serving_prom.txt" warm.lg_prom;
+  write "BENCH_serving_timeseries.csv" warm.lg_csv;
   print_endline
-    "wrote BENCH_serving.json, BENCH_serving_trace.json, BENCH_serving_metrics.json"
+    "wrote BENCH_serving.json, BENCH_serving_trace.json, BENCH_serving_metrics.json,\n\
+    \      BENCH_serving_prom.txt, BENCH_serving_timeseries.csv"
 
 (* ------------------------------------------------------------------ *)
 (* Execution fast paths: the software TLB vs the full page walk, and   *)

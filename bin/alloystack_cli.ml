@@ -118,9 +118,60 @@ let run_cmd app platform size instances length seed trace trace_out metrics_out 
               1)
     end
 
+(* The serving workload the CLI exercises: a 3-stage chain of 5ms
+   compute kernels behind one endpoint, shared by [serve] and
+   [explain --tails]. *)
+let make_chain_server ~cold ~sample_every ~seed ~sketch_latency =
+  let open Alloystack_core in
+  let wf = Workflow.chain ~name:"serve-chain" 3 in
+  let kernel (ctx : Asstd.ctx) ~instance:_ ~total:_ =
+    Asstd.compute ctx (Sim.Units.ms 5)
+  in
+  let bindings =
+    List.map
+      (fun (n : Workflow.node) -> (n.Workflow.node_id, Visor.bind kernel))
+      wf.Workflow.nodes
+  in
+  let server =
+    Visor.Server.create ~warm:(not cold) ~sample_every ~sample_seed:seed
+      ~sketch_latency ()
+  in
+  Visor.Server.register server ~endpoint:"chain" ~workflow:wf ~bindings ();
+  server
+
+(* Serve a seeded open-loop load with spans on, then attribute every
+   request at or above the latency quantile to its dominant
+   critical-path bucket. *)
+let explain_tails ~requests ~qps ~seed ~quantile =
+  reset_observability ();
+  Sim.Span.set_enabled Sim.Span.global true;
+  let open Alloystack_core in
+  let server = make_chain_server ~cold:false ~sample_every:1 ~seed ~sketch_latency:false in
+  let next =
+    Baselines.Loadgen.request_stream ~seed ~qps ~endpoints:[| "chain" |]
+      ~count:requests ()
+  in
+  let (), s =
+    Visor.Server.serve_fold server
+      (fun () ->
+        match next () with
+        | None -> None
+        | Some (endpoint, arrival) -> Some { Visor.Server.endpoint; arrival })
+      ~init:() ~f:(fun () _ -> ())
+  in
+  Visor.Server.shutdown server;
+  Format.printf "served:      %d requests at %.1f qps (p99 %a)@." requests qps
+    Sim.Units.pp s.Visor.Server.sm_p99_latency;
+  let tr = Obs.tails ~quantile () in
+  print_string (Obs.render_tails tr);
+  0
+
 (* Run one workflow with span collection on and attribute its whole
    end-to-end latency to cost categories along the critical path. *)
-let explain_cmd app platform size instances length seed trace_out =
+let explain_cmd app platform size instances length seed trace_out tails requests
+    qps quantile =
+  if tails then explain_tails ~requests ~qps ~seed ~quantile
+  else begin
   reset_observability ();
   Sim.Span.set_enabled Sim.Span.global true;
   match (parse_size size, List.assoc_opt platform platforms) with
@@ -163,6 +214,7 @@ let explain_cmd app platform size instances length seed trace_out =
               export_trace trace_out;
               if Sim.Units.equal attributed bd.Obs.bd_total then 0 else 1)
     end
+  end
 
 let coldstart_cmd () =
   Format.printf "%-14s %s@." "system" "cold start";
@@ -212,24 +264,50 @@ let check_cmd dot file =
    run is time-bounded instead of count-bounded, responses are folded
    (never materialised), percentiles come from sketches, and the run
    fails if live heap words trend upward across snapshots. *)
+(* "name:latency_ms:objective", e.g. "interactive:250:0.999". *)
+let parse_slo s =
+  match String.split_on_char ':' s with
+  | [ name; lat_ms; objective ] -> (
+      match (float_of_string_opt lat_ms, float_of_string_opt objective) with
+      | Some lat, Some obj when lat > 0.0 ->
+          Ok (Sim.Slo.spec ~objective:obj ~name ~latency:(Sim.Units.ms_f lat) ())
+      | _ -> Error (Printf.sprintf "bad SLO spec %S" s))
+  | _ ->
+      Error
+        (Printf.sprintf "bad SLO spec %S (expected name:latency_ms:objective)" s)
+
 let serve_cmd requests qps seed cold domains sample_every soak duration trace
-    trace_out metrics_out =
+    trace_out metrics_out slo_args csv_out prom_out tails =
   reset_observability ();
   Sim.Par.set_domains domains;
   if trace then Sim.Trace.set_enabled Sim.Trace.global true;
-  if trace || trace_out <> None then Sim.Span.set_enabled Sim.Span.global true;
+  if trace || trace_out <> None || tails then
+    Sim.Span.set_enabled Sim.Span.global true;
   if sample_every > 1 then Sim.Metrics.set_raw_sample_every ~seed sample_every;
   let open Alloystack_core in
-  let wf = Workflow.chain ~name:"serve-chain" 3 in
-  let kernel (ctx : Asstd.ctx) ~instance:_ ~total:_ = Asstd.compute ctx (Sim.Units.ms 5) in
-  let bindings =
-    List.map (fun (n : Workflow.node) -> (n.Workflow.node_id, Visor.bind kernel)) wf.Workflow.nodes
+  let slos =
+    List.map
+      (fun s ->
+        match parse_slo s with
+        | Ok spec -> spec
+        | Error e ->
+            prerr_endline e;
+            exit 2)
+      slo_args
   in
-  let server =
-    Visor.Server.create ~warm:(not cold) ~sample_every ~sample_seed:seed
-      ~sketch_latency:soak ()
-  in
-  Visor.Server.register server ~endpoint:"chain" ~workflow:wf ~bindings ();
+  let server = make_chain_server ~cold ~sample_every ~seed ~sketch_latency:soak in
+  if slos <> [] || csv_out <> None then begin
+    (* Soak runs are open-ended in virtual time: coarsen the windows so
+       the retained per-window digests plateau at 64 windows -- a
+       quarter of the run -- well before the soak's flat-memory
+       assertion starts comparing snapshots.  Bounded -n runs keep the
+       default 1 s windows. *)
+    if soak then
+      Visor.Server.enable_telemetry server
+        ~window:(Sim.Units.sec (Stdlib.max 1 (duration / 256)))
+        ~retention:64 ~slos ()
+    else Visor.Server.enable_telemetry server ~slos ()
+  end;
   let status = ref 0 in
   if soak then begin
     (* Time-bounded soak through the constant-memory fold path. *)
@@ -252,6 +330,7 @@ let serve_cmd requests qps seed cold domains sample_every soak duration trace
     let arrived = ref 0 in
     let next_snap = ref snap_s in
     let lives = ref [] in
+    let printed_alerts = ref 0 in
     let (), s =
       Visor.Server.serve_fold server stream ~init:()
         ~f:(fun () (p : Visor.Server.response) ->
@@ -280,6 +359,15 @@ let serve_cmd requests qps seed cold domains sample_every soak duration trace
               live
               (Sim.Sketch.P2.quantile p2_50)
               (Sim.Sketch.P2.quantile p2_99);
+            (* SLO alerts fired since the last snapshot, on their own
+               lines right under it. *)
+            let alerts = Visor.Server.slo_alerts server in
+            List.iteri
+              (fun i a ->
+                if i >= !printed_alerts then
+                  Format.printf "  %s@." (Sim.Slo.render_alert a))
+              alerts;
+            printed_alerts := List.length alerts;
             while float_of_int !next_snap <= now_s do
               next_snap := !next_snap + snap_s
             done
@@ -330,6 +418,33 @@ let serve_cmd requests qps seed cold domains sample_every soak duration trace
     Format.printf "starts:       %d warm / %d cold@." r.Visor.Server.warm_starts
       r.Visor.Server.cold_starts
   end;
+  (* SLO verdicts: compliance against objective, final burn rates, and
+     the full deterministic alert log. *)
+  List.iter
+    (fun m ->
+      let fast, slow = Sim.Slo.burn_rates m in
+      Format.printf "slo %s:      compliance %.4f (%d/%d good), burn fast %.2f slow %.2f%s@."
+        (Sim.Slo.name m) (Sim.Slo.compliance m) (Sim.Slo.good m)
+        (Sim.Slo.total m) fast slow
+        (if Sim.Slo.paging m then "  [PAGING]" else ""))
+    (Visor.Server.slo_monitors server);
+  List.iter
+    (fun a -> Format.printf "  %s@." (Sim.Slo.render_alert a))
+    (Visor.Server.slo_alerts server);
+  if tails then begin
+    let tr = Obs.tails () in
+    print_string (Obs.render_tails tr)
+  end;
+  (match (csv_out, Visor.Server.telemetry server) with
+  | Some path, Some ts ->
+      write_file path (Sim.Timeseries.to_csv ts);
+      Format.printf "timeseries:  %s@." path
+  | Some _, None | None, _ -> ());
+  (match prom_out with
+  | Some path ->
+      write_file path (Obs.prometheus_string ());
+      Format.printf "prometheus:  %s@." path
+  | None -> ());
   Visor.Server.shutdown server;
   if sample_every > 1 then Sim.Metrics.set_raw_sample_every 1;
   if trace then begin
@@ -383,17 +498,6 @@ let run_term =
 let run_info =
   Cmd.info "run" ~doc:"Run a benchmark workflow on a simulated platform."
 
-let explain_term =
-  Term.(
-    const explain_cmd $ app_arg $ platform_arg $ size_arg $ instances_arg $ length_arg
-    $ seed_arg $ trace_out_arg)
-
-let explain_info =
-  Cmd.info "explain"
-    ~doc:
-      "Run a workflow with span tracing and print the critical-path latency \
-       breakdown (boot / load / compute / transfer / network / io / retry)."
-
 let coldstart_info = Cmd.info "coldstart" ~doc:"Print the Fig. 10 cold-start table."
 
 let check_info = Cmd.info "check" ~doc:"Validate a JSON workflow configuration."
@@ -441,6 +545,54 @@ let duration_arg =
        & info [ "duration" ] ~docv:"SECS"
            ~doc:"Soak length in virtual seconds (with --soak).")
 
+let slo_arg =
+  Arg.(value & opt_all string []
+       & info [ "slo" ] ~docv:"NAME:LATENCY_MS:OBJECTIVE"
+           ~doc:"Declare an SLO (repeatable): a request is good when it \
+                 succeeds within LATENCY_MS, and OBJECTIVE (e.g. 0.999) is \
+                 the target good fraction.  Enables windowed telemetry and \
+                 multi-window burn-rate alerting; pages and clears print at \
+                 their deterministic virtual instants.")
+
+let csv_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "csv-out" ] ~docv:"FILE"
+           ~doc:"Write the windowed timeseries (1 virtual-second windows) as \
+                 CSV to $(docv).  Enables telemetry.")
+
+let prom_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "prom-out" ] ~docv:"FILE"
+           ~doc:"Write a Prometheus text-format snapshot of the metrics \
+                 registry to $(docv).")
+
+let tails_arg =
+  Arg.(value & flag
+       & info [ "tails" ]
+           ~doc:"Attribute every request at or above the tail latency \
+                 quantile to its dominant critical-path bucket and print the \
+                 verdict table.")
+
+let tail_quantile_arg =
+  Arg.(value & opt float 99.0
+       & info [ "tail-quantile" ] ~docv:"PCT"
+           ~doc:"Latency quantile defining the tail for --tails (default 99).")
+
+let explain_term =
+  Term.(
+    const explain_cmd $ app_arg $ platform_arg $ size_arg $ instances_arg $ length_arg
+    $ seed_arg $ trace_out_arg $ tails_arg $ requests_arg $ qps_arg
+    $ tail_quantile_arg)
+
+let explain_info =
+  Cmd.info "explain"
+    ~doc:
+      "Run a workflow with span tracing and print the critical-path latency \
+       breakdown (boot / load / compute / transfer / network / io / retry).  \
+       With --tails, serve an open-loop load instead and print the tail \
+       verdict table: which bucket dominates each request at or above the \
+       tail quantile."
+
 let serve_info =
   Cmd.info "serve"
     ~doc:"Serve a seeded open-loop load through the warm-pool server and report latency."
@@ -449,7 +601,7 @@ let serve_term =
   Term.(
     const serve_cmd $ requests_arg $ qps_arg $ seed_arg $ cold_arg $ domains_arg
     $ sample_every_arg $ soak_arg $ duration_arg $ trace_arg $ trace_out_arg
-    $ metrics_out_arg)
+    $ metrics_out_arg $ slo_arg $ csv_out_arg $ prom_out_arg $ tails_arg)
 
 let main =
   Cmd.group (Cmd.info "alloystack" ~doc:"AlloyStack reproduction CLI")

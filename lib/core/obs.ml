@@ -127,13 +127,10 @@ type breakdown = {
   bd_buckets : (string * Units.time) list;
 }
 
-let breakdown ?(collector = Span.global) ~root () =
-  let root_span =
-    match Span.find collector root with
-    | Some sp -> sp
-    | None -> invalid_arg "Obs.breakdown: unknown root span"
-  in
-  (* Children indexed by parent once; Span.children is O(n) per call. *)
+(* Children indexed by parent once; Span.children is O(n) per call.
+   Shared between [breakdown] (one root) and [tails] (every tail
+   root), so attribution over k roots indexes the tree once. *)
+let index_children collector =
   let by_parent : (Span.id, Span.span list) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun (sp : Span.span) ->
@@ -145,6 +142,9 @@ let breakdown ?(collector = Span.global) ~root () =
         in
         Hashtbl.replace by_parent sp.Span.sp_parent (sp :: prev))
     (Span.spans collector);
+  by_parent
+
+let breakdown_indexed by_parent (root_span : Span.span) =
   let buckets = Hashtbl.create 16 in
   let attribute category d =
     if Units.( > ) d Units.zero then begin
@@ -202,7 +202,7 @@ let breakdown ?(collector = Span.global) ~root () =
   walk root_span root_span.Span.sp_begin root_span.Span.sp_end;
   let all = categories @ [ "other" ] in
   {
-    bd_root = root;
+    bd_root = root_span.Span.sp_id;
     bd_label = root_span.Span.sp_label;
     bd_total = Units.sub root_span.Span.sp_end root_span.Span.sp_begin;
     bd_buckets =
@@ -214,6 +214,14 @@ let breakdown ?(collector = Span.global) ~root () =
             | None -> Units.zero ))
         all;
   }
+
+let breakdown ?(collector = Span.global) ~root () =
+  let root_span =
+    match Span.find collector root with
+    | Some sp -> sp
+    | None -> invalid_arg "Obs.breakdown: unknown root span"
+  in
+  breakdown_indexed (index_children collector) root_span
 
 let find_root ?(collector = Span.global) ~category () =
   List.fold_left
@@ -249,3 +257,263 @@ let breakdown_json bd =
         Jsonlite.Obj
           (List.map (fun (c, d) -> (c, Jsonlite.Int (ns_int d))) bd.bd_buckets) );
     ]
+
+(* --- Tail attribution ---------------------------------------------- *)
+
+type tail_entry = {
+  te_category : string;
+  te_count : int;
+  te_share : float;
+  te_mean_total : Units.time;
+  te_mean_bucket : Units.time;
+}
+
+type tail_report = {
+  tr_quantile : float;
+  tr_threshold : Units.time;
+  tr_population : int;
+  tr_tail : int;
+  tr_entries : tail_entry list;
+}
+
+let span_duration (sp : Span.span) = Units.sub sp.Span.sp_end sp.Span.sp_begin
+
+(* The dominant cost of one breakdown: the largest bucket, ties going
+   to the earlier category in report order (the buckets list is
+   already in that order, so strict-greater keeps the first max). *)
+let dominant bd =
+  List.fold_left
+    (fun ((_, best_d) as best) ((_, d) as cand) ->
+      if Units.( > ) d best_d then cand else best)
+    ("other", Units.zero) bd.bd_buckets
+
+let tails ?(collector = Span.global) ?(quantile = 99.0) ?category () =
+  if not (quantile > 0.0 && quantile <= 100.0) then
+    invalid_arg "Obs.tails: quantile must be in (0,100]";
+  let roots = Span.roots collector in
+  let roots =
+    match category with
+    | Some c -> List.filter (fun (sp : Span.span) -> String.equal sp.Span.sp_category c) roots
+    | None ->
+        (* Serving traces have "request" roots; single-run traces have
+           whatever the workflow rooted.  Prefer requests when present
+           so a mixed trace attributes the served tail, not warmup. *)
+        let reqs =
+          List.filter (fun (sp : Span.span) -> String.equal sp.Span.sp_category "request") roots
+        in
+        if reqs = [] then roots else reqs
+  in
+  let population = List.length roots in
+  if population = 0 then
+    {
+      tr_quantile = quantile;
+      tr_threshold = Units.zero;
+      tr_population = 0;
+      tr_tail = 0;
+      tr_entries = [];
+    }
+  else begin
+    (* Exact nearest-rank threshold over the sampled population, ties
+       broken by span id so the cut is deterministic. *)
+    let by_duration =
+      List.sort
+        (fun (a : Span.span) (b : Span.span) ->
+          match Units.compare (span_duration a) (span_duration b) with
+          | 0 -> Stdlib.compare a.Span.sp_id b.Span.sp_id
+          | c -> c)
+        roots
+    in
+    let rank =
+      let r = int_of_float (Float.ceil (quantile /. 100.0 *. float_of_int population)) in
+      if r < 1 then 1 else if r > population then population else r
+    in
+    let threshold = span_duration (List.nth by_duration (rank - 1)) in
+    let tail =
+      List.filter (fun sp -> Units.( >= ) (span_duration sp) threshold) by_duration
+    in
+    let by_parent = index_children collector in
+    let agg = Hashtbl.create 8 in
+    List.iter
+      (fun (sp : Span.span) ->
+        let bd = breakdown_indexed by_parent sp in
+        let cat, d = dominant bd in
+        let count, tot, bucket =
+          match Hashtbl.find_opt agg cat with
+          | Some v -> v
+          | None -> (0, Units.zero, Units.zero)
+        in
+        Hashtbl.replace agg cat
+          (count + 1, Units.add tot bd.bd_total, Units.add bucket d))
+      tail;
+    let n_tail = List.length tail in
+    let entries =
+      List.filter_map
+        (fun cat ->
+          match Hashtbl.find_opt agg cat with
+          | None -> None
+          | Some (count, tot, bucket) ->
+              Some
+                {
+                  te_category = cat;
+                  te_count = count;
+                  te_share = float_of_int count /. float_of_int n_tail;
+                  te_mean_total = Units.scale tot (1.0 /. float_of_int count);
+                  te_mean_bucket = Units.scale bucket (1.0 /. float_of_int count);
+                })
+        (categories @ [ "other" ])
+      (* Biggest culprit first; count ties keep report order. *)
+      |> List.stable_sort (fun a b -> Stdlib.compare b.te_count a.te_count)
+    in
+    {
+      tr_quantile = quantile;
+      tr_threshold = threshold;
+      tr_population = population;
+      tr_tail = n_tail;
+      tr_entries = entries;
+    }
+  end
+
+let render_tails tr =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "tail requests >= p%g (%s): %d of %d sampled\n" tr.tr_quantile
+    (Units.to_string tr.tr_threshold) tr.tr_tail tr.tr_population;
+  if tr.tr_entries <> [] then begin
+    Printf.bprintf buf "  %-10s %6s %7s %12s %14s\n" "verdict" "count" "share"
+      "mean e2e" "mean in-bucket";
+    List.iter
+      (fun e ->
+        Printf.bprintf buf "  %-10s %6d %6.1f%% %12s %14s\n" e.te_category
+          e.te_count (100.0 *. e.te_share)
+          (Units.to_string e.te_mean_total)
+          (Units.to_string e.te_mean_bucket))
+      tr.tr_entries
+  end;
+  Buffer.contents buf
+
+let tails_json tr =
+  Jsonlite.Obj
+    [
+      ("quantile", Jsonlite.Float tr.tr_quantile);
+      ("threshold_ns", Jsonlite.Int (ns_int tr.tr_threshold));
+      ("population", Jsonlite.Int tr.tr_population);
+      ("tail", Jsonlite.Int tr.tr_tail);
+      ( "verdicts",
+        Jsonlite.List
+          (List.map
+             (fun e ->
+               Jsonlite.Obj
+                 [
+                   ("category", Jsonlite.String e.te_category);
+                   ("count", Jsonlite.Int e.te_count);
+                   ("share", Jsonlite.Float e.te_share);
+                   ("mean_total_ns", Jsonlite.Int (ns_int e.te_mean_total));
+                   ("mean_bucket_ns", Jsonlite.Int (ns_int e.te_mean_bucket));
+                 ])
+             tr.tr_entries) );
+    ]
+
+(* --- Prometheus text-format export --------------------------------- *)
+
+(* Valid Prometheus metric names are [[a-zA-Z_:][a-zA-Z0-9_:]*]; our
+   dotted names sanitize by replacing everything else with '_'.  A
+   [Metrics.labels]-encoded name keeps its label block verbatim and
+   only the base is sanitized. *)
+let prom_name name =
+  let base = Metrics.base_name name in
+  let labels =
+    String.sub name (String.length base) (String.length name - String.length base)
+  in
+  let b = Bytes.of_string base in
+  Bytes.iteri
+    (fun i c ->
+      let ok =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+        || (i > 0 && c >= '0' && c <= '9')
+      in
+      if not ok then Bytes.set b i '_')
+    b;
+  (Bytes.to_string b, labels)
+
+(* Fixed-point float rendering (no %g, which flips to scientific
+   notation and is locale/precision dependent in ways that break the
+   byte-identity contract). *)
+let prom_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else begin
+    let s = Printf.sprintf "%.6f" v in
+    let n = String.length s in
+    let last = ref (n - 1) in
+    while !last > 0 && s.[!last] = '0' && s.[!last - 1] <> '.' do
+      decr last
+    done;
+    String.sub s 0 (!last + 1)
+  end
+
+let prometheus_string () =
+  let snap = Metrics.snapshot () in
+  let buf = Buffer.create 4096 in
+  (* One TYPE line per metric family: group samples by sanitized base
+     name (label variants of one base may not sort adjacent in the raw
+     list — "x_total" sorts between "x" and "x{...}"). *)
+  let emit_simple kind entries value_of =
+    let keyed =
+      List.map
+        (fun (name, v) ->
+          let base, labels = prom_name name in
+          (base, labels, v))
+        entries
+      |> List.sort (fun (b1, l1, _) (b2, l2, _) ->
+             match String.compare b1 b2 with
+             | 0 -> String.compare l1 l2
+             | c -> c)
+    in
+    let last_base = ref "" in
+    List.iter
+      (fun (base, labels, v) ->
+        if base <> !last_base then begin
+          Printf.bprintf buf "# TYPE %s %s\n" base kind;
+          last_base := base
+        end;
+        Printf.bprintf buf "%s%s %s\n" base labels (value_of v))
+      keyed
+  in
+  emit_simple "counter" snap.Metrics.snap_counters string_of_int;
+  emit_simple "gauge" snap.Metrics.snap_gauges prom_float;
+  let histos =
+    List.map
+      (fun (h : Metrics.histo_snapshot) ->
+        let base, labels = prom_name h.Metrics.hs_name in
+        (base, labels, h))
+      snap.Metrics.snap_histograms
+    |> List.sort (fun (b1, l1, _) (b2, l2, _) ->
+           match String.compare b1 b2 with
+           | 0 -> String.compare l1 l2
+           | c -> c)
+  in
+  let last_base = ref "" in
+  List.iter
+    (fun (base, labels, (h : Metrics.histo_snapshot)) ->
+      if base <> !last_base then begin
+        Printf.bprintf buf "# TYPE %s histogram\n" base;
+        last_base := base
+      end;
+      (* The label block already ends in '}' when present; bucket lines
+         splice the le label into it. *)
+      let with_le le =
+        if labels = "" then Printf.sprintf "{le=\"%s\"}" le
+        else
+          Printf.sprintf "%s,le=\"%s\"}" (String.sub labels 0 (String.length labels - 1)) le
+      in
+      let cum = ref 0 in
+      List.iter
+        (fun (i, c) ->
+          cum := !cum + c;
+          Printf.bprintf buf "%s_bucket%s %d\n" base
+            (with_le (prom_float (Metrics.bucket_bound i)))
+            !cum)
+        h.Metrics.hs_buckets;
+      Printf.bprintf buf "%s_bucket%s %d\n" base (with_le "+Inf") h.Metrics.hs_count;
+      Printf.bprintf buf "%s_sum%s %s\n" base labels (prom_float h.Metrics.hs_sum);
+      Printf.bprintf buf "%s_count%s %d\n" base labels h.Metrics.hs_count)
+    histos;
+  Buffer.contents buf

@@ -73,3 +73,57 @@ val render_breakdown : breakdown -> string
 val breakdown_json : breakdown -> Jsonlite.t
 (** [{"label":..,"total_ns":..,"buckets":{"boot":ns,..}}] with every
     bucket (including zeros) in report order. *)
+
+(** {1 Tail attribution}
+
+    Why were the slow requests slow?  For every sampled root span at
+    or above a latency quantile, run the critical-path breakdown and
+    charge the request to its {e dominant} bucket — the category
+    holding the most critical-path time.  The aggregated verdict table
+    turns "p99 is 800ms" into "the p99 is cold boots". *)
+
+type tail_entry = {
+  te_category : string;  (** Dominant cost bucket. *)
+  te_count : int;  (** Tail requests charged to it. *)
+  te_share : float;  (** Fraction of all tail requests. *)
+  te_mean_total : Sim.Units.time;  (** Mean e2e latency of those. *)
+  te_mean_bucket : Sim.Units.time;  (** Mean time in the bucket. *)
+}
+
+type tail_report = {
+  tr_quantile : float;
+  tr_threshold : Sim.Units.time;
+      (** The exact nearest-rank quantile of the sampled population. *)
+  tr_population : int;  (** Sampled root spans considered. *)
+  tr_tail : int;  (** Roots at or above the threshold. *)
+  tr_entries : tail_entry list;
+      (** Largest count first; ties keep {!categories} order. *)
+}
+
+val tails :
+  ?collector:Sim.Span.t -> ?quantile:float -> ?category:string -> unit -> tail_report
+(** [quantile] defaults to 99.0.  Roots of [category] are analysed
+    when given; otherwise ["request"] roots when any exist (the
+    serving shape), else every root.  Under span sampling
+    ([sample_every]) the population is the sampled requests — exact
+    counters elsewhere are unaffected.  Raises [Invalid_argument]
+    when [quantile] is outside (0,100]. *)
+
+val render_tails : tail_report -> string
+(** Verdict table, one line per dominant category. *)
+
+val tails_json : tail_report -> Jsonlite.t
+(** [{"quantile":..,"threshold_ns":..,"population":..,"tail":..,
+    "verdicts":[{"category":..,"count":..,"share":..,
+    "mean_total_ns":..,"mean_bucket_ns":..},..]}]. *)
+
+(** {1 Prometheus export} *)
+
+val prometheus_string : unit -> string
+(** The current {!Sim.Metrics} registry in the Prometheus text
+    exposition format: counters and gauges as single samples,
+    histograms as cumulative [le] buckets (log2 bounds) plus [_sum]
+    and [_count].  Dotted names sanitize to underscores;
+    [Metrics.labels]-encoded names keep their label blocks.  Floats
+    render fixed-point, so identical registries export byte-identical
+    text on any host. *)

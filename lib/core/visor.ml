@@ -739,6 +739,26 @@ module Server = struct
            instead of pooling them. *)
   }
 
+  (* Windowed telemetry, opt-in via [enable_telemetry].  Every series
+     is recorded from the sequential merge loop — observations land in
+     merged-virtual-timeline order, so the exported timeseries, SLO
+     alert instants and burn rates are byte-identical at any host
+     domain count without any shard merging of their own. *)
+  type telemetry = {
+    tel_ts : Timeseries.t;
+    tel_slos : Slo.t list;
+    tel_requests : Timeseries.series;  (* serve.requests, per window *)
+    tel_errors : Timeseries.series;
+    tel_warm : Timeseries.series;  (* warm attempt starts *)
+    tel_cold : Timeseries.series;  (* cold-boot attempt starts *)
+    tel_recycle : Timeseries.series;  (* shells offered for recycling *)
+    tel_inflight : Timeseries.series;  (* per-window high watermark *)
+    tel_latency : Timeseries.dist;  (* serve.latency_ns *)
+    tel_by_ep :
+      (string, Timeseries.series * Timeseries.series * Timeseries.dist) Hashtbl.t;
+        (* per-endpoint (requests, errors, latency), labelled names *)
+  }
+
   type t = {
     scfg : config;
     pool_cap : int;
@@ -779,6 +799,7 @@ module Server = struct
     recycle_mu : Mutex.t;
         (* Guards every [tpl_free] push/pop: workers release shells
            concurrently during a window's parallel phase. *)
+    mutable tel : telemetry option;
   }
 
   let create ?(config = default_config) ?(pool_mem_cap = 512 * 1024 * 1024)
@@ -816,7 +837,52 @@ module Server = struct
       doomed = [];
       recycle_cap;
       recycle_mu = Mutex.create ();
+      tel = None;
     }
+
+  let enable_telemetry t ?window ?retention ?(slos = []) () =
+    let ts = Timeseries.create ?width:window ?retention () in
+    let bucket = Timeseries.width ts in
+    t.tel <-
+      Some
+        {
+          tel_ts = ts;
+          tel_slos = List.map (fun s -> Slo.create ~bucket s) slos;
+          tel_requests = Timeseries.counter ts "serve.requests";
+          tel_errors = Timeseries.counter ts "serve.errors";
+          tel_warm = Timeseries.counter ts "serve.warm_hits";
+          tel_cold = Timeseries.counter ts "serve.cold_boots";
+          tel_recycle = Timeseries.counter ts "serve.recycle_releases";
+          tel_inflight = Timeseries.gauge ts "serve.inflight";
+          tel_latency = Timeseries.dist ts "serve.latency_ns";
+          tel_by_ep = Hashtbl.create 8;
+        }
+
+  let telemetry t = Option.map (fun tel -> tel.tel_ts) t.tel
+  let slo_monitors t = match t.tel with None -> [] | Some tel -> tel.tel_slos
+
+  (* All monitors' alerts on one timeline: sort by instant, ties by
+     SLO name — stable and deterministic. *)
+  let slo_alerts t =
+    slo_monitors t
+    |> List.concat_map Slo.alerts
+    |> List.stable_sort (fun (a : Slo.alert) (b : Slo.alert) ->
+           match Units.compare a.Slo.al_at b.Slo.al_at with
+           | 0 -> String.compare a.Slo.al_slo b.Slo.al_slo
+           | c -> c)
+
+  let ep_series tel ep =
+    match Hashtbl.find_opt tel.tel_by_ep ep with
+    | Some v -> v
+    | None ->
+        let kv = [ ("endpoint", ep) ] in
+        let v =
+          ( Timeseries.counter tel.tel_ts (Metrics.labels "serve.requests" kv),
+            Timeseries.counter tel.tel_ts (Metrics.labels "serve.errors" kv),
+            Timeseries.dist tel.tel_ts (Metrics.labels "serve.latency_ns" kv) )
+        in
+        Hashtbl.replace tel.tel_by_ep ep v;
+        v
 
   let register t ~endpoint ~workflow ~bindings () =
     if Hashtbl.mem t.table endpoint then
@@ -1012,10 +1078,20 @@ module Server = struct
   (* Return a finished clone of [tpl] to its shell pool — called from
      worker domains at the end of a clean warm attempt.  The host-only
      reset happens here, off the sequential merge path; over the cap or
-     after eviction the shell is destroyed like the historical path. *)
+     after eviction the shell is destroyed like the historical path.
+
+     Returns whether the shell was {e offered} to the pool.  That bool
+     depends only on plan-level state set in sequential phases
+     (recycle cap, doom flags), never on the pool's momentary
+     occupancy — which makes it the deterministic recycle signal the
+     telemetry layer records.  Whether an offered shell actually stays
+     pooled additionally depends on the cap check under the mutex,
+     i.e. on concurrent push order, so that outcome is host-only. *)
   let release_shell t tpl wfd =
-    if t.recycle_cap = 0 || tpl.tpl_doomed || tpl.tpl_wfd.Wfd.destroyed then
-      Wfd.destroy wfd
+    if t.recycle_cap = 0 || tpl.tpl_doomed || tpl.tpl_wfd.Wfd.destroyed then begin
+      Wfd.destroy wfd;
+      false
+    end
     else begin
       Wfd.recycle ~template:tpl.tpl_wfd wfd;
       let pooled =
@@ -1028,7 +1104,8 @@ module Server = struct
                  true
                end)
       in
-      if not pooled then Wfd.destroy wfd
+      if not pooled then Wfd.destroy wfd;
+      true
     end
 
   let find_registration t endpoint =
@@ -1102,6 +1179,10 @@ module Server = struct
   type traj = {
     tj_attempts : attempt_traj list;  (* executed attempts, in order *)
     tj_retries : int;  (* function restarts across all attempts *)
+    tj_released : bool;
+        (* the final attempt offered its shell back to the recycle
+           pool — the deterministic per-request recycle signal (see
+           [release_shell]) *)
   }
 
   type plan = {
@@ -1152,6 +1233,7 @@ module Server = struct
     in
     let stages = Workflow.stages reg.reg_workflow in
     let retries = ref 0 in
+    let released = ref false in
     let max_a = Array.length boots in
     let rec attempts_from a acc =
       let proc_table = Hostos.Process.create_table () in
@@ -1328,13 +1410,13 @@ module Server = struct
          boots and per-request fault plans tear down as before. *)
       (match boot_tpl with
       | Some tpl when at.at_failed = None && fault_child = None ->
-          release_shell t tpl wfd
+          released := release_shell t tpl wfd
       | Some _ | None -> Wfd.destroy wfd);
       if at.at_failed <> None && a < max_a then attempts_from (a + 1) (at :: acc)
       else List.rev (at :: acc)
     in
     let attempts = attempts_from 1 [] in
-    { tj_attempts = attempts; tj_retries = !retries }
+    { tj_attempts = attempts; tj_retries = !retries; tj_released = !released }
 
   (* Merge-phase state of one request. *)
   type mstate = {
@@ -1348,6 +1430,9 @@ module Server = struct
     mutable ms_attempt_no : int;
     mutable ms_stages_left : segment list;
     mutable ms_rss : int;
+    mutable ms_attempt_began : Units.time;
+        (* start instant of the executing attempt, for the
+           per-execution [visor.e2e_ns] observation *)
   }
 
   type ev = Arrival of mstate | Advance of mstate
@@ -1498,6 +1583,7 @@ module Server = struct
               ms_attempt_no = 0;
               ms_stages_left = [];
               ms_rss = 0;
+              ms_attempt_began = Units.zero;
             }
           in
           Eventq.push q ~at:r.arrival ~pri:pri_arrival (Arrival ms))
@@ -1536,6 +1622,26 @@ module Server = struct
       ms.ms_rss <- rss;
       note_rss ~live:!live_rss t
     in
+    (* Telemetry records happen here in the merge loop, on the merged
+       virtual timeline — deterministic at any domain count for free. *)
+    let tel_finish ~now ~endpoint ~latency ~ok ~released =
+      match t.tel with
+      | None -> ()
+      | Some tel ->
+          let _, ep_err, ep_lat = ep_series tel endpoint in
+          let lat_ns = Int64.to_float (Units.to_ns latency) in
+          Timeseries.observe tel.tel_ts tel.tel_latency ~at:now lat_ns;
+          Timeseries.observe tel.tel_ts ep_lat ~at:now lat_ns;
+          if not ok then begin
+            Timeseries.add tel.tel_ts tel.tel_errors ~at:now 1.0;
+            Timeseries.add tel.tel_ts ep_err ~at:now 1.0
+          end;
+          if released then
+            Timeseries.add tel.tel_ts tel.tel_recycle ~at:now 1.0;
+          List.iter
+            (fun m -> Slo.observe_request m ~at:now ~ok ~latency)
+            tel.tel_slos
+    in
     let finish_request ms ~now ~ok =
       decr inflight_now;
       let latency = Units.sub now ms.ms_req.arrival in
@@ -1547,6 +1653,9 @@ module Server = struct
         Stats.add_time lat latency
       end
       else incr failed;
+      tel_finish ~now ~endpoint:ms.ms_req.endpoint ~latency ~ok
+        ~released:
+          (ok && match ms.ms_traj with Some tj -> tj.tj_released | None -> false);
       last_finish := Units.max !last_finish now;
       acc :=
         f !acc
@@ -1574,8 +1683,15 @@ module Server = struct
           ms.ms_attempts_left <- rest;
           ms.ms_attempt_no <- ms.ms_attempt_no + 1;
           ms.ms_stages_left <- a.at_stages;
+          ms.ms_attempt_began <- now;
           if a.at_warm then t.warm_hit_count <- t.warm_hit_count + 1
           else t.cold_boot_count <- t.cold_boot_count + 1;
+          (match t.tel with
+          | None -> ()
+          | Some tel ->
+              Timeseries.add tel.tel_ts
+                (if a.at_warm then tel.tel_warm else tel.tel_cold)
+                ~at:now 1.0);
           Par.merge_shard ~attach:ms.ms_span ~offset:now a.at_boot.sg_shard;
           set_rss ms a.at_boot.sg_rss;
           Eventq.push q ~at:(Units.add now a.at_boot_elapsed) ~pri:pri_advance
@@ -1612,6 +1728,10 @@ module Server = struct
           set_rss ms sg.sg_rss;
           Eventq.push q ~at:makespan ~pri:pri_advance (Advance ms)
       | [] -> (
+          (* One workflow execution (attempt) ended: boot through last
+             stage — the serving-side analogue of the run path's
+             end-to-end observation. *)
+          Metrics.observe_time e2e_histo (Units.sub now ms.ms_attempt_began);
           match a.at_failed with
           | None -> finish_request ms ~now ~ok:true
           | Some kind ->
@@ -1650,6 +1770,14 @@ module Server = struct
             incr inflight_now;
             max_inflight := Stdlib.max !max_inflight !inflight_now;
             Metrics.max_gauge inflight_gauge (float_of_int !inflight_now);
+            (match t.tel with
+            | None -> ()
+            | Some tel ->
+                Timeseries.add tel.tel_ts tel.tel_requests ~at:now 1.0;
+                Timeseries.add tel.tel_ts tel.tel_inflight ~at:now
+                  (float_of_int !inflight_now);
+                let ep_req, _, _ = ep_series tel ms.ms_req.endpoint in
+                Timeseries.add tel.tel_ts ep_req ~at:now 1.0);
             ms.ms_span <-
               (if ms.ms_sampled then
                  Span.begin_span (Span.current ()) ~parent:Span.none ~at:now
@@ -1666,6 +1794,8 @@ module Server = struct
                 Span.end_span (Span.current ()) ms.ms_span ~at:now;
                 decr inflight_now;
                 incr failed;
+                tel_finish ~now ~endpoint:ms.ms_req.endpoint ~latency:Units.zero
+                  ~ok:false ~released:false;
                 last_finish := Units.max !last_finish now;
                 acc :=
                   f !acc
@@ -1692,6 +1822,11 @@ module Server = struct
     in
     drive ();
     flush_doomed t;
+    (* Close out the final partial SLO buckets so alerts pending at
+       end-of-run fire at a deterministic instant. *)
+    (match t.tel with
+    | None -> ()
+    | Some tel -> List.iter (fun m -> Slo.finish m ~at:!last_finish) tel.tel_slos);
     let t_start = match !first_arrival with Some a -> a | None -> Units.zero in
     let duration = Units.sub !last_finish t_start in
     let secs = Units.to_sec duration in

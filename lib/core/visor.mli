@@ -301,6 +301,39 @@ module Server : sig
       rebuilt only after a {!register}, so per-snapshot polling in a
       soak loop is O(1). *)
 
+  val enable_telemetry :
+    t ->
+    ?window:Sim.Units.time ->
+    ?retention:int ->
+    ?slos:Sim.Slo.spec list ->
+    unit ->
+    unit
+  (** Opt into windowed telemetry (off by default, so the serving hot
+      path pays nothing).  Serving then feeds a {!Sim.Timeseries}
+      ([window] wide, default 1 virtual second, keeping [retention]
+      windows) with request/error/warm/cold/recycle-release counters,
+      a per-window inflight high-watermark, latency distributions, and
+      per-endpoint labelled variants — and evaluates one
+      {!Sim.Slo} monitor per spec in [slos].
+
+      Every observation is recorded from the sequential merge loop on
+      the merged virtual timeline, so timeseries exports, SLO alert
+      instants and burn rates are byte-identical across host domain
+      counts.  The recycle-release series counts shells {e offered}
+      back to the pool (a plan-deterministic event); whether an offer
+      stays pooled depends on host push order and is deliberately not
+      a telemetry signal. *)
+
+  val telemetry : t -> Sim.Timeseries.t option
+  (** The live timeseries once {!enable_telemetry} was called. *)
+
+  val slo_monitors : t -> Sim.Slo.t list
+  (** Monitors in [slos] order; live during a serve, final after. *)
+
+  val slo_alerts : t -> Sim.Slo.alert list
+  (** All monitors' pages and clears on one timeline, ordered by
+      instant (ties by SLO name). *)
+
   val prewarm : t -> endpoint:string -> Sim.Units.time option
   (** Build (or touch) the endpoint's template off the request path.
       Returns the template build time, or [None] if the pool is

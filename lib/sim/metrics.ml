@@ -14,6 +14,18 @@
    sketch — full-population estimates in O(1) memory — instead of the
    thinned reservoir or the coarse log2 buckets. *)
 
+type histo_snapshot = {
+  hs_name : string;
+  hs_count : int;
+  hs_sum : float;
+  hs_min : float;
+  hs_max : float;
+  hs_p50 : float;
+  hs_p90 : float;
+  hs_p99 : float;
+  hs_buckets : (int * int) list;
+}
+
 type histo = {
   buckets : int array;  (* 64 log2 buckets; index via [bucket_index] *)
   samples : Stats.t;  (* raw reservoir for percentiles; may be thinned *)
@@ -26,6 +38,10 @@ type histo = {
       (* full-population digest, allocated on the first thinned
          observation; [None] at k = 1 so the default path never touches
          it *)
+  mutable h_snap : histo_snapshot option;
+      (* memoized snapshot, invalidated by any mutation — repeated
+         exporter reads (a Prometheus scrape per soak snapshot line)
+         cost one hashtable walk, not a percentile query per cell *)
 }
 
 type registry = {
@@ -75,6 +91,7 @@ let histo_cell r name =
           h_max = neg_infinity;
           h_seen = 0;
           h_sketch = None;
+          h_snap = None;
         }
       in
       Hashtbl.replace r.r_histograms name h;
@@ -87,6 +104,38 @@ let gauge_cell r name =
       let g = ref 0.0 in
       Hashtbl.replace r.r_gauges name g;
       g
+
+(* Prometheus-style dimensional names: [labels "x" ["ep","a"]] is
+   [x{ep="a"}].  Keys are sorted so one label set always encodes to
+   one name, making labelled series as deterministic as plain ones —
+   a handle is still just a name, so the encoding works for
+   histograms, gauges, [Stats.Counter]s and [Timeseries] series
+   alike.  Exporters split at the first '{' to recover the base. *)
+let labels name kvs =
+  match kvs with
+  | [] -> name
+  | kvs ->
+      let esc v =
+        let buf = Buffer.create (String.length v) in
+        String.iter
+          (fun c ->
+            match c with
+            | '"' | '\\' ->
+                Buffer.add_char buf '\\';
+                Buffer.add_char buf c
+            | '\n' -> Buffer.add_string buf "\\n"
+            | c -> Buffer.add_char buf c)
+          v;
+        Buffer.contents buf
+      in
+      let kvs = List.sort (fun (a, _) (b, _) -> String.compare a b) kvs in
+      let parts = List.map (fun (k, v) -> k ^ "=\"" ^ esc v ^ "\"") kvs in
+      name ^ "{" ^ String.concat "," parts ^ "}"
+
+let base_name name =
+  match String.index_opt name '{' with
+  | Some i -> String.sub name 0 i
+  | None -> name
 
 (* Registration persists across [reset] so never-observed series still
    export (with zero counts). *)
@@ -109,6 +158,7 @@ let bucket_bound i = 2.0 ** float_of_int i
 (* One observation: exact aggregates unconditionally, reservoir offer
    through the registry's 1-in-k sampler. *)
 let observe_cell r (cell : histo) v =
+  cell.h_snap <- None;
   let i = bucket_index v in
   cell.buckets.(i) <- cell.buckets.(i) + 1;
   cell.h_count <- cell.h_count + 1;
@@ -151,18 +201,6 @@ let max_gauge g v =
 
 let gauge_value g = !(gauge_cell (current ()) g)
 
-type histo_snapshot = {
-  hs_name : string;
-  hs_count : int;
-  hs_sum : float;
-  hs_min : float;
-  hs_max : float;
-  hs_p50 : float;
-  hs_p90 : float;
-  hs_p99 : float;
-  hs_buckets : (int * int) list;
-}
-
 type snapshot = {
   snap_counters : (string * int) list;
   snap_gauges : (string * float) list;
@@ -188,6 +226,9 @@ let bucket_percentile (h : histo) p =
   !ans
 
 let snapshot_histogram name (h : histo) =
+  match h.h_snap with
+  | Some s -> s
+  | None ->
   let empty = h.h_count = 0 in
   let lossless = (not (Stats.is_empty h.samples)) && Stats.count h.samples = h.h_count in
   let pct p =
@@ -204,17 +245,21 @@ let snapshot_histogram name (h : histo) =
   for i = 63 downto 0 do
     if h.buckets.(i) > 0 then buckets := (i, h.buckets.(i)) :: !buckets
   done;
-  {
-    hs_name = name;
-    hs_count = h.h_count;
-    hs_sum = h.h_sum;
-    hs_min = (if empty then 0.0 else h.h_min);
-    hs_max = (if empty then 0.0 else h.h_max);
-    hs_p50 = pct 50.0;
-    hs_p90 = pct 90.0;
-    hs_p99 = pct 99.0;
-    hs_buckets = !buckets;
-  }
+  let s =
+    {
+      hs_name = name;
+      hs_count = h.h_count;
+      hs_sum = h.h_sum;
+      hs_min = (if empty then 0.0 else h.h_min);
+      hs_max = (if empty then 0.0 else h.h_max);
+      hs_p50 = pct 50.0;
+      hs_p90 = pct 90.0;
+      hs_p99 = pct 99.0;
+      hs_buckets = !buckets;
+    }
+  in
+  h.h_snap <- Some s;
+  s
 
 let snapshot () =
   let r = current () in
@@ -239,7 +284,8 @@ let reset () =
       h.h_min <- infinity;
       h.h_max <- neg_infinity;
       h.h_seen <- 0;
-      (match h.h_sketch with Some d -> Sketch.Tdigest.clear d | None -> ()))
+      (match h.h_sketch with Some d -> Sketch.Tdigest.clear d | None -> ());
+      h.h_snap <- None)
     r.r_histograms;
   Hashtbl.iter (fun _ g -> g := 0.0) r.r_gauges;
   Stats.reset_counters ()
@@ -265,6 +311,7 @@ let merge_into (src : registry) =
          if Stats.count h.samples = h.h_count then
            List.iter (fun v -> observe_cell dst cell v) (Stats.to_list h.samples)
          else begin
+           cell.h_snap <- None;
            for i = 0 to 63 do
              cell.buckets.(i) <- cell.buckets.(i) + h.buckets.(i)
            done;

@@ -53,6 +53,19 @@ val merge_into : registry -> unit
     The destination's reservoir thinning (see {!set_raw_sample_every})
     applies to the merged samples. *)
 
+val labels : string -> (string * string) list -> string
+(** [labels name kvs] encodes a dimensional series name in the
+    Prometheus style: [labels "serve.requests" [("endpoint", "thumb")]]
+    is ["serve.requests{endpoint=\"thumb\"}"].  Keys are sorted and
+    values escaped, so one label set always encodes to one name.
+    Handles throughout this module (and {!Stats.Counter},
+    {!Timeseries}) are names, so the result is directly usable as a
+    per-label instrument. *)
+
+val base_name : string -> string
+(** The name with any [{...}] label block stripped — what exporters
+    group dimensional series under. *)
+
 val histogram : string -> histogram
 (** Registered histogram for [name], created empty on first use.
     Repeated calls with the same name share one instrument. *)
@@ -112,7 +125,10 @@ type snapshot = {
 }
 
 val snapshot : unit -> snapshot
-(** Snapshot of the whole registry, including every {!Stats.Counter}. *)
+(** Snapshot of the whole registry, including every {!Stats.Counter}.
+    Per-histogram snapshots are memoized until the next observation,
+    merge or reset touches the cell, so repeated exporter calls over a
+    quiet registry are O(series) — no percentile recomputation. *)
 
 val reset : unit -> unit
 (** Zeroes every histogram, gauge and {!Stats.Counter} (the instruments

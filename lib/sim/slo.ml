@@ -1,0 +1,215 @@
+(* Multi-window multi-burn-rate SLO monitor (the Google SRE workbook
+   recipe), evaluated on the virtual clock.
+
+   State is a ring of per-bucket (good, total) counts sized to the
+   slow lookback, plus rolling sums for both lookbacks — closing a
+   bucket is O(1): subtract the bucket leaving each lookback, add the
+   one closing, compare burns.  All integer counts and one float
+   division per close, so alert instants are bit-deterministic. *)
+
+type spec = {
+  slo_name : string;
+  slo_latency : Units.time;
+  slo_objective : float;
+  slo_fast : Units.time;
+  slo_slow : Units.time;
+  slo_burn : float;
+}
+
+let spec ?(objective = 0.999) ?(fast = Units.sec 300) ?(slow = Units.sec 3600)
+    ?(burn = 14.4) ~name ~latency () =
+  if not (objective > 0.0 && objective < 1.0) then
+    invalid_arg "Slo.spec: objective must be in (0,1)";
+  if Units.(fast <= Units.zero) || Units.(slow <= Units.zero) then
+    invalid_arg "Slo.spec: lookback windows must be positive";
+  if Units.(slow < fast) then
+    invalid_arg "Slo.spec: slow window shorter than fast window";
+  if burn <= 0.0 then invalid_arg "Slo.spec: burn threshold must be positive";
+  {
+    slo_name = name;
+    slo_latency = latency;
+    slo_objective = objective;
+    slo_fast = fast;
+    slo_slow = slow;
+    slo_burn = burn;
+  }
+
+type kind = Page | Clear
+
+type alert = {
+  al_slo : string;
+  al_kind : kind;
+  al_at : Units.time;
+  al_fast : float;
+  al_slow : float;
+}
+
+type t = {
+  m_spec : spec;
+  m_bucket : Units.time;
+  m_fast_n : int;  (* fast lookback, in buckets *)
+  m_slow_n : int;
+  m_good : int array;  (* rings, slot = bucket mod m_slow_n *)
+  m_total : int array;
+  mutable m_cur : int;  (* open bucket index *)
+  mutable m_cur_good : int;
+  mutable m_cur_total : int;
+  mutable m_fast_good : int;  (* rolling sums over the lookbacks *)
+  mutable m_fast_total : int;
+  mutable m_slow_good : int;
+  mutable m_slow_total : int;
+  mutable m_fast_burn : float;
+  mutable m_slow_burn : float;
+  mutable m_paging : bool;
+  mutable m_alerts : alert list;  (* newest first *)
+  mutable m_all_good : int;
+  mutable m_all_total : int;
+}
+
+let buckets_of ~bucket window =
+  let b = Units.to_ns bucket and w = Units.to_ns window in
+  Int64.to_int (Int64.div (Int64.add w (Int64.sub b 1L)) b)
+
+let create ?(bucket = Units.sec 1) s =
+  if Units.equal bucket Units.zero then invalid_arg "Slo.create: zero bucket";
+  if Units.(s.slo_fast < bucket) then
+    invalid_arg "Slo.create: fast window shorter than the bucket";
+  let fast_n = buckets_of ~bucket s.slo_fast in
+  let slow_n = buckets_of ~bucket s.slo_slow in
+  {
+    m_spec = s;
+    m_bucket = bucket;
+    m_fast_n = fast_n;
+    m_slow_n = slow_n;
+    m_good = Array.make slow_n 0;
+    m_total = Array.make slow_n 0;
+    m_cur = 0;
+    m_cur_good = 0;
+    m_cur_total = 0;
+    m_fast_good = 0;
+    m_fast_total = 0;
+    m_slow_good = 0;
+    m_slow_total = 0;
+    m_fast_burn = 0.0;
+    m_slow_burn = 0.0;
+    m_paging = false;
+    m_alerts = [];
+    m_all_good = 0;
+    m_all_total = 0;
+  }
+
+let budget m = 1.0 -. m.m_spec.slo_objective
+
+let burn_of m ~good ~total =
+  if total = 0 then 0.0
+  else float_of_int (total - good) /. float_of_int total /. budget m
+
+let bucket_close_at m w =
+  Units.ns_f (Int64.to_float (Int64.mul (Int64.of_int (w + 1)) (Units.to_ns m.m_bucket)))
+
+(* Close the open bucket: rotate it into the rings and rolling sums,
+   then evaluate the page/clear rule at the bucket's closing edge. *)
+let close_bucket m =
+  let w = m.m_cur in
+  let slot = w mod m.m_slow_n in
+  (* The slot being overwritten holds bucket [w - slow_n], which is
+     exactly the one leaving the slow lookback. *)
+  m.m_slow_good <- m.m_slow_good - m.m_good.(slot);
+  m.m_slow_total <- m.m_slow_total - m.m_total.(slot);
+  (if w >= m.m_fast_n then begin
+     let leaving = (w - m.m_fast_n) mod m.m_slow_n in
+     m.m_fast_good <- m.m_fast_good - m.m_good.(leaving);
+     m.m_fast_total <- m.m_fast_total - m.m_total.(leaving)
+   end);
+  m.m_good.(slot) <- m.m_cur_good;
+  m.m_total.(slot) <- m.m_cur_total;
+  m.m_slow_good <- m.m_slow_good + m.m_cur_good;
+  m.m_slow_total <- m.m_slow_total + m.m_cur_total;
+  m.m_fast_good <- m.m_fast_good + m.m_cur_good;
+  m.m_fast_total <- m.m_fast_total + m.m_cur_total;
+  m.m_cur_good <- 0;
+  m.m_cur_total <- 0;
+  m.m_cur <- w + 1;
+  m.m_fast_burn <- burn_of m ~good:m.m_fast_good ~total:m.m_fast_total;
+  m.m_slow_burn <- burn_of m ~good:m.m_slow_good ~total:m.m_slow_total;
+  let thr = m.m_spec.slo_burn in
+  let firing = m.m_fast_burn >= thr && m.m_slow_burn >= thr in
+  if firing && not m.m_paging then begin
+    m.m_paging <- true;
+    m.m_alerts <-
+      {
+        al_slo = m.m_spec.slo_name;
+        al_kind = Page;
+        al_at = bucket_close_at m w;
+        al_fast = m.m_fast_burn;
+        al_slow = m.m_slow_burn;
+      }
+      :: m.m_alerts
+  end
+  else if m.m_paging && m.m_fast_burn < thr && m.m_slow_burn < thr then begin
+    m.m_paging <- false;
+    m.m_alerts <-
+      {
+        al_slo = m.m_spec.slo_name;
+        al_kind = Clear;
+        al_at = bucket_close_at m w;
+        al_fast = m.m_fast_burn;
+        al_slow = m.m_slow_burn;
+      }
+      :: m.m_alerts
+  end
+
+let advance_to m w =
+  (* A long idle gap with nothing in either lookback and no page held
+     can be skipped wholesale: every close would subtract and add
+     zeros and fire nothing. *)
+  if
+    w - m.m_cur > m.m_slow_n
+    && m.m_slow_total = 0 && m.m_cur_total = 0 && (not m.m_paging)
+    && m.m_fast_burn = 0.0 && m.m_slow_burn = 0.0
+  then m.m_cur <- w - m.m_slow_n;
+  while m.m_cur < w do
+    close_bucket m
+  done
+
+let observe m ~at ~good =
+  let w = Int64.to_int (Int64.div (Units.to_ns at) (Units.to_ns m.m_bucket)) in
+  if w > m.m_cur then advance_to m w;
+  m.m_cur_total <- m.m_cur_total + 1;
+  if good then m.m_cur_good <- m.m_cur_good + 1;
+  m.m_all_total <- m.m_all_total + 1;
+  if good then m.m_all_good <- m.m_all_good + 1
+
+let observe_request m ~at ~ok ~latency =
+  observe m ~at ~good:(ok && Units.(latency <= m.m_spec.slo_latency))
+
+let finish m ~at =
+  let w = Int64.to_int (Int64.div (Units.to_ns at) (Units.to_ns m.m_bucket)) in
+  advance_to m (w + 1)
+
+let alerts m = List.rev m.m_alerts
+let paging m = m.m_paging
+let good m = m.m_all_good
+let total m = m.m_all_total
+let burn_rates m = (m.m_fast_burn, m.m_slow_burn)
+
+let compliance m =
+  if m.m_all_total = 0 then 1.0
+  else float_of_int m.m_all_good /. float_of_int m.m_all_total
+
+let name m = m.m_spec.slo_name
+
+let trim_fixed s =
+  let n = String.length s in
+  let last = ref (n - 1) in
+  while !last > 0 && s.[!last] = '0' && s.[!last - 1] <> '.' do
+    decr last
+  done;
+  String.sub s 0 (!last + 1)
+
+let render_alert a =
+  Printf.sprintf "slo %s %s at %ss (burn fast %s slow %s)" a.al_slo
+    (match a.al_kind with Page -> "PAGE" | Clear -> "CLEAR")
+    (trim_fixed (Printf.sprintf "%.3f" (Units.to_sec a.al_at)))
+    (trim_fixed (Printf.sprintf "%.2f" a.al_fast))
+    (trim_fixed (Printf.sprintf "%.2f" a.al_slow))

@@ -1,0 +1,90 @@
+(** Declarative SLOs with multi-window burn-rate alerting.
+
+    An SLO names a latency threshold and an availability objective: a
+    request is {e good} when it succeeds within the threshold, and the
+    objective says what fraction must be good (e.g. 0.999).  The
+    monitor buckets requests into fixed windows of virtual time and
+    evaluates the Google-SRE multi-window multi-burn-rate rule at each
+    window close: with error budget [1 - objective], the burn rate of
+    a lookback window is [(bad / total) / budget], and a {e page}
+    fires when {e both} the fast window (default 5 virtual minutes)
+    and the slow window (default 1 virtual hour) burn at or above the
+    threshold (default 14.4 — the rate that exhausts a 30-day budget
+    in 2 days).  The alert {e clears} when both drop back below.
+
+    Everything is driven by the virtual clock, so alert instants are
+    deterministic: identical request streams produce byte-identical
+    alert logs on any host and any domain count. *)
+
+type spec = {
+  slo_name : string;
+  slo_latency : Units.time;  (** Good iff ok and latency <= this. *)
+  slo_objective : float;  (** Target good fraction, in (0,1). *)
+  slo_fast : Units.time;  (** Fast lookback window. *)
+  slo_slow : Units.time;  (** Slow lookback window. *)
+  slo_burn : float;  (** Page when both burns reach this. *)
+}
+
+val spec :
+  ?objective:float ->
+  ?fast:Units.time ->
+  ?slow:Units.time ->
+  ?burn:float ->
+  name:string ->
+  latency:Units.time ->
+  unit ->
+  spec
+(** Defaults: objective 0.999, fast 5 min, slow 1 h, burn 14.4.
+    Raises [Invalid_argument] when the objective is outside (0,1) or a
+    window is shorter than the bucket width. *)
+
+type kind = Page | Clear
+
+type alert = {
+  al_slo : string;
+  al_kind : kind;
+  al_at : Units.time;  (** The closing edge of the triggering bucket. *)
+  al_fast : float;  (** Fast-window burn rate at that instant. *)
+  al_slow : float;  (** Slow-window burn rate. *)
+}
+
+type t
+
+val create : ?bucket:Units.time -> spec -> t
+(** [bucket] is the evaluation granularity (default 1 virtual second);
+    lookback windows are rounded up to whole buckets. *)
+
+val observe : t -> at:Units.time -> good:bool -> unit
+(** Record one request finishing at [at].  Instants must be
+    nondecreasing — feed from a virtual-time-ordered stream (the
+    serving merge loop already is one). *)
+
+val observe_request : t -> at:Units.time -> ok:bool -> latency:Units.time -> unit
+(** [observe] with the spec's goodness rule applied: good iff [ok] and
+    [latency <= slo_latency]. *)
+
+val finish : t -> at:Units.time -> unit
+(** Close every bucket up to and including the one containing [at], so
+    alerts pending in the final partial window fire. *)
+
+val alerts : t -> alert list
+(** Pages and clears so far, in firing order. *)
+
+val paging : t -> bool
+(** Whether the monitor is currently in a paged state. *)
+
+val good : t -> int
+val total : t -> int
+
+val burn_rates : t -> float * float
+(** [(fast, slow)] burn rates as of the last closed bucket; [(0,0)]
+    before any close.  A burn of 1.0 consumes the budget exactly at
+    the sustainable rate. *)
+
+val compliance : t -> float
+(** Overall good fraction so far; 1.0 when no requests. *)
+
+val name : t -> string
+val render_alert : alert -> string
+(** One-line rendering, e.g.
+    ["slo checkout PAGE at 312s (burn fast 15.20 slow 14.58)"]. *)

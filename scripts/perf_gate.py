@@ -11,8 +11,13 @@ when any lower-is-better field regressed past a tolerance.
 Gated fields (lower is better): names ending in "_ms" or "_words", or
 containing "wall", "words" or "us_per_request" (the per-request host
 cost of the serving scale/deep legs and of every host.hotspots
-profiler section).  Informational fields (domains, host_cores,
-speedups, hotspot call counts) are reported but never gated.  Lists are
+profiler section), plus everything under an "observability_overhead"
+object (the scale leg re-run with windowed telemetry and SLO monitors
+enabled — its overhead_ratio is the telemetry-on/off wall quotient, so
+gating it keeps the observation path from silently getting expensive
+relative to the serve loop even when both walls drift together).
+Informational fields (domains, host_cores, speedups, hotspot call
+counts) are reported but never gated.  Lists are
 traversed (e.g. soak snapshot_live_words[3]).  An object carrying
 "degenerate": true marks a parallel leg run where real parallelism is
 impossible (host_cores < 2, or more domains than cores); its fields —
@@ -62,7 +67,8 @@ def gated(path):
     leaf = path.rsplit(".", 1)[-1]
     return (leaf.endswith("_ms") or leaf.endswith("_words")
             or "wall" in leaf or "words" in leaf
-            or "us_per_request" in leaf)
+            or "us_per_request" in leaf
+            or "observability_overhead" in path)
 
 
 def main():

@@ -23,6 +23,7 @@ let () =
       ("fault", Test_fault.suite);
       ("multilang", Test_multilang.suite);
       ("obs", Test_obs.suite);
+      ("timeseries", Test_timeseries.suite);
       ("par", Test_par.suite);
       ("eventq", Test_eventq.suite);
       ("loadgen", Test_loadgen.suite);
