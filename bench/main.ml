@@ -59,6 +59,11 @@ let domains_flag = ref 0
 let bench_domains () =
   if !domains_flag > 0 then !domains_flag else Par.auto_domains ()
 
+(* --batch K: submissions claimed per shared-cursor fetch in Par.run.
+   Purely a host-side scheduling knob — virtual output is asserted
+   byte-identical across batch sizes by the serving scale leg. *)
+let batch_flag = ref 1
+
 (* A parallel leg is degenerate when the pool cannot express real
    parallelism (single-core host, single-domain pool, or more domains
    than cores): its speedup numbers are artifacts, so the JSON labels
@@ -860,12 +865,18 @@ let serving () =
      through AsBuffer reference passing (the paper's zero-copy path),
      so the serving benchmark exercises asbuffer.transfer_bytes the
      way a real workflow would — not through a private scratch file. *)
+  (* One shared payload for every producer call: the store path blits
+     it into the buffer pages and keeps no reference, so re-allocating
+     32 KiB per request was pure allocation.  The consumer drains the
+     slot without materialising a copy — same virtual path, no host
+     bytes. *)
+  let thumb_payload = Bytes.make (kib 32) 'd' in
   let produce_kernel slot ms (ctx : Asstd.ctx) ~instance:_ ~total:_ =
     Asstd.compute ctx (Units.ms ms);
-    ignore (Asbuffer.with_slot_raw ctx ~slot (Bytes.make (kib 32) 'd'))
+    ignore (Asbuffer.with_slot_raw ctx ~slot thumb_payload)
   in
   let consume_kernel slot ms (ctx : Asstd.ctx) ~instance:_ ~total:_ =
-    ignore (Asbuffer.from_slot_raw ctx ~slot);
+    ignore (Asbuffer.consume_slot_raw ctx ~slot);
     Asstd.compute ctx (Units.ms ms)
   in
   let compute_kernel ms (ctx : Asstd.ctx) ~instance:_ ~total:_ =
@@ -1363,8 +1374,9 @@ let serving () =
          serving (bounded in-flight, bounded memory), not queue
          collapse — the sweep above covers the saturated regime. *)
       let scale_qps = 300.0 in
-      let run_scale ?(telemetry = false) ~domains () =
+      let run_scale ?(telemetry = false) ?batch ~domains () =
         Par.set_domains domains;
+        (match batch with Some k -> Par.set_batch k | None -> ());
         reset_observability ();
         Metrics.set_raw_sample_every ~seed sample_every;
         let server =
@@ -1373,31 +1385,53 @@ let serving () =
         register_all server;
         if telemetry then
           Visor.Server.enable_telemetry server ~slos:(slo_specs ()) ();
+        (* [Gc.allocated_bytes] is per-domain: the delta covers every
+           allocation only when the run stays on one domain, which is
+           why the gated words-per-request figure comes from the
+           domains-1 leg. *)
+        let alloc0 = Gc.allocated_bytes () in
         let t0 = Unix.gettimeofday () in
         let r =
           Visor.Server.serve_stream server
             (stream_requests ~qps:scale_qps ~count:scale_count ())
         in
         let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+        let alloc_words = (Gc.allocated_bytes () -. alloc0) /. 8.0 in
         Visor.Server.shutdown server;
         Metrics.set_raw_sample_every 1;
         Par.set_domains 1;
+        (match batch with Some _ -> Par.set_batch !batch_flag | None -> ());
         let live_words = (Gc.stat ()).Gc.live_words in
-        (r, wall_ms, live_words)
+        (r, wall_ms, live_words, alloc_words)
       in
-      let scale_r1, scale_ms1, scale_live1 = run_scale ~domains:1 () in
-      let scale_rn, scale_msn, scale_liven = run_scale ~domains:nd () in
+      let scale_r1, scale_ms1, scale_live1, scale_alloc1 =
+        run_scale ~domains:1 ()
+      in
+      let scale_rn, scale_msn, scale_liven, _ = run_scale ~domains:nd () in
       let fp1 = Digest.to_hex (Digest.string (fingerprint scale_r1)) in
       let fpn = Digest.to_hex (Digest.string (fingerprint scale_rn)) in
       check "scale responses (fingerprint)" fp1 fpn;
       check "scale summary"
         (Jsonlite.to_string (mode_json scale_r1))
         (Jsonlite.to_string (mode_json scale_rn));
+      (* Batched work claiming is a host-only knob: the same leg at
+         K = 8 and K = 64 on the full pool must produce the same
+         bytes (K = 1 across domain counts is the check above; CI
+         diffs --domains 1 --batch 1 against --domains 4 --batch 64
+         across separate invocations). *)
+      List.iter
+        (fun k ->
+          let rb, _, _, _ = run_scale ~batch:k ~domains:nd () in
+          let fpb = Digest.to_hex (Digest.string (fingerprint rb)) in
+          check
+            (Printf.sprintf "scale responses at batch %d (fingerprint)" k)
+            fpn fpb)
+        [ 8; 64 ];
       (* The same leg with per-window telemetry and SLO monitors on:
          responses must not change (telemetry is pure observation) and
          the measured overhead lands in the JSON where perf_gate.py
          watches it. *)
-      let tel_rn, tel_msn, _ = run_scale ~telemetry:true ~domains:nd () in
+      let tel_rn, tel_msn, _, _ = run_scale ~telemetry:true ~domains:nd () in
       let fp_tel = Digest.to_hex (Digest.string (fingerprint tel_rn)) in
       check "scale responses with telemetry (fingerprint)" fpn fp_tel;
       Printf.printf
@@ -1454,7 +1488,7 @@ let serving () =
         else begin
           Hotspot.reset ();
           Hotspot.set_enabled true;
-          let hp_r, hp_ms, _ =
+          let hp_r, hp_ms, _, _ =
             Fun.protect
               ~finally:(fun () -> Hotspot.set_enabled false)
               (fun () -> run_scale ~domains:nd ())
@@ -1474,7 +1508,8 @@ let serving () =
                 (Printf.sprintf
                    "Serving host hotspots: %d requests, %.0f ms profiled wall"
                    scale_count hp_ms)
-              ~columns:[ "section"; "calls"; "total ms"; "us/request" ]
+              ~columns:
+                [ "section"; "calls"; "total ms"; "us/request"; "words/request" ]
           in
           List.iter
             (fun (e : Hotspot.entry) ->
@@ -1486,13 +1521,17 @@ let serving () =
                   Printf.sprintf "%.2f"
                     (e.Hotspot.hs_total_ns /. 1e3
                     /. float_of_int scale_count);
+                  Printf.sprintf "%.0f"
+                    (Hotspot.entry_words e /. float_of_int scale_count);
                 ])
             by_cost;
           Table.print st;
           (* Sections keyed by name (sorted, so the JSON is stable);
              leaves named so perf_gate.py gates them: total_ms by the
-             _ms suffix, us_per_request by name. *)
+             _ms suffix, us_per_request and the words fields by
+             name. *)
           let section_json (e : Hotspot.entry) =
+            let per_req w = w /. float_of_int scale_count in
             ( e.Hotspot.hs_name,
               Jsonlite.Obj
                 [
@@ -1502,6 +1541,12 @@ let serving () =
                     Jsonlite.Float
                       (e.Hotspot.hs_total_ns /. 1e3
                       /. float_of_int scale_count) );
+                  ( "words_per_request",
+                    Jsonlite.Float (per_req (Hotspot.entry_words e)) );
+                  ( "minor_words_per_request",
+                    Jsonlite.Float (per_req e.Hotspot.hs_minor_words) );
+                  ( "major_words_per_request",
+                    Jsonlite.Float (per_req e.Hotspot.hs_major_words) );
                 ] )
           in
           [
@@ -1583,6 +1628,13 @@ let serving () =
                        (scale_msn *. 1e3 /. float_of_int scale_count) );
                    ("live_words_domains1", Jsonlite.Int scale_live1);
                    ("live_words", Jsonlite.Int scale_liven);
+                   (* Whole-run GC allocation on the single-domain leg
+                      (the only leg where the per-domain counter sees
+                      everything), per request — the headline the
+                      allocation-lean hot path is gated on. *)
+                   ( "alloc_words_per_request_domains1",
+                     Jsonlite.Float
+                       (scale_alloc1 /. float_of_int scale_count) );
                    ("fold_wall_ms", Jsonlite.Float fold_ms);
                    ("fold_peak_live_words", Jsonlite.Int fold_live);
                    (* Same leg re-run with windowed telemetry and SLO
@@ -2194,9 +2246,21 @@ let () =
     | [ "--domains" ] ->
         Printf.eprintf "--domains expects a positive integer\n";
         exit 2
+    | "--batch" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some k when k >= 1 ->
+            batch_flag := k;
+            parse acc rest
+        | _ ->
+            Printf.eprintf "--batch expects a positive integer, got %S\n" n;
+            exit 2)
+    | [ "--batch" ] ->
+        Printf.eprintf "--batch expects a positive integer\n";
+        exit 2
     | a :: rest -> parse (a :: acc) rest
   in
   let args = parse [] args in
+  Par.set_batch !batch_flag;
   let selected =
     match args with
     | [] | [ "all" ] -> experiments

@@ -276,10 +276,11 @@ let parse_slo s =
       Error
         (Printf.sprintf "bad SLO spec %S (expected name:latency_ms:objective)" s)
 
-let serve_cmd requests qps seed cold domains sample_every soak duration trace
-    trace_out metrics_out slo_args csv_out prom_out tails =
+let serve_cmd requests qps seed cold domains batch sample_every soak duration
+    trace trace_out metrics_out slo_args csv_out prom_out tails =
   reset_observability ();
   Sim.Par.set_domains domains;
+  Sim.Par.set_batch batch;
   if trace then Sim.Trace.set_enabled Sim.Trace.global true;
   if trace || trace_out <> None || tails then
     Sim.Span.set_enabled Sim.Span.global true;
@@ -523,6 +524,14 @@ let domains_arg =
                  results (latencies, trace, metrics) are bit-identical for \
                  every value; only wall time changes.")
 
+let batch_arg =
+  Arg.(value & opt int 1
+       & info [ "batch" ]
+           ~doc:"Submissions each domain claims per shared-cursor fetch when \
+                 executing requests in parallel.  A host-side scheduling \
+                 knob only: virtual-time results are bit-identical for every \
+                 value.")
+
 let sample_every_arg =
   Arg.(value & opt int 1
        & info [ "sample-every" ]
@@ -600,8 +609,9 @@ let serve_info =
 let serve_term =
   Term.(
     const serve_cmd $ requests_arg $ qps_arg $ seed_arg $ cold_arg $ domains_arg
-    $ sample_every_arg $ soak_arg $ duration_arg $ trace_arg $ trace_out_arg
-    $ metrics_out_arg $ slo_arg $ csv_out_arg $ prom_out_arg $ tails_arg)
+    $ batch_arg $ sample_every_arg $ soak_arg $ duration_arg $ trace_arg
+    $ trace_out_arg $ metrics_out_arg $ slo_arg $ csv_out_arg $ prom_out_arg
+    $ tails_arg)
 
 let main =
   Cmd.group (Cmd.info "alloystack" ~doc:"AlloyStack reproduction CLI")

@@ -108,13 +108,15 @@ let from_slot ctx ~slot ~expect =
       else Fndata.decode (file_from_slot ctx ~slot))
 
 let with_slot_raw ctx ~slot data =
+  Hotspot.with_section "asbuffer.put" (fun () ->
   transfer_span ctx ~label:"put" ~slot (fun () ->
       Metrics.observe transfer_histo (float_of_int (Bytes.length data));
       if ctx.Asstd.wfd.Wfd.features.Wfd.ref_passing then
         store_encoded ctx ~slot data raw_fingerprint
-      else file_with_slot ctx ~slot data)
+      else file_with_slot ctx ~slot data))
 
 let from_slot_raw ctx ~slot =
+  Hotspot.with_section "asbuffer.get" (fun () ->
   transfer_span ctx ~label:"get" ~slot (fun () ->
       if ctx.Asstd.wfd.Wfd.features.Wfd.ref_passing then begin
         let handle, data = load_handle ctx ~slot ~fingerprint:raw_fingerprint in
@@ -125,7 +127,34 @@ let from_slot_raw ctx ~slot =
         | None -> ());
         data
       end
-      else file_from_slot ctx ~slot)
+      else file_from_slot ctx ~slot))
+
+(* Consume a raw slot without materialising the payload: the virtual
+   path is byte-for-byte the one [from_slot_raw] takes — same buffer
+   syscalls, same page traversal (access and TLB accounting included),
+   same clock charges, same free — but the host-side copy of the bytes
+   is never built.  For consumers that model work on the payload
+   rather than computing on its contents. *)
+let consume_slot_raw ctx ~slot =
+  Hotspot.with_section "asbuffer.get" (fun () ->
+  transfer_span ctx ~label:"get" ~slot (fun () ->
+      if ctx.Asstd.wfd.Wfd.features.Wfd.ref_passing then begin
+        let wfd = ctx.Asstd.wfd in
+        let thread = ctx.Asstd.thread in
+        let buffer =
+          Asstd.sys ctx "acquire_buffer" (fun ~clock ->
+              match Libos_mm.acquire_buffer wfd ~clock ~slot ~fingerprint:raw_fingerprint with
+              | Ok b -> b
+              | Error e -> raise (Errno.Error (e, slot)))
+        in
+        charge_ifi ctx buffer.Libos_mm.size;
+        Address_space.touch_bytes wfd.Wfd.aspace ~pkru:thread.Wfd.pkru
+          buffer.Libos_mm.addr buffer.Libos_mm.size;
+        charge_traversal ctx buffer.Libos_mm.size;
+        Libos_mm.free_buffer wfd buffer;
+        buffer.Libos_mm.size
+      end
+      else Bytes.length (file_from_slot ctx ~slot)))
 
 let free ctx handle =
   match handle.buffer with

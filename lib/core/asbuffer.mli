@@ -36,6 +36,14 @@ val with_slot_raw : Asstd.ctx -> slot:string -> bytes -> handle
 
 val from_slot_raw : Asstd.ctx -> slot:string -> bytes
 
+val consume_slot_raw : Asstd.ctx -> slot:string -> int
+(** Acquire, traverse and free a raw slot without materialising its
+    payload, returning the byte count drained.  Virtual behaviour
+    (syscalls, page-walk accounting, clock charges, buffer free) is
+    identical to [from_slot_raw]; only the host-side copy is skipped.
+    For consumers that model work on the payload rather than reading
+    its bytes. *)
+
 val free : Asstd.ctx -> handle -> unit
 (** Return the buffer to the heap (receiver side, after consumption). *)
 

@@ -199,18 +199,45 @@ let float_to_string f =
       in
       pick 1
 
-let rec to_string = function
-  | Null -> "null"
-  | Bool b -> string_of_bool b
-  | Int i -> string_of_int i
-  | Float f -> float_to_string f
-  | String s -> Printf.sprintf "%S" s
-  | List items -> "[" ^ String.concat ", " (List.map to_string items) ^ "]"
+(* Render into one growable buffer rather than concatenating per-node
+   strings: a deep tree allocates O(output) instead of O(output ×
+   depth).  [%S] is ["\"" ^ String.escaped s ^ "\""], spelled out here
+   so strings with no escapes append without an intermediate copy —
+   the rendered bytes are identical either way. *)
+let add_quoted buf s =
+  Buffer.add_char buf '"';
+  Buffer.add_string buf (String.escaped s);
+  Buffer.add_char buf '"'
+
+let rec add_json buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_to_string f)
+  | String s -> add_quoted buf s
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string buf ", ";
+          add_json buf v)
+        items;
+      Buffer.add_char buf ']'
   | Obj fields ->
-      "{"
-      ^ String.concat ", "
-          (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k (to_string v)) fields)
-      ^ "}"
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          add_quoted buf k;
+          Buffer.add_string buf ": ";
+          add_json buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  add_json buf v;
+  Buffer.contents buf
 
 let member key = function
   | Obj fields -> ( match List.assoc_opt key fields with Some v -> v | None -> Null)

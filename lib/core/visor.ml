@@ -297,7 +297,10 @@ let exec_stage ectx ~ready nodes =
       (match config.cpu_quota with
       | Some _ -> Clock.advance spawn_clock Hostos.Cgroup.setup_cost
       | None -> ());
-      let thread = Wfd.spawn_function_thread wfd ~clock:spawn_clock in
+      let thread =
+        Hotspot.with_section "stage.spawn" (fun () ->
+            Wfd.spawn_function_thread wfd ~clock:spawn_clock)
+      in
       Clock.sync thread.Wfd.clock spawn_clock;
       Clock.advance thread.Wfd.clock
         (runtime_init_cost config ectx.rt node.Workflow.language ~instance:i);
@@ -313,11 +316,16 @@ let exec_stage ectx ~ready nodes =
         | No_retry | Retry_workflow _ -> 1
       in
       let fn = node.Workflow.node_id in
+      (* The label sprintf only when the span collector is on: with
+         1-in-k request sampling, most requests run with spans off and
+         the eager label was pure allocation. *)
       let fn_span =
-        Span.begin_span (Span.current ()) ~parent:wfd.Wfd.span ~at:start
-          ~category:"function"
-          ~label:(Printf.sprintf "%s#%d" fn i)
-          ()
+        let sp = Span.current () in
+        if Span.enabled sp then
+          Span.begin_span sp ~parent:wfd.Wfd.span ~at:start ~category:"function"
+            ~label:(Printf.sprintf "%s#%d" fn i)
+            ()
+        else Span.none
       in
       let saved_span = wfd.Wfd.span in
       if fn_span <> Span.none then wfd.Wfd.span <- fn_span;
@@ -349,7 +357,8 @@ let exec_stage ectx ~ready nodes =
                     raise (Timed_out { fn; after = limit })
               end
           | None -> ());
-          b.kernel ctx ~instance:i ~total:node.Workflow.instances;
+          Hotspot.with_section "stage.kernel" (fun () ->
+              b.kernel ctx ~instance:i ~total:node.Workflow.instances);
           match config.timeout with
           | Some limit
             when Units.( > ) (Clock.elapsed_since thread.Wfd.clock attempt_start) limit
@@ -374,10 +383,13 @@ let exec_stage ectx ~ready nodes =
                  restart cost + backoff wait) is a "retry" span under
                  the function. *)
               let rsp =
-                Span.begin_span (Span.current ()) ~parent:wfd.Wfd.span
-                  ~at:(Clock.now thread.Wfd.clock) ~category:"retry"
-                  ~label:(Printf.sprintf "restart %s" fn)
-                  ()
+                let sp = Span.current () in
+                if Span.enabled sp then
+                  Span.begin_span sp ~parent:wfd.Wfd.span
+                    ~at:(Clock.now thread.Wfd.clock) ~category:"retry"
+                    ~label:(Printf.sprintf "restart %s" fn)
+                    ()
+                else Span.none
               in
               let fresh =
                 Wfd.respawn_function_thread wfd ~slot:thread.Wfd.fn_slot
@@ -619,11 +631,11 @@ let run_many ?(config = default_config) ~workflow ~bindings ~repeat () =
     let children =
       match config.fault with
       | Some plan when not share_disk ->
-          Array.init repeat (fun i -> Some (Fault.child plan ~index:i))
+          Array.init repeat (fun i -> Some (Fault.acquire_child plan ~index:i))
       | Some _ | None -> Array.make repeat None
     in
     let cfg = Par.shard_config () in
-    let shards = Array.init repeat (fun _ -> Par.make_shard cfg) in
+    let shards = Array.init repeat (fun _ -> Par.acquire_shard cfg) in
     let tasks =
       Array.init repeat (fun i () ->
           Par.with_shard shards.(i) (fun () ->
@@ -639,10 +651,20 @@ let run_many ?(config = default_config) ~workflow ~bindings ~repeat () =
     let reports =
       if share_disk then Array.map (fun f -> f ()) tasks else Par.run tasks
     in
-    Array.iter (fun s -> Par.merge_shard s) shards;
+    Array.iter
+      (fun s ->
+        Par.merge_shard s;
+        Par.release_shard s)
+      shards;
     (match config.fault with
     | Some plan ->
-        Array.iter (function Some c -> Fault.absorb plan c | None -> ()) children
+        Array.iter
+          (function
+            | Some c ->
+                Fault.absorb plan c;
+                Fault.release_child c
+            | None -> ())
+          children
     | None -> ());
     reports
   end
@@ -1236,9 +1258,9 @@ module Server = struct
     let released = ref false in
     let max_a = Array.length boots in
     let rec attempts_from a acc =
-      let proc_table = Hostos.Process.create_table () in
+      let proc_table = Hostos.Process.acquire_table () in
       let clock = Clock.create () in
-      let boot_sh = Par.make_shard cfg in
+      let boot_sh = Par.acquire_shard cfg in
       let boot_tpl =
         match boots.(a - 1) with Warm tpl -> Some tpl | Cold -> None
       in
@@ -1247,10 +1269,12 @@ module Server = struct
         Par.with_shard boot_sh (fun () ->
             let category = if a = 1 then "boot" else "retry" in
             let boot_span =
-              Span.begin_span (Span.current ()) ~parent:Span.none ~at:Units.zero
-                ~category
-                ~label:(category ^ "-boot " ^ endpoint)
-                ()
+              let sp = Span.current () in
+              if Span.enabled sp then
+                Span.begin_span sp ~parent:Span.none ~at:Units.zero ~category
+                  ~label:(category ^ "-boot " ^ endpoint)
+                  ()
+              else Span.none
             in
             Clock.advance clock Cost.visor_dispatch;
             let wfd, rt, warm =
@@ -1352,7 +1376,7 @@ module Server = struct
             (try
                List.iter
                  (fun nodes ->
-                   let sh = Par.make_shard cfg in
+                   let sh = Par.acquire_shard cfg in
                    match
                      Hotspot.with_section "stage.exec" (fun () ->
                          Par.with_shard sh (fun () ->
@@ -1412,6 +1436,11 @@ module Server = struct
       | Some tpl when at.at_failed = None && fault_child = None ->
           released := release_shell t tpl wfd
       | Some _ | None -> Wfd.destroy wfd);
+      (* The attempt record never references the process table (RSS is
+         sampled into the segments), and a recycled shell's table field
+         was re-pointed at the template's by [Wfd.recycle] — so the
+         per-attempt table recirculates on this worker domain. *)
+      Hostos.Process.release_table proc_table;
       if at.at_failed <> None && a < max_a then attempts_from (a + 1) (at :: acc)
       else List.rev (at :: acc)
     in
@@ -1456,7 +1485,7 @@ module Server = struct
         let base = Wfd.reserve_ids max_attempts in
         let fault_child =
           match t.scfg.fault with
-          | Some plan when not share_disk -> Some (Fault.child plan ~index)
+          | Some plan when not share_disk -> Some (Fault.acquire_child plan ~index)
           | Some _ | None -> None
         in
         Some
@@ -1565,7 +1594,9 @@ module Server = struct
           List.iter
             (fun (_, _, _, pl) ->
               match pl with
-              | Some { pl_fault = Some c; _ } -> Fault.absorb plan c
+              | Some { pl_fault = Some c; _ } ->
+                  Fault.absorb plan c;
+                  Fault.release_child c
               | Some { pl_fault = None; _ } | None -> ())
             planned
       | None -> ());
@@ -1693,6 +1724,7 @@ module Server = struct
                 (if a.at_warm then tel.tel_warm else tel.tel_cold)
                 ~at:now 1.0);
           Par.merge_shard ~attach:ms.ms_span ~offset:now a.at_boot.sg_shard;
+          Par.release_shard a.at_boot.sg_shard;
           set_rss ms a.at_boot.sg_rss;
           Eventq.push q ~at:(Units.add now a.at_boot_elapsed) ~pri:pri_advance
             (Advance ms)
@@ -1712,6 +1744,7 @@ module Server = struct
           in
           Par.merge_shard ~attach:stage_span ~offset:(Units.sub now sg.sg_base)
             sg.sg_shard;
+          Par.release_shard sg.sg_shard;
           let placements =
             Hostos.Sched.schedule_on t.cpu ~ready:now
               ~dispatch_latency:t.scfg.dispatch_latency sg.sg_durations
@@ -1748,7 +1781,8 @@ module Server = struct
               (match a.at_fail_seg with
               | Some sg ->
                   Par.merge_shard ~attach:stage_span
-                    ~offset:(Units.sub now sg.sg_base) sg.sg_shard
+                    ~offset:(Units.sub now sg.sg_base) sg.sg_shard;
+                  Par.release_shard sg.sg_shard
               | None -> ());
               Span.end_span (Span.current ()) stage_span ~at:now;
               if ms.ms_attempts_left <> [] then begin

@@ -13,6 +13,22 @@ type t
 
 val create_table : unit -> t
 
+val reset_table : t -> unit
+(** Rewind the table in place to the [create_table] state: no
+    processes, pid/tid counters back at 1. *)
+
+val acquire_table : unit -> t
+(** A table from the calling domain's freelist of released tables, or
+    a fresh one — observationally identical to {!create_table} (tables
+    are scrubbed with {!reset_table} on release). *)
+
+val release_table : t -> unit
+(** Scrub the table and return it to the calling domain's freelist.
+    The freelist takes ownership; every process still registered is
+    dropped.  Only release tables whose owning request is finished
+    with them (stale {e references} to a released table are harmless
+    as long as nothing reads through them). *)
+
 val spawn_process : t -> ?at:Sim.Units.time -> name:string -> unit -> pid
 (** Fork+exec cost is the sandbox's concern; this just registers the
     process with its main thread started at [at]. *)

@@ -74,6 +74,45 @@ let c_tlb_hit = Sim.Stats.Counter.make "mem.tlb.hit"
 let c_tlb_miss = Sim.Stats.Counter.make "mem.tlb.miss"
 let c_tlb_flush = Sim.Stats.Counter.make "mem.tlb.flush"
 
+(* --- Page pool -----------------------------------------------------
+
+   Materialised pages churn fast on the serving hot path: every
+   AsBuffer transfer maps a multi-page region, touches it once and
+   unmaps it, so without recycling each request allocates (and hands
+   the GC) a fresh 4 KiB backing buffer per page.  Unmapped pages park
+   on a per-domain freelist instead; acquire re-zeroes the backing
+   (demand-zero semantics are observable through loads) and resets the
+   metadata, so a recycled page is indistinguishable from a fresh one.
+   Per-domain (DLS, no locks) because page churn is per-request work
+   that stays on the worker domain that runs the request. *)
+
+type page_pool = { mutable pp_items : Page.t list; mutable pp_len : int }
+
+let page_pool_cap = 4096
+let page_pool_key = Domain.DLS.new_key (fun () -> { pp_items = []; pp_len = 0 })
+
+let acquire_page ~perm ~pkey =
+  let pool = Domain.DLS.get page_pool_key in
+  match pool.pp_items with
+  | p :: rest ->
+      pool.pp_items <- rest;
+      pool.pp_len <- pool.pp_len - 1;
+      p.Page.perm <- perm;
+      p.Page.pkey <- pkey;
+      p.Page.populated <- false;
+      (match p.Page.store with
+      | Some b -> Bytes.fill b 0 Page.size '\000'
+      | None -> ());
+      p
+  | [] -> Page.create ~perm ~pkey ()
+
+let release_page p =
+  let pool = Domain.DLS.get page_pool_key in
+  if pool.pp_len < page_pool_cap then begin
+    pool.pp_items <- p :: pool.pp_items;
+    pool.pp_len <- pool.pp_len + 1
+  end
+
 let create ?(tlb = true) () =
   let dummy_page = Page.create () in
   let dummy_data = Bytes.create 0 in
@@ -119,6 +158,7 @@ let scrub_page = Page.create ()
 let scrub_data = Bytes.create 0
 
 let recycle t =
+  Hashtbl.iter (fun _ p -> release_page p) t.pages;
   Hashtbl.reset t.pages;
   t.regions <- [];
   t.total_pages <- 0;
@@ -204,15 +244,23 @@ let unmap t ~addr ~len =
        vpns, a handful of touched pages) scan the table instead. *)
     if count <= 2 * Hashtbl.length t.pages then
       for vpn = first to last do
-        Hashtbl.remove t.pages vpn
+        match Hashtbl.find_opt t.pages vpn with
+        | Some p ->
+            Hashtbl.remove t.pages vpn;
+            release_page p
+        | None -> ()
       done
     else begin
       let doomed =
         Hashtbl.fold
-          (fun vpn _ acc -> if vpn >= first && vpn <= last then vpn :: acc else acc)
+          (fun vpn p acc -> if vpn >= first && vpn <= last then (vpn, p) :: acc else acc)
           t.pages []
       in
-      List.iter (Hashtbl.remove t.pages) doomed
+      List.iter
+        (fun (vpn, p) ->
+          Hashtbl.remove t.pages vpn;
+          release_page p)
+        doomed
     end;
     (* Shrink / split region coverage. *)
     let keep = ref [] in
@@ -246,7 +294,7 @@ let lookup_vpn t vpn =
       match find_region t vpn with
       | None -> None
       | Some r ->
-          let p = Page.create ~perm:r.r_perm ~pkey:r.r_pkey () in
+          let p = acquire_page ~perm:r.r_perm ~pkey:r.r_pkey in
           Hashtbl.replace t.pages vpn p;
           Some p)
 
@@ -420,6 +468,14 @@ let load_bytes t ~pkru addr len =
   walk t ~pkru ~access:Prot.Read addr len (fun page off boff n ->
       Bytes.blit (Page.data page) off buf boff n);
   buf
+
+(* Traverse a readable range without materialising a copy: the page
+   walk (permission checks, access and TLB accounting) is identical to
+   [load_bytes], only the destination buffer is gone.  For consumers
+   that own the bytes but never look at them — draining a transfer
+   slot whose payload is modelled, not computed on. *)
+let touch_bytes t ~pkru addr len =
+  walk t ~pkru ~access:Prot.Read addr len (fun _ _ _ _ -> ())
 
 let store_bytes t ~pkru addr src =
   let len = Bytes.length src in

@@ -74,6 +74,11 @@ val load_bytes : t -> pkru:Prot.pkru -> int -> int -> bytes
 
 val store_bytes : t -> pkru:Prot.pkru -> int -> bytes -> unit
 
+val touch_bytes : t -> pkru:Prot.pkru -> int -> int -> unit
+(** [touch_bytes t ~pkru addr len] performs the same permission-checked
+    page walk as {!load_bytes} — identical access and TLB accounting —
+    without materialising a copy of the range. *)
+
 val load_int64 : t -> pkru:Prot.pkru -> int -> int64
 val store_int64 : t -> pkru:Prot.pkru -> int -> int64 -> unit
 

@@ -8,15 +8,15 @@ type trigger =
 exception Injected of { site : string }
 
 type site_state = {
-  trigger : trigger;
-  max_fires : int option;
+  mutable trigger : trigger;
+  mutable max_fires : int option;
   rng : Rng.t;
   mutable occurrences : int;
   mutable fired : int;
 }
 
 type t = {
-  plan_seed : int;
+  mutable plan_seed : int;
   trace : Trace.t option;
       (** [None] routes fault records to [Trace.current ()] at record
           time, so a plan shared with parallel tasks traces into each
@@ -47,7 +47,8 @@ let site_hash site =
   String.iter (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF) site;
   !h
 
-let site_rng t site = Rng.create (t.plan_seed lxor (site_hash site * 0x9E3779B1))
+let site_seed t site = t.plan_seed lxor (site_hash site * 0x9E3779B1)
+let site_rng t site = Rng.create (site_seed t site)
 
 let validate site = function
   | Always -> ()
@@ -117,26 +118,91 @@ let record_recovery t ~at ~site detail =
    same task draws the same fault stream whatever the interleaving.
    Site states are re-derived from the child's seed with fresh
    counters. *)
-let child t ~index =
-  let child_seed =
-    Int64.to_int
-      (Rng.mix
-         (Int64.add (Int64.of_int t.plan_seed)
-            (Int64.mul Rng.golden_gamma (Int64.of_int (index + 1)))))
+let derive_child_seed t ~index =
+  Int64.to_int
+    (Rng.mix
+       (Int64.add (Int64.of_int t.plan_seed)
+          (Int64.mul Rng.golden_gamma (Int64.of_int (index + 1)))))
+
+(* Make [c]'s rule table mirror [parent]'s with counters zeroed and
+   site streams re-derived from [c]'s (already set) seed.  Cells are
+   mutated in place where they exist — the point of the child pool:
+   re-fitting a recycled child for the same parent plan allocates
+   nothing. *)
+let refit c parent =
+  let stale =
+    Hashtbl.fold
+      (fun site _ acc ->
+        if Hashtbl.mem parent.table site then acc else site :: acc)
+      c.table []
   in
-  let c = { plan_seed = child_seed; trace = None; table = Hashtbl.create 8 } in
+  List.iter (Hashtbl.remove c.table) stale;
   Hashtbl.iter
-    (fun site st ->
-      Hashtbl.replace c.table site
-        {
-          trigger = st.trigger;
-          max_fires = st.max_fires;
-          rng = site_rng c site;
-          occurrences = 0;
-          fired = 0;
-        })
-    t.table;
+    (fun site (st : site_state) ->
+      match Hashtbl.find_opt c.table site with
+      | Some cst ->
+          cst.trigger <- st.trigger;
+          cst.max_fires <- st.max_fires;
+          Rng.reseed cst.rng (site_seed c site);
+          cst.occurrences <- 0;
+          cst.fired <- 0
+      | None ->
+          Hashtbl.replace c.table site
+            {
+              trigger = st.trigger;
+              max_fires = st.max_fires;
+              rng = site_rng c site;
+              occurrences = 0;
+              fired = 0;
+            })
+    parent.table
+
+let child t ~index =
+  let c = { plan_seed = derive_child_seed t ~index; trace = None; table = Hashtbl.create 8 } in
+  refit c t;
   c
+
+(* --- Child-plan pool -----------------------------------------------
+
+   Serving derives one child plan per request; the table and per-site
+   cells are identical in shape across requests of the same parent
+   plan, so recycling them removes a Hashtbl + N site records + N RNG
+   cells per request.  [acquire_child] scrubs on acquire ([refit]
+   zeroes counters and reseeds every stream), so a crashed request's
+   counters can never leak into the next request through the pool. *)
+
+let child_pool : t list ref = ref []
+let child_pool_len = ref 0
+let child_pool_mu = Mutex.create ()
+let child_pool_cap = 4096
+
+let acquire_child t ~index =
+  let seed = derive_child_seed t ~index in
+  let pooled =
+    Mutex.protect child_pool_mu (fun () ->
+        match !child_pool with
+        | c :: rest ->
+            child_pool := rest;
+            decr child_pool_len;
+            Some c
+        | [] -> None)
+  in
+  match pooled with
+  | Some c ->
+      c.plan_seed <- seed;
+      refit c t;
+      c
+  | None ->
+      let c = { plan_seed = seed; trace = None; table = Hashtbl.create 8 } in
+      refit c t;
+      c
+
+let release_child c =
+  Mutex.protect child_pool_mu (fun () ->
+      if !child_pool_len < child_pool_cap then begin
+        child_pool := c :: !child_pool;
+        incr child_pool_len
+      end)
 
 (* Fold a finished child's occurrence/fire counts back into the parent
    so plan-level accounting ([fired], [schedule], ...) covers the whole
@@ -150,7 +216,17 @@ let absorb t c =
          | Some st ->
              st.occurrences <- st.occurrences + cst.occurrences;
              st.fired <- st.fired + cst.fired
-         | None -> Hashtbl.replace t.table site cst)
+         | None ->
+             (* Copy, never alias: [c] may be released to the child
+                pool after this and its cells re-fitted in place. *)
+             Hashtbl.replace t.table site
+               {
+                 trigger = cst.trigger;
+                 max_fires = cst.max_fires;
+                 rng = Rng.copy cst.rng;
+                 occurrences = cst.occurrences;
+                 fired = cst.fired;
+               })
 
 let reset t =
   let fresh =

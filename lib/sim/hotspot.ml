@@ -1,20 +1,46 @@
-(* Host-time hotspot profiler.
+(* Host-time and host-allocation hotspot profiler.
 
-   Sections are *host* wall-clock accumulators: they measure where the
-   simulator itself spends real time (WFD cloning, scheduler pool
-   churn, admission hashing, ...), never virtual time.  Profiling is
-   off by default; a disabled [with_section] is one atomic load and a
-   branch, so instrumentation can stay in hot paths permanently.
+   Sections are *host* accumulators: they measure where the simulator
+   itself spends real time (WFD cloning, scheduler pool churn,
+   admission hashing, ...) and real allocation, never virtual time.
+   Profiling is off by default; a disabled [with_section] is one atomic
+   load and a branch, so instrumentation can stay in hot paths
+   permanently.
+
+   When enabled, each section additionally records the GC's
+   allocated-words deltas across the section body (one [Gc.counters]
+   read per boundary): minor-heap words and words allocated directly
+   in the major heap (major minus promoted, so minor + major equals
+   total allocation — the same quantity [Gc.allocated_bytes] reports
+   in bytes).  The [Gc.counters] call itself allocates a small tuple
+   (~10 words), which the enclosing section self-charges; per-section
+   words are therefore exact to within tens of words, not exact to the
+   word.
 
    Accumulators are per-domain (a Domain.DLS table registered into a
    global list), so parallel trajectory workers never contend on a
-   shared table.  [snapshot] merges every domain's table; call it only
-   when the instrumented workload is quiescent (e.g. after a bench
-   run), since worker domains write their tables without locks. *)
+   shared table — and the Gc counters read on a worker domain are that
+   domain's own, so the attribution stays coherent under [Par.run].
+   [snapshot] merges every domain's table; call it only when the
+   instrumented workload is quiescent (e.g. after a bench run), since
+   worker domains write their tables without locks. *)
 
-type cell = { mutable c_count : int; mutable c_ns : float }
+type cell = {
+  mutable c_count : int;
+  mutable c_ns : float;
+  mutable c_minor : float;
+  mutable c_major : float;
+}
 
-type entry = { hs_name : string; hs_count : int; hs_total_ns : float }
+type entry = {
+  hs_name : string;
+  hs_count : int;
+  hs_total_ns : float;
+  hs_minor_words : float;
+  hs_major_words : float;
+}
+
+let entry_words e = e.hs_minor_words +. e.hs_major_words
 
 let enabled_flag = Atomic.make false
 
@@ -36,22 +62,28 @@ let cell_of tbl name =
   match Hashtbl.find_opt tbl name with
   | Some c -> c
   | None ->
-      let c = { c_count = 0; c_ns = 0.0 } in
+      let c = { c_count = 0; c_ns = 0.0; c_minor = 0.0; c_major = 0.0 } in
       Hashtbl.add tbl name c;
       c
 
 (* Sections nest: a parent's total includes its children (inclusive
-   timing), so sibling sections partition their parent but the sum over
-   *all* sections can exceed the end-to-end wall time. *)
+   timing and inclusive allocation), so sibling sections partition
+   their parent but the sum over *all* sections can exceed the
+   end-to-end wall time or allocation. *)
 let with_section name f =
   if not (Atomic.get enabled_flag) then f ()
   else begin
     let cell = cell_of (Domain.DLS.get local) name in
+    let min0, pro0, maj0 = Gc.counters () in
     let t0 = now_ns () in
     Fun.protect
       ~finally:(fun () ->
+        let t1 = now_ns () in
+        let min1, pro1, maj1 = Gc.counters () in
         cell.c_count <- cell.c_count + 1;
-        cell.c_ns <- cell.c_ns +. (now_ns () -. t0))
+        cell.c_ns <- cell.c_ns +. (t1 -. t0);
+        cell.c_minor <- cell.c_minor +. (min1 -. min0);
+        cell.c_major <- cell.c_major +. (maj1 -. pro1 -. (maj0 -. pro0)))
       f
   end
 
@@ -64,12 +96,21 @@ let snapshot () =
             (fun name (c : cell) ->
               let m = cell_of merged name in
               m.c_count <- m.c_count + c.c_count;
-              m.c_ns <- m.c_ns +. c.c_ns)
+              m.c_ns <- m.c_ns +. c.c_ns;
+              m.c_minor <- m.c_minor +. c.c_minor;
+              m.c_major <- m.c_major +. c.c_major)
             tbl)
         !registry);
   Hashtbl.fold
     (fun name (c : cell) acc ->
-      { hs_name = name; hs_count = c.c_count; hs_total_ns = c.c_ns } :: acc)
+      {
+        hs_name = name;
+        hs_count = c.c_count;
+        hs_total_ns = c.c_ns;
+        hs_minor_words = c.c_minor;
+        hs_major_words = c.c_major;
+      }
+      :: acc)
     merged []
   |> List.sort (fun a b -> String.compare a.hs_name b.hs_name)
 

@@ -1,17 +1,29 @@
-(** Host-time hotspot profiler: nestable wall-clock sections with
-    per-domain accumulators.
+(** Host-time and host-allocation hotspot profiler: nestable sections
+    with per-domain accumulators.
 
-    This measures where the *simulator* spends host time — it never
-    touches virtual clocks, so enabling it cannot change any simulated
-    result.  Disabled (the default), {!with_section} costs one atomic
-    load and a branch, so call sites stay in hot paths permanently. *)
+    This measures where the *simulator* spends host time and host
+    allocation — it never touches virtual clocks, so enabling it cannot
+    change any simulated result.  Disabled (the default),
+    {!with_section} costs one atomic load and a branch, so call sites
+    stay in hot paths permanently. *)
 
 type entry = {
   hs_name : string;
   hs_count : int;  (** Times the section was entered. *)
   hs_total_ns : float;  (** Accumulated host nanoseconds, inclusive of
                             nested sections. *)
+  hs_minor_words : float;
+      (** GC minor-heap words allocated inside the section, inclusive
+          of nested sections. *)
+  hs_major_words : float;
+      (** Words allocated directly in the major heap (major minus
+          promoted: promotion is not new allocation), inclusive of
+          nested sections.  [hs_minor_words + hs_major_words] is the
+          section's share of what {!Gc.allocated_bytes} counts. *)
 }
+
+val entry_words : entry -> float
+(** Total allocated words of an entry: minor + direct-major. *)
 
 val enabled : unit -> bool
 
@@ -19,7 +31,8 @@ val set_enabled : bool -> unit
 (** Turn profiling on or off globally (all domains). *)
 
 val with_section : string -> (unit -> 'a) -> 'a
-(** [with_section name f] runs [f], charging its host duration to
+(** [with_section name f] runs [f], charging its host duration and
+    allocated-words deltas (one [Gc.counters] read per boundary) to
     [name] on the calling domain's accumulator when profiling is
     enabled.  Sections nest; a parent's total includes its children.
     Exceptions propagate and still charge the section. *)

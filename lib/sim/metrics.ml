@@ -273,22 +273,35 @@ let snapshot () =
   in
   { snap_counters = Stats.counters (); snap_gauges = gs; snap_histograms = hs }
 
+let clear_cell (h : histo) =
+  Array.fill h.buckets 0 64 0;
+  Stats.clear h.samples;
+  h.h_count <- 0;
+  h.h_sum <- 0.0;
+  h.h_min <- infinity;
+  h.h_max <- neg_infinity;
+  h.h_seen <- 0;
+  (match h.h_sketch with Some d -> Sketch.Tdigest.clear d | None -> ());
+  h.h_snap <- None
+
 let reset () =
   let r = current () in
-  Hashtbl.iter
-    (fun _ h ->
-      Array.fill h.buckets 0 64 0;
-      Stats.clear h.samples;
-      h.h_count <- 0;
-      h.h_sum <- 0.0;
-      h.h_min <- infinity;
-      h.h_max <- neg_infinity;
-      h.h_seen <- 0;
-      (match h.h_sketch with Some d -> Sketch.Tdigest.clear d | None -> ());
-      h.h_snap <- None)
-    r.r_histograms;
+  Hashtbl.iter (fun _ h -> clear_cell h) r.r_histograms;
   Hashtbl.iter (fun _ g -> g := 0.0) r.r_gauges;
   Stats.reset_counters ()
+
+(* Scrub a registry in place for reuse as a fresh shard: histogram
+   cells are cleared but *kept* (their bucket arrays, reservoirs and
+   digests are the expensive part of a shard — reusing them is the
+   point), gauge cells are dropped (they are single refs; keeping them
+   would make a recycled shard merge gauge names a fresh shard never
+   observed).  Sampling state returns to the [create_registry]
+   default. *)
+let reset_registry (r : registry) =
+  Hashtbl.iter (fun _ h -> clear_cell h) r.r_histograms;
+  Hashtbl.reset r.r_gauges;
+  r.r_every <- 1;
+  r.r_phase <- 0
 
 (* Fold a shard registry into the current one.  Series are visited in
    sorted-name order so the merged sequence depends only on the order
@@ -307,6 +320,12 @@ let merge_into (src : registry) =
   Hashtbl.fold (fun n h acc -> (n, h) :: acc) src.r_histograms []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   |> List.iter (fun (n, (h : histo)) ->
+         if h.h_count = 0 && h.h_seen = 0 && Stats.is_empty h.samples then
+           (* Nothing was observed: skip, so a recycled shard carrying
+              cleared cells for series from earlier requests merges
+              byte-identically to a fresh shard. *)
+           ()
+         else
          let cell = histo_cell dst n in
          if Stats.count h.samples = h.h_count then
            List.iter (fun v -> observe_cell dst cell v) (Stats.to_list h.samples)

@@ -134,3 +134,10 @@ val reset : unit -> unit
 (** Zeroes every histogram, gauge and {!Stats.Counter} (the instruments
     stay registered).  Call at run boundaries so exported snapshots are
     per-run. *)
+
+val reset_registry : registry -> unit
+(** Scrub [registry] in place for reuse as a fresh per-task shard:
+    histogram cells are cleared but kept (their bucket arrays and
+    reservoirs are reused), gauge cells are dropped, and the sampling
+    configuration returns to the {!create_registry} default.  Merging
+    a scrubbed registry is byte-identical to merging a fresh one. *)

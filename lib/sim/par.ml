@@ -20,6 +20,15 @@ let domain_count = Atomic.make 1
 let set_domains n = Atomic.set domain_count (if n < 1 then 1 else n)
 let domains () = Atomic.get domain_count
 
+(* Submissions claimed per atomic fetch in [run]: batching amortises
+   the shared-cursor contention when tasks are small.  Results stay
+   indexed by submission position, so any batch size produces
+   byte-identical output. *)
+let batch_size = Atomic.make 1
+
+let set_batch k = Atomic.set batch_size (if k < 1 then 1 else k)
+let batch () = Atomic.get batch_size
+
 (* The pool width that matches the machine: the runtime's recommended
    domain count, never less than 1.  Spinning up more domains than
    cores (the old [min 4 ...] default did exactly that on a 1-core
@@ -84,27 +93,97 @@ let merge_shard ?(attach = Span.none) ?(offset = Units.zero) shard =
   Metrics.merge_into shard.sh_metrics;
   Stats.merge_counters shard.sh_counters
 
+(* --- Shard pool ----------------------------------------------------
+
+   A shard is ~4 collector structures whose backing stores (span
+   array, trace ring, histogram cells, counter cells) dwarf the data a
+   single request ever puts in them.  Serving allocates 2-3 shards per
+   request; recycling them is the same reset-discipline the WFD shell
+   pool uses: scrub every observable on release, so an acquired shard
+   is indistinguishable from a fresh one ([merge_shard] of a scrubbed
+   shard is byte-identical to merging a fresh shard — merges copy or
+   replay contents and skip empty cells).
+
+   Release is only legal after the shard has been merged (or when its
+   contents are deliberately discarded, e.g. a crashed attempt being
+   replayed): the pool takes ownership.  Exception paths may simply
+   drop shards — the pool is an optimisation, not a ledger. *)
+
+let shard_pool : shard list ref = ref []
+let shard_pool_len = ref 0
+let shard_pool_mu = Mutex.create ()
+let shard_pool_cap = 4096
+
+let scrub_shard sh =
+  Span.clear sh.sh_span;
+  Span.set_enabled sh.sh_span false;
+  Trace.clear sh.sh_trace;
+  Trace.set_sample_every sh.sh_trace 1;
+  Trace.set_enabled sh.sh_trace false;
+  Metrics.reset_registry sh.sh_metrics;
+  Stats.Counter.reset_registry sh.sh_counters
+
+let acquire_shard cfg =
+  let pooled =
+    Mutex.protect shard_pool_mu (fun () ->
+        match !shard_pool with
+        | sh :: rest ->
+            shard_pool := rest;
+            decr shard_pool_len;
+            Some sh
+        | [] -> None)
+  in
+  match pooled with
+  | Some sh ->
+      Span.set_enabled sh.sh_span cfg.cfg_span_on;
+      Trace.set_enabled sh.sh_trace cfg.cfg_trace_on;
+      sh
+  | None -> make_shard cfg
+
+let release_shard sh =
+  scrub_shard sh;
+  Mutex.protect shard_pool_mu (fun () ->
+      if !shard_pool_len < shard_pool_cap then begin
+        shard_pool := sh :: !shard_pool;
+        incr shard_pool_len
+      end)
+
+let shard_pool_size () = Mutex.protect shard_pool_mu (fun () -> !shard_pool_len)
+
 (* --- The pool ------------------------------------------------------ *)
 
 (* Run [tasks] and return their results by submission index.  Work is
-   claimed from a shared atomic cursor; the submitting domain
-   participates, so [domains () = 1] costs no spawn.  The first
-   failing task *by submission index* re-raises after every domain has
-   joined — completion order never leaks, even through errors. *)
-let run (tasks : (unit -> 'a) array) : 'a array =
+   claimed from a shared atomic cursor, [batch] contiguous submissions
+   per fetch (default: the [set_batch] global); the submitting domain
+   participates, so [domains () = 1] costs no spawn.  Batching only
+   changes which domain runs which task — results and errors stay
+   keyed by submission index, so output is byte-identical at any
+   batch size.  The first failing task *by submission index*
+   re-raises after every domain has joined — completion order never
+   leaks, even through errors. *)
+let run ?batch (tasks : (unit -> 'a) array) : 'a array =
   let n = Array.length tasks in
   let d = min (domains ()) n in
+  let k =
+    match batch with
+    | Some k when k >= 1 -> k
+    | Some _ -> 1
+    | None -> Atomic.get batch_size
+  in
   if d <= 1 then Array.map (fun f -> f ()) tasks
   else begin
     let results : 'a option array = Array.make n None in
     let errors : exn option array = Array.make n None in
     let next = Atomic.make 0 in
     let rec worker () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        (match tasks.(i) () with
-        | v -> results.(i) <- Some v
-        | exception e -> errors.(i) <- Some e);
+      let base = Atomic.fetch_and_add next k in
+      if base < n then begin
+        let stop = Stdlib.min n (base + k) in
+        for i = base to stop - 1 do
+          match tasks.(i) () with
+          | v -> results.(i) <- Some v
+          | exception e -> errors.(i) <- Some e
+        done;
         worker ()
       end
     in

@@ -9,6 +9,14 @@ type t
 val create : int -> t
 (** [create seed] makes a fresh generator. *)
 
+val reseed : t -> int -> unit
+(** [reseed t seed] resets [t] in place to the exact state of
+    [create seed] — what lets pooled structures reuse a generator cell
+    instead of allocating a fresh one per request. *)
+
+val copy : t -> t
+(** An independent generator continuing from [t]'s current state. *)
+
 val golden_gamma : int64
 (** The splitmix64 stream increment; exposed so seed-derivation schemes
     (per-task fault plans, shard streams) can mix indices the same way

@@ -213,6 +213,11 @@ module Counter = struct
   let value c = !(cell (current ()) c)
   let name c = c
   let reset c = cell (current ()) c := 0
+
+  (* Cells are kept (recycled shards reuse them); [merge_counters]
+     skips zero counts, so a scrubbed registry merges identically to a
+     fresh one. *)
+  let reset_registry (r : registry) = Hashtbl.iter (fun _ c -> c := 0) r
 end
 
 let counter_value name =

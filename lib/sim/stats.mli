@@ -83,6 +83,12 @@ module Counter : sig
   val value : t -> int
   val name : t -> string
   val reset : t -> unit
+
+  val reset_registry : registry -> unit
+  (** Zero every counter cell in [registry] in place (cells are kept,
+      so a recycled shard reuses them; {!merge_counters} skips zero
+      counts, so merging a scrubbed registry is byte-identical to
+      merging a fresh one). *)
 end
 
 val counter_value : string -> int

@@ -76,8 +76,17 @@ let seen t = t.seen
 let filter t ~category =
   List.filter (fun e -> String.equal e.category category) (events t)
 
+(* Only the region written since the last clear can hold events:
+   before the ring wraps that is [0, head) (writes are sequential from
+   0), and once it has wrapped ([stored = capacity]) it is the whole
+   ring.  Clearing just that region keeps scrub-for-reuse O(live), not
+   O(capacity) — a shard that recorded one sampled event clears one
+   slot, not 4096. *)
 let clear t =
-  if Array.length t.ring > 0 then Array.fill t.ring 0 (Array.length t.ring) None;
+  if t.stored > 0 then begin
+    let upto = if t.stored = t.capacity then t.capacity else t.head in
+    Array.fill t.ring 0 upto None
+  end;
   t.head <- 0;
   t.stored <- 0;
   t.dropped <- 0;

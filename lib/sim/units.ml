@@ -1,43 +1,51 @@
-type time = int64
+(* Durations are nanoseconds in a native [int].  The representation
+   used to be [int64]; on a 64-bit host the native int still spans
+   ±4.6e18 ns (~146 years of virtual time), and being immediate it
+   never boxes — [Clock.advance]'s [t.now <- ...] and every
+   [add]/[scale] in the hot path were one heap allocation each under
+   the boxed representation, which dominated the serving allocation
+   profile.  [to_ns] keeps its [int64] signature so observation points
+   pay the one box at the edge. *)
+type time = int
 
-let zero = 0L
+let zero = 0
 
-let ns n = Int64.of_int n
-let us n = Int64.mul (Int64.of_int n) 1_000L
-let ms n = Int64.mul (Int64.of_int n) 1_000_000L
-let sec n = Int64.mul (Int64.of_int n) 1_000_000_000L
+let ns n = n
+let us n = n * 1_000
+let ms n = n * 1_000_000
+let sec n = n * 1_000_000_000
 
-let ns_f x = Int64.of_float (Float.round x)
+let ns_f x = int_of_float (Float.round x)
 let us_f x = ns_f (x *. 1e3)
 let ms_f x = ns_f (x *. 1e6)
 
-let to_ns t = t
-let to_us t = Int64.to_float t /. 1e3
-let to_ms t = Int64.to_float t /. 1e6
-let to_sec t = Int64.to_float t /. 1e9
+let to_ns t = Int64.of_int t
+let to_us t = float_of_int t /. 1e3
+let to_ms t = float_of_int t /. 1e6
+let to_sec t = float_of_int t /. 1e9
 
-let add = Int64.add
+let add = ( + )
 
-let sub a b = if Int64.compare a b <= 0 then 0L else Int64.sub a b
+let sub a b = if a <= b then 0 else a - b
 
-let diff a b = if Int64.compare a b >= 0 then Int64.sub a b else Int64.sub b a
+let diff a b = if a >= b then a - b else b - a
 
-let scale t f = Int64.of_float (Int64.to_float t *. f)
+let scale t f = int_of_float (float_of_int t *. f)
 
-let max a b = if Int64.compare a b >= 0 then a else b
-let min a b = if Int64.compare a b <= 0 then a else b
-let compare = Int64.compare
-let equal = Int64.equal
+let max (a : int) b = if a >= b then a else b
+let min (a : int) b = if a <= b then a else b
+let compare : int -> int -> int = Int.compare
+let equal : int -> int -> bool = Int.equal
 
 let ( + ) = add
 let ( - ) = sub
-let ( < ) a b = Int64.compare a b < 0
-let ( <= ) a b = Int64.compare a b <= 0
-let ( > ) a b = Int64.compare a b > 0
-let ( >= ) a b = Int64.compare a b >= 0
+let ( < ) (a : int) b = Stdlib.( < ) a b
+let ( <= ) (a : int) b = Stdlib.( <= ) a b
+let ( > ) (a : int) b = Stdlib.( > ) a b
+let ( >= ) (a : int) b = Stdlib.( >= ) a b
 
 let pp fmt t =
-  let f = Int64.to_float t in
+  let f = float_of_int t in
   if Stdlib.( < ) f 1e3 then Format.fprintf fmt "%.0fns" f
   else if Stdlib.( < ) f 1e6 then Format.fprintf fmt "%.2fus" (f /. 1e3)
   else if Stdlib.( < ) f 1e9 then Format.fprintf fmt "%.2fms" (f /. 1e6)

@@ -11,17 +11,24 @@ when any lower-is-better field regressed past a tolerance.
 Gated fields (lower is better): names ending in "_ms" or "_words", or
 containing "wall", "words" or "us_per_request" (the per-request host
 cost of the serving scale/deep legs and of every host.hotspots
-profiler section), plus everything under an "observability_overhead"
-object (the scale leg re-run with windowed telemetry and SLO monitors
-enabled — its overhead_ratio is the telemetry-on/off wall quotient, so
-gating it keeps the observation path from silently getting expensive
-relative to the serve loop even when both walls drift together).
+profiler section — including the GC-aware allocation attribution
+fields words_per_request, minor_words_per_request and
+major_words_per_request, and the scale leg's whole-run
+alloc_words_per_request_domains1), plus everything under an
+"observability_overhead" object (the scale leg re-run with windowed
+telemetry and SLO monitors enabled — its overhead_ratio is the
+telemetry-on/off wall quotient, so gating it keeps the observation
+path from silently getting expensive relative to the serve loop even
+when both walls drift together).
 Informational fields (domains, host_cores, speedups, hotspot call
 counts) are reported but never gated.  Lists are
 traversed (e.g. soak snapshot_live_words[3]).  An object carrying
 "degenerate": true marks a parallel leg run where real parallelism is
 impossible (host_cores < 2, or more domains than cores); its fields —
-speedups included — are reported info-only, never gated.
+speedups included — are reported info-only, never gated.  Exception:
+fields whose name ends in "_domains1" are measurements of the
+single-domain leg, which exists on every host, so they are gated even
+inside a degenerate parallel object.
 
 Usage:
   perf_gate.py BASELINE.json CURRENT.json [--tolerance 0.5]
@@ -99,6 +106,11 @@ def main():
             continue
         b, b_deg = base[path]
         c, c_deg = cur[path]
+        # A "_domains1" field measures the single-domain leg, which is
+        # never degenerate — the surrounding object's flag describes
+        # the parallel leg only.
+        if path.rsplit(".", 1)[-1].endswith("_domains1"):
+            b_deg, c_deg = False, False
         if b_deg or c_deg:
             print(f"  [info] {path}: {b:g} -> {c:g} (degenerate leg, not gated)")
             continue

@@ -55,6 +55,48 @@ let test_pool_snapshot_roundtrip () =
   | () -> Alcotest.fail "core-count mismatch must be rejected"
   | exception Invalid_argument _ -> ()
 
+(* --- Batched work claiming ----------------------------------------- *)
+
+let test_run_batched_submission_order () =
+  (* Results stay keyed by submission index at any batch size,
+     including batches larger than the task count. *)
+  with_domains 8 (fun () ->
+      List.iter
+        (fun k ->
+          let results = Par.run ~batch:k (Array.init 100 (fun i () -> i * 3)) in
+          Alcotest.(check int) "all results" 100 (Array.length results);
+          Array.iteri
+            (fun i v ->
+              Alcotest.(check int) (Printf.sprintf "batch %d slot %d" k i) (i * 3) v)
+            results)
+        [ 1; 2; 8; 64; 1000 ])
+
+let test_run_batched_first_error_wins () =
+  with_domains 8 (fun () ->
+      let task i () = if i mod 3 = 0 && i > 0 then failwith (string_of_int i) else i in
+      match Par.run ~batch:8 (Array.init 32 (fun i -> task i)) with
+      | _ -> Alcotest.fail "expected a failure"
+      | exception Failure msg -> Alcotest.(check string) "lowest index" "3" msg)
+
+(* --- Sched pool copy recycling ------------------------------------- *)
+
+let test_pool_release_recycles () =
+  (* A released snapshot's arrays are reused by the next same-width
+     copy; the recycled copy must behave exactly like a fresh one. *)
+  let pool = Hostos.Sched.pool ~cores:4 in
+  ignore (Hostos.Sched.schedule_on pool (List.map Units.ms [ 3; 1; 4; 1; 5 ]));
+  let snap = Hostos.Sched.copy_pool pool in
+  Hostos.Sched.release_pool snap;
+  ignore (Hostos.Sched.schedule_on pool (List.map Units.ms [ 9; 2 ]));
+  let snap2 = Hostos.Sched.copy_pool pool in
+  Alcotest.(check bool) "recycled copy captures the current horizons" true
+    (Units.equal (Hostos.Sched.busy_until snap2) (Hostos.Sched.busy_until pool));
+  let probe = Hostos.Sched.schedule_on pool (List.map Units.ms [ 2; 2; 2 ]) in
+  Hostos.Sched.restore_pool pool snap2;
+  let replay = Hostos.Sched.schedule_on pool (List.map Units.ms [ 2; 2; 2 ]) in
+  Alcotest.(check bool) "replay reproduces the probe after restore" true
+    (replay = probe)
+
 (* --- Compile cache under concurrent clients ----------------------- *)
 
 let test_compile_cache_stress () =
@@ -220,6 +262,98 @@ let test_seeded_stress_across_domains () =
   done;
   Alcotest.(check int) "no WFD leak" live0 (Wfd.live_count ())
 
+let observe_serve ~requests ~domains ?(batch = 1) ?config () =
+  with_domains domains (fun () ->
+      Par.set_batch batch;
+      Fun.protect
+        ~finally:(fun () -> Par.set_batch 1)
+        (fun () ->
+          reset_observability ();
+          Span.set_enabled Span.global true;
+          let r = serve_once ?config ~requests () in
+          let tr = Obs.trace_json_string () in
+          let me = Obs.metrics_json_string () in
+          Span.set_enabled Span.global false;
+          reset_observability ();
+          fingerprint r ^ "|" ^ summary r ^ "||" ^ tr ^ "||" ^ me))
+
+let test_serve_identical_across_batch () =
+  (* The full observable surface across batch sizes and domain counts:
+     batching is a host scheduling knob, never a virtual one. *)
+  let requests = requests_for ~seed:13 ~count:60 in
+  let base = observe_serve ~requests ~domains:1 ~batch:1 () in
+  List.iter
+    (fun (domains, batch) ->
+      Alcotest.(check string)
+        (Printf.sprintf "batch %d at %d domains" batch domains)
+        base
+        (observe_serve ~requests ~domains ~batch ()))
+    [ (1, 8); (1, 64); (4, 1); (4, 8); (4, 64) ]
+
+let test_pools_scrubbed_after_chaos () =
+  (* Reset-discipline under crashes: a chaos leg (crashing functions,
+     failing writes, workflow retries) leaves every per-request pool —
+     collector shards, fault children, process tables, recycled shells
+     — full of crashed-request state.  A clean run after it must be
+     byte-identical to the clean run before it, spans and trace and
+     metrics exports included: nothing stale may leak out of a pool. *)
+  let requests = requests_for ~seed:17 ~count:50 in
+  let before = observe_serve ~requests ~domains:4 () in
+  with_domains 4 (fun () ->
+      let chaos = requests_for ~seed:23 ~count:60 in
+      let plan = Fault.create ~seed:3 () in
+      Fault.inject plan ~site:Fault.site_fn_crash (Fault.Every 3);
+      Fault.inject plan ~site:Fault.site_vfs_write (Fault.Every 5);
+      let config =
+        {
+          Visor.default_config with
+          Visor.fault = Some plan;
+          retry = Visor.Retry_workflow 3;
+        }
+      in
+      ignore (serve_once ~config ~requests:chaos ()));
+  let after = observe_serve ~requests ~domains:4 () in
+  Alcotest.(check string) "recycled pools leak no chaos state" before after
+
+(* --- Hotspot allocation accounting --------------------------------- *)
+
+let test_hotspot_allocation_accounting () =
+  (* One outer section around a whole (single-domain) serve must charge
+     the same words the GC reports for the run, to within the harness's
+     own allocation between the two measurement points — and profiling
+     must not change a virtual byte. *)
+  let requests = requests_for ~seed:29 ~count:40 in
+  let baseline = fingerprint (serve_once ~requests ()) in
+  Hotspot.reset ();
+  Hotspot.set_enabled true;
+  let a0 = Gc.allocated_bytes () in
+  let r =
+    Fun.protect
+      ~finally:(fun () -> Hotspot.set_enabled false)
+      (fun () -> Hotspot.with_section "test.total" (fun () -> serve_once ~requests ()))
+  in
+  let gc_words = (Gc.allocated_bytes () -. a0) /. 8.0 in
+  Alcotest.(check string) "profiling leaves responses untouched" baseline
+    (fingerprint r);
+  let entry =
+    List.find
+      (fun (e : Hotspot.entry) -> String.equal e.Hotspot.hs_name "test.total")
+      (Hotspot.snapshot ())
+  in
+  let section_words = Hotspot.entry_words entry in
+  let diff = Float.abs (gc_words -. section_words) in
+  let tolerance = Float.max 10_000.0 (0.01 *. gc_words) in
+  if diff > tolerance then
+    Alcotest.failf
+      "hotspot words (%.0f) vs GC allocated words (%.0f): diff %.0f exceeds %.0f"
+      section_words gc_words diff tolerance;
+  Alcotest.(check bool) "a serve allocates something" true (gc_words > 0.0);
+  Alcotest.(check bool) "minor + major split covers the total" true
+    (Float.abs
+       (entry.Hotspot.hs_minor_words +. entry.Hotspot.hs_major_words
+      -. section_words)
+    < 1.0)
+
 (* --- run_many ------------------------------------------------------ *)
 
 let test_run_many_identical () =
@@ -255,14 +389,26 @@ let suite =
     Alcotest.test_case "Par.run keeps submission order" `Quick test_run_submission_order;
     Alcotest.test_case "Par.run re-raises lowest-index error" `Quick
       test_run_first_error_wins;
+    Alcotest.test_case "Par.run batched keeps submission order" `Quick
+      test_run_batched_submission_order;
+    Alcotest.test_case "Par.run batched re-raises lowest-index error" `Quick
+      test_run_batched_first_error_wins;
     Alcotest.test_case "Sched pool snapshot round-trips" `Quick
       test_pool_snapshot_roundtrip;
+    Alcotest.test_case "Sched pool copies recycle through release" `Quick
+      test_pool_release_recycles;
     Alcotest.test_case "compile cache: 1 compile, 15 hits" `Quick
       test_compile_cache_stress;
     Alcotest.test_case "serve identical at 1/2/8 domains" `Quick
       test_serve_identical_across_domains;
     Alcotest.test_case "chaos identical across domains" `Quick
       test_chaos_identical_across_domains;
+    Alcotest.test_case "serve identical across batch sizes" `Quick
+      test_serve_identical_across_batch;
+    Alcotest.test_case "pools scrubbed after chaos" `Quick
+      test_pools_scrubbed_after_chaos;
+    Alcotest.test_case "hotspot words match GC accounting" `Quick
+      test_hotspot_allocation_accounting;
     Alcotest.test_case "20 seeds, domains > cores" `Slow
       test_seeded_stress_across_domains;
     Alcotest.test_case "run_many identical across domains" `Quick
